@@ -1,0 +1,36 @@
+"""Section 5.2's comparison: RelaxReplay_Opt vs SC/TSO recorders.
+
+Paper: "The resulting RelaxReplay_Opt log sizes are 1-4x the log sizes
+reported for previous chunk-based recorders" — despite those recorders
+requiring SC or TSO while RelaxReplay records full RC executions.  Shape
+to preserve: Opt's RC log within a small multiple of the SC chunk
+recorder's log for the *same workload recorded under SC*, and both far
+below FDR-style pointwise dependence logging.
+"""
+
+from conftest import once
+from repro.common.stats import geometric_mean
+from repro.harness import baseline_log_comparison
+from repro.harness.report import render_baselines
+
+
+def test_baseline_log_comparison(benchmark, runner, show):
+    data = once(benchmark, lambda: baseline_log_comparison(runner))
+    show(render_baselines(data))
+
+    ratios = [data[name]["opt_vs_sc_chunk"] for name in runner.workloads]
+    mean_ratio = geometric_mean(ratios)
+    # Paper: 1-4x; allow headroom for reproduction-scale effects.
+    assert 0.3 <= mean_ratio <= 8.0, f"Opt/SC-chunk ratio {mean_ratio:.2f}"
+
+    for name in runner.workloads:
+        row = data[name]
+        # Pointwise dependence logging dwarfs chunk logs (the motivation
+        # for chunk-based recording, Section 6).
+        assert row["fdr_sc"] > row["sc_chunk_sc"], name
+        # CoreRacer's pending-store count makes its chunks slightly larger
+        # than plain SC chunks per record, but the counts differ per run;
+        # just require the same order of magnitude.
+        assert row["coreracer_tso"] > 0 and row["rtr_tso"] > 0, name
+        # RTR adds value logging on top of chunking.
+        assert row["rtr_tso"] >= row["coreracer_tso"] * 0.5, name

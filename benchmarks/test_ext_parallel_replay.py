@@ -1,0 +1,69 @@
+"""Extension: parallel replay over Cyrus-style interval dependence edges.
+
+The paper's Sections 2.1 and 5.4 argue that pairing RelaxReplay with an
+interval-ordering scheme that records pairwise dependences (Cyrus, Karma)
+yields *parallel* replay, and that small maximum interval sizes exist to
+expose that parallelism ("Karma and Cyrus set the maximum interval size to
+a small value, in order to increase replay parallelism", Section 5.1).
+
+This benchmark records workloads with dependence-edge collection enabled,
+replays each log on the DAG-ordered parallel replayer (verified bit-exact),
+and measures the speedup over sequential replay as a function of the
+maximum interval size — quantifying the replay-speed side of the
+interval-size trade-off whose log-size side Figure 11 shows.
+"""
+
+from conftest import once
+from repro.common.config import MachineConfig, RecorderConfig, RecorderMode
+from repro.harness import format_table
+from repro.replay.parallel import parallel_replay_recording
+from repro.sim import Machine
+from repro.workloads import build_workload
+
+VARIANTS = {
+    "opt_inf": RecorderConfig(mode=RecorderMode.OPT),
+    "opt_4k": RecorderConfig(mode=RecorderMode.OPT,
+                             max_interval_instructions=4096),
+    "opt_512": RecorderConfig(mode=RecorderMode.OPT,
+                              max_interval_instructions=512),
+    "opt_128": RecorderConfig(mode=RecorderMode.OPT,
+                              max_interval_instructions=128),
+}
+APPS = ("ocean", "fft", "water_nsquared", "radiosity")
+
+
+def test_parallel_replay_speedup(benchmark, runner, show):
+    def run():
+        out = {}
+        machine = Machine(MachineConfig(num_cores=8, seed=runner.seed),
+                          VARIANTS)
+        for app in APPS:
+            program = build_workload(app, num_threads=8, scale=runner.scale,
+                                     seed=runner.seed)
+            recording = machine.run(program, collect_dependence_edges=True)
+            out[app] = {variant: parallel_replay_recording(recording, variant)
+                        for variant in VARIANTS}
+        return out
+
+    results = once(benchmark, run)
+
+    rows = []
+    for app, per_variant in results.items():
+        rows.append([app] + [per_variant[v].speedup for v in VARIANTS]
+                    + [per_variant["opt_128"].edges])
+    averages = {v: sum(results[app][v].speedup for app in APPS) / len(APPS)
+                for v in VARIANTS}
+    rows.append(["average"] + [averages[v] for v in VARIANTS] + ["-"])
+    show(format_table(
+        "Extension: parallel replay speedup vs max interval size "
+        "(8 cores; all replays verified bit-exact)",
+        ["workload", "INF", "4K", "512", "128", "edges@128"], rows,
+        floatfmt="{:.2f}"))
+
+    for app, per_variant in results.items():
+        for variant, result in per_variant.items():
+            assert result.verified, (app, variant)
+            assert 1.0 <= result.speedup <= 8.0 + 1e-9, (app, variant)
+    # Finer intervals expose more parallelism on average.
+    assert averages["opt_128"] > averages["opt_inf"]
+    assert averages["opt_512"] >= averages["opt_inf"] * 0.95

@@ -1,0 +1,39 @@
+"""Figure 12 + Section 5.3: TRAQ utilization and recording overhead.
+
+Paper: average TRAQ occupancy is below 64 of 176 entries for every
+application; most samples sit at <= 80 entries; TRAQ-induced dispatch
+stalls account for <0.3% of execution; the induced log bandwidth is a
+small fraction of machine bandwidth — i.e. recording overhead is
+negligible.
+"""
+
+from conftest import once
+from repro.harness import fig12_traq_utilization, recording_overhead
+from repro.harness.report import render_fig12, render_overhead
+
+
+def test_fig12_traq_utilization(benchmark, runner, show):
+    data = once(benchmark, lambda: fig12_traq_utilization(runner))
+    show(render_fig12(data))
+
+    for name, occupancy in data["average_occupancy"].items():
+        # Paper chart (a): every average below 64 entries.
+        assert occupancy < 64, f"{name}: avg occupancy {occupancy:.1f}"
+
+    for name, hist in data["histograms"].items():
+        at_most_80 = sum(fraction for bin_index, fraction in hist.items()
+                         if bin_index <= 7)  # bins of 10 -> <= 79 entries
+        assert at_most_80 > 0.5, f"{name}: TRAQ mostly above 80 entries"
+
+    for name, stall in data["stall_fraction"].items():
+        # Paper: < 0.3% of execution time.
+        assert stall < 0.003, f"{name}: stall fraction {stall:.4f}"
+
+
+def test_recording_overhead(benchmark, runner, show):
+    data = once(benchmark, lambda: recording_overhead(runner))
+    show(render_overhead(data))
+    assert data["average"]["traq_stall_fraction"] < 0.003
+    # Base's log traffic exceeds Opt's everywhere it matters.
+    assert data["average"]["log_mb_per_s_base_4k"] >= \
+        data["average"]["log_mb_per_s_opt_4k"]

@@ -1,0 +1,39 @@
+"""Figure 13: sequential replay time normalized to parallel recording time.
+
+Paper (8 cores): RelaxReplay_Opt replays in 8.5x (4K) / 6.7x (INF) of the
+recording time; Base in 26.2x (4K) / 8.6x (INF); OS time is a third to a
+sixth of replay for Opt and grows with the reordered-entry count.  Every
+replay measured here is simultaneously *verified* bit-exact against the
+recorded execution.  Shape to preserve: replay within roughly an order of
+magnitude of recording, Base slower than Opt (it emulates more entries),
+and the OS share tracking the number of log entries.
+"""
+
+from conftest import once
+from repro.harness import fig13_replay_times
+from repro.harness.report import render_fig13
+
+
+def test_fig13_replay_time(benchmark, runner, show):
+    data = once(benchmark, lambda: fig13_replay_times(runner))
+    show(render_fig13(data))
+
+    for name in runner.workloads:
+        row = data[name]
+        for variant in ("base_4k", "base_inf", "opt_4k", "opt_inf"):
+            entry = row[variant]
+            # Sequential replay of an N-core recording costs at least the
+            # serialized user work, and stays within sane bounds.
+            assert 2.0 <= entry["total"] <= 120.0, (name, variant)
+        # Base typically replays no faster than Opt: every extra reordered
+        # entry is OS-emulated and every extra block is an extra interrupt.
+        # (Small per-app slack: on workloads where Opt rescues almost
+        # nothing, its extra intervals can cost marginally more.)
+        assert row["base_4k"]["total"] >= row["opt_4k"]["total"] * 0.95, name
+
+    average = data["average"]
+    assert average["base_4k"]["total"] > average["opt_4k"]["total"]
+    # OS time is a substantial but not dominant share for Opt (paper: a
+    # third to a sixth).
+    opt = average["opt_4k"]
+    assert opt["os"] < opt["total"] * 0.75

@@ -1,0 +1,29 @@
+"""Figure 1: fraction of memory accesses performed out of program order.
+
+Paper (8-core RC, SPLASH-2): on average 59% of memory accesses are
+out-of-order loads and 3% are out-of-order stores.  Shape to preserve:
+substantial OoO-load fractions on every workload, with OoO stores an order
+of magnitude rarer.
+"""
+
+from conftest import once
+from repro.harness import fig1_ooo_fractions
+from repro.harness.report import render_fig1
+
+
+def test_fig1_ooo_fraction(benchmark, runner, show):
+    data = once(benchmark, lambda: fig1_ooo_fractions(runner))
+    show(render_fig1(data))
+
+    average = data["average"]
+    # Loads reorder heavily; exact magnitude depends on workload scale.
+    assert 0.15 <= average["loads"] <= 0.85
+    # Stores reorder far less (RC write buffers drain near-eagerly).
+    assert average["stores"] <= 0.15
+    assert average["stores"] < average["loads"] / 3
+
+    for name, row in data.items():
+        if name == "average":
+            continue
+        assert row["loads"] > 0, f"{name}: no out-of-order loads at all"
+        assert row["loads"] + row["stores"] <= 1.0

@@ -1,0 +1,55 @@
+"""Figure 9: accesses logged as reordered, as a fraction of all accesses.
+
+Paper: RelaxReplay_Base logs 1.7% (4K intervals) / 0.17% (INF) of accesses
+as reordered; RelaxReplay_Opt only 0.03%; loads dominate; Opt is
+insensitive to the interval size.  Shape to preserve: Opt <= Base on every
+workload, both far below the raw OoO fraction of Figure 1, reordered
+fraction growing as the interval cap shrinks (the 512 series makes the cap
+bind at reproduction scale), and loads dominating the reordered mix.
+"""
+
+from conftest import once
+from repro.harness import fig1_ooo_fractions, fig9_reordered_fractions
+from repro.harness.report import render_fig9
+
+VARIANTS = ("base_512", "base_4k", "base_inf", "opt_512", "opt_4k", "opt_inf")
+
+
+def test_fig9_reordered_fraction(benchmark, runner, show):
+    data = once(benchmark,
+                lambda: fig9_reordered_fractions(runner, variants=VARIANTS))
+    show(render_fig9(data))
+
+    for name in runner.workloads:
+        row = data[name]
+        # Opt logs (at most marginally) no more reordered accesses than
+        # Base under the same cap.  It is not a strict per-app invariant:
+        # Opt's moved-access signature insertions can create extra interval
+        # terminations whose boundary-crossers the Snoop Table must rescue,
+        # and aliasing false positives tip a few over.  The average must
+        # still come out clearly lower (asserted below).
+        for cap in ("512", "4k", "inf"):
+            assert row[f"opt_{cap}"]["fraction"] <= \
+                row[f"base_{cap}"]["fraction"] * 1.10 + 0.003, (name, cap)
+        # Smaller intervals -> more boundary crossings for Base.
+        assert row["base_512"]["fraction"] >= \
+            row["base_4k"]["fraction"] - 1e-9, name
+        assert row["base_4k"]["fraction"] >= \
+            row["base_inf"]["fraction"] - 1e-9, name
+
+    average = data["average"]
+    # Both designs log only a small fraction of the ~40%+ of accesses that
+    # genuinely perform out of order (Figure 1): "most reorders are
+    # invisible to other processors".
+    ooo_total = fig1_ooo_fractions(runner)["average"]["total"]
+    assert average["base_4k"]["fraction"] < ooo_total / 3
+    # On average Opt clearly beats Base (per-app exceptions are tolerated
+    # above).
+    assert average["opt_4k"]["fraction"] < average["base_4k"]["fraction"]
+    assert average["opt_inf"]["fraction"] < average["base_inf"]["fraction"]
+
+    # Loads dominate the reordered mix (paper: "in all cases, loads
+    # dominate the reordered instructions").
+    loads = sum(data[name]["base_4k"]["loads"] for name in runner.workloads)
+    stores = sum(data[name]["base_4k"]["stores"] for name in runner.workloads)
+    assert loads > stores

@@ -1,0 +1,43 @@
+"""Table 1: architectural parameters and derived MRR hardware sizes.
+
+Paper values to reproduce exactly: RelaxReplay_Base MRR = 2.3KB (1.8KB
+TRAQ, 10.5B/entry), RelaxReplay_Opt MRR = 3.3KB (2.5KB TRAQ, 14.5B/entry),
+Snoop Table = 256B, Snoop Count fields = 704B total.
+"""
+
+import pytest
+
+from conftest import once
+from repro.common.config import MachineConfig, RecorderConfig, RecorderMode
+from repro.harness import table1_parameters
+from repro.harness.report import render_table1
+
+
+def test_table1(benchmark, show):
+    data = once(benchmark, table1_parameters)
+    show(render_table1(data))
+
+    assert data["mrr_bytes_base"] == pytest.approx(2.3 * 1024, rel=0.02)
+    assert data["mrr_bytes_opt"] == pytest.approx(3.3 * 1024, rel=0.02)
+
+    base = RecorderConfig(mode=RecorderMode.BASE)
+    opt = RecorderConfig(mode=RecorderMode.OPT)
+    assert base.traq_entry_bytes() == 10.5
+    assert opt.traq_entry_bytes() == 14.5
+    assert base.traq_entries * base.traq_entry_bytes() == \
+        pytest.approx(1.8 * 1024, rel=0.01)
+    assert opt.traq_entries * opt.traq_entry_bytes() == \
+        pytest.approx(2.5 * 1024, rel=0.01)
+    # Snoop Table: 2 x 64 x 16 bits = 256 bytes (Section 4.2).
+    table_bytes = (opt.snoop_table_arrays * opt.snoop_table_entries
+                   * opt.snoop_table_counter_bits / 8)
+    assert table_bytes == 256
+    # Snoop Count fields: 4B per TRAQ entry x 176 = 704 bytes.
+    snoop_count_bytes = (opt.snoop_table_arrays
+                         * opt.snoop_table_counter_bits / 8)
+    assert snoop_count_bytes * opt.traq_entries == 704
+
+    config = MachineConfig().validate()
+    assert config.num_cores == 8
+    assert config.core.rob_entries == 176
+    assert config.l1.line_bytes == 32

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""One workload, three memory models: SC vs TSO vs RC.
+
+RelaxReplay's claim is generality: the same recording hardware handles any
+consistency model with write atomicity (Section 3.6).  This example runs
+the ``water_nsquared`` workload under SC, TSO and RC and compares:
+
+* how much genuine access reordering each model exposes (Figure 1's metric),
+* how much of it becomes *visible* to the recorder (reordered log entries),
+* execution time (relaxed models exist for a reason),
+* and that deterministic replay verifies under every model.
+
+Run:  python examples/consistency_models.py
+"""
+
+from repro import (
+    ConsistencyModel,
+    Machine,
+    MachineConfig,
+    RecorderConfig,
+    RecorderMode,
+    build_workload,
+    replay_recording,
+)
+
+
+def main() -> None:
+    program = build_workload("water_nsquared", num_threads=4, scale=0.4,
+                             seed=7)
+    print(f"workload: {program.name} on 4 cores\n")
+    header = (f"{'model':6s} {'cycles':>8s} {'OoO loads':>10s} "
+              f"{'OoO stores':>11s} {'reordered(Base)':>16s} "
+              f"{'reordered(Opt)':>15s} {'log b/KI (Opt)':>15s}")
+    print(header)
+
+    for model in (ConsistencyModel.SC, ConsistencyModel.TSO,
+                  ConsistencyModel.RC):
+        machine = Machine(
+            MachineConfig(num_cores=4, consistency=model),
+            {"base": RecorderConfig(mode=RecorderMode.BASE),
+             "opt": RecorderConfig(mode=RecorderMode.OPT)})
+        recording = machine.run(program)
+        ooo = recording.ooo_fraction()
+        base = recording.recording_stats("base")
+        opt = recording.recording_stats("opt")
+        print(f"{model.value:6s} {recording.cycles:8d} "
+              f"{ooo['loads']:>9.1%} {ooo['stores']:>10.1%} "
+              f"{base.reordered_fraction:>15.2%} "
+              f"{opt.reordered_fraction:>14.2%} "
+              f"{opt.bits_per_kilo_instruction():>15.0f}")
+
+        for variant in ("base", "opt"):
+            replay_recording(recording, variant)  # raises on divergence
+
+    print("\nall six recordings replayed deterministically (bit-exact).")
+    print("note how SC exposes no reordering (in-order issue), TSO exposes "
+          "store-buffer effects,\nand RC exposes the full out-of-order "
+          "stream — yet the one mechanism records them all.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Mini scalability study (Figure 14 in miniature).
+
+Sweeps one workload across 2/4/8 cores and shows how the fraction of
+reordered accesses and the log rate grow with core count — the paper's
+explanation being that more cores mean more coherence traffic, and on a
+snoopy ring everyone sees all of it (more signature and Snoop Table
+pressure).
+
+Run:  python examples/scalability_sweep.py
+"""
+
+from repro import (
+    Machine,
+    MachineConfig,
+    RecorderConfig,
+    RecorderMode,
+    build_workload,
+)
+
+
+def main() -> None:
+    variants = {
+        "base": RecorderConfig(mode=RecorderMode.BASE,
+                               max_interval_instructions=4096),
+        "opt": RecorderConfig(mode=RecorderMode.OPT,
+                              max_interval_instructions=4096),
+    }
+    print(f"{'cores':>5s} {'instructions':>12s} {'bus txns':>9s} "
+          f"{'reordered base':>15s} {'reordered opt':>14s} "
+          f"{'log MB/s opt':>13s}")
+    for cores in (2, 4, 8):
+        program = build_workload("ocean", num_threads=cores, scale=0.6,
+                                 seed=3)
+        machine = Machine(MachineConfig(num_cores=cores), variants)
+        recording = machine.run(program)
+        base = recording.recording_stats("base")
+        opt = recording.recording_stats("opt")
+        print(f"{cores:5d} {recording.total_instructions:12d} "
+              f"{recording.bus_transactions:9d} "
+              f"{base.reordered_fraction:>14.2%} "
+              f"{opt.reordered_fraction:>13.2%} "
+              f"{recording.log_rate_mb_per_s('opt'):>13.0f}")
+    print("\nboth designs see more visible reordering as coherence traffic "
+          "grows with core count;\nRelaxReplay_Opt stays well below Base at "
+          "every size.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+``pip install -e .`` needs the ``wheel`` package for PEP 660 editable
+installs; on offline machines without it, ``python setup.py develop``
+provides the same editable install through setuptools alone.  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,95 @@
+"""RelaxReplay: record and deterministic replay for relaxed-consistency
+multiprocessors — a full-system Python reproduction of Honarmand &
+Torrellas, ASPLOS 2014.
+
+The package implements the paper's memory race recorder (RelaxReplay_Base
+and RelaxReplay_Opt) together with every substrate its evaluation needs: a
+cycle-approximate out-of-order multicore simulator with MESI snoopy
+coherence over a ring, SC/TSO/RC consistency policies, SPLASH-2-like
+workloads, baseline recorders, a verifying deterministic replayer, and an
+experiment harness that regenerates every figure of the paper's Section 5.
+
+Quick start::
+
+    from repro import (MachineConfig, Machine, RecorderConfig, RecorderMode,
+                       build_workload, replay_recording)
+
+    program = build_workload("fft", num_threads=8)
+    machine = Machine(MachineConfig(), {
+        "opt": RecorderConfig(mode=RecorderMode.OPT),
+    })
+    recording = machine.run(program)
+    replay = replay_recording(recording, "opt")   # verifies determinism
+    print(recording.recording_stats("opt").bits_per_kilo_instruction())
+"""
+
+from .common.config import (
+    CoherenceProtocol,
+    ConsistencyModel,
+    CoreConfig,
+    L1Config,
+    L2Config,
+    MachineConfig,
+    MemoryConfig,
+    RecorderConfig,
+    RecorderMode,
+    ReplayCostConfig,
+    RingConfig,
+)
+from .common.errors import (
+    ConfigError,
+    LogFormatError,
+    ReplayDivergenceError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+from .isa import Program, ThreadBuilder, ThreadProgram
+from .replay import (
+    ParallelReplayResult,
+    ReplayResult,
+    parallel_replay_recording,
+    replay_recording,
+)
+from .sim import Machine, RunResult
+from .storage import load_program, load_recording, save_program, save_recording
+from .workloads import WORKLOAD_NAMES, build_workload, random_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoherenceProtocol",
+    "ConsistencyModel",
+    "CoreConfig",
+    "L1Config",
+    "L2Config",
+    "MachineConfig",
+    "MemoryConfig",
+    "RecorderConfig",
+    "RecorderMode",
+    "ReplayCostConfig",
+    "RingConfig",
+    "ConfigError",
+    "LogFormatError",
+    "ReplayDivergenceError",
+    "ReproError",
+    "SimulationError",
+    "WorkloadError",
+    "Program",
+    "ThreadBuilder",
+    "ThreadProgram",
+    "ParallelReplayResult",
+    "ReplayResult",
+    "parallel_replay_recording",
+    "replay_recording",
+    "Machine",
+    "RunResult",
+    "load_program",
+    "load_recording",
+    "save_program",
+    "save_recording",
+    "WORKLOAD_NAMES",
+    "build_workload",
+    "random_program",
+    "__version__",
+]

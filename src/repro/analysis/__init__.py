@@ -1,0 +1,34 @@
+"""Analysis and debugging tooling over recordings and interval logs."""
+
+from .contention import (
+    ContentionReport,
+    HotLine,
+    analyze_contention,
+    render_contention,
+)
+from .diff import VariantDiff, diff_variants, render_diff
+from .logstats import (
+    LogProfile,
+    ascii_histogram,
+    merge_profiles,
+    profile_log,
+    render_profile,
+)
+from .timeline import interval_spans, render_timeline
+
+__all__ = [
+    "ContentionReport",
+    "HotLine",
+    "analyze_contention",
+    "render_contention",
+    "VariantDiff",
+    "diff_variants",
+    "render_diff",
+    "LogProfile",
+    "ascii_histogram",
+    "merge_profiles",
+    "profile_log",
+    "render_profile",
+    "interval_spans",
+    "render_timeline",
+]

@@ -1,0 +1,104 @@
+"""Contention analysis: what terminated the intervals?
+
+An RnR log is a goldmine for performance debugging: every interval
+termination names a cache line some other core fought over.  This module
+turns a recording's conflict statistics into a *hot-line report* — the
+lines responsible for the most interval terminations, attributed back to
+the workload's named regions when an allocator layout is available — and a
+per-core communication matrix built from the pairwise dependence edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim.machine import RunResult
+
+__all__ = ["HotLine", "ContentionReport", "analyze_contention",
+           "render_contention"]
+
+
+@dataclass(frozen=True)
+class HotLine:
+    """One contended cache line."""
+
+    line_addr: int
+    terminations: int
+    region: str | None  # named workload region containing it, if known
+
+
+@dataclass
+class ContentionReport:
+    """Hot lines plus the inter-core communication structure."""
+
+    variant: str
+    total_terminations: int
+    hot_lines: list[HotLine] = field(default_factory=list)
+    # communication[src][dst] = dependence edges from src's intervals to dst.
+    communication: dict[int, dict[int, int]] = field(default_factory=dict)
+
+    def top(self, count: int = 10) -> list[HotLine]:
+        return self.hot_lines[:count]
+
+
+def _region_lookup(regions: dict[str, tuple[int, int]], line_addr: int,
+                   line_bytes: int) -> str | None:
+    byte_addr = line_addr * line_bytes
+    for name, (base, words) in regions.items():
+        if base <= byte_addr < base + words * 8 + line_bytes:
+            return name
+    return None
+
+
+def analyze_contention(result: RunResult, variant: str, *,
+                       regions: dict[str, tuple[int, int]] | None = None
+                       ) -> ContentionReport:
+    """Build a :class:`ContentionReport` for one recorded variant.
+
+    ``regions`` is an optional ``{name: (base_byte_addr, words)}`` mapping
+    (e.g. ``Allocator.regions`` from a workload generator) used to label
+    hot lines with the data structure they belong to.
+    """
+    stats = result.recording_stats(variant)
+    line_bytes = result.config.l1.line_bytes
+    hot = [
+        HotLine(line_addr=line, terminations=count,
+                region=(_region_lookup(regions, line, line_bytes)
+                        if regions else None))
+        for line, count in sorted(stats.conflict_lines.items(),
+                                  key=lambda kv: -kv[1])
+    ]
+    communication: dict[int, dict[int, int]] = {}
+    for edge in result.dependence_edges.get(variant, ()):
+        row = communication.setdefault(edge.src_core, {})
+        row[edge.dst_core] = row.get(edge.dst_core, 0) + 1
+    return ContentionReport(
+        variant=variant,
+        total_terminations=stats.conflict_terminations,
+        hot_lines=hot,
+        communication=communication,
+    )
+
+
+def render_contention(report: ContentionReport, *, top: int = 10) -> str:
+    """ASCII rendering of a contention report."""
+    lines = [f"contention report ({report.variant}): "
+             f"{report.total_terminations} conflict terminations"]
+    if report.hot_lines:
+        lines.append("  hottest lines:")
+        for hot in report.top(top):
+            region = f"  [{hot.region}]" if hot.region else ""
+            lines.append(f"    line {hot.line_addr:#08x}: "
+                         f"{hot.terminations} terminations{region}")
+    if report.communication:
+        cores = sorted(set(report.communication)
+                       | {dst for row in report.communication.values()
+                          for dst in row})
+        header = "       " + " ".join(f"c{dst:<5d}" for dst in cores)
+        lines.append("  dependence edges (src rows -> dst columns):")
+        lines.append("  " + header)
+        for src in cores:
+            row = report.communication.get(src, {})
+            cells = " ".join(f"{row.get(dst, 0):<6d}" for dst in cores)
+            lines.append(f"    c{src:<4d} {cells}")
+    return "\n".join(lines) + "\n"

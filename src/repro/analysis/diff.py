@@ -1,0 +1,69 @@
+"""Recording diffs: quantify what one recorder variant did differently.
+
+The canonical use is Base vs Opt over the *same* execution: because
+recording is passive, both variants observed identical perform/count
+streams, so every divergence in their logs is attributable to the Snoop
+Table.  :func:`diff_variants` reports, per core, how many accesses Opt
+rescued, how the interval structure shifted, and the net log-bit savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.machine import RunResult
+from .logstats import merge_profiles, profile_log
+
+__all__ = ["VariantDiff", "diff_variants", "render_diff"]
+
+
+@dataclass
+class VariantDiff:
+    """Aggregate differences between two variants of one recording."""
+
+    left: str
+    right: str
+    rescued_accesses: int        # reordered in left, not in right
+    interval_delta: int          # right intervals minus left intervals
+    block_delta: int             # right InorderBlocks minus left
+    bits_saved: int              # left bits minus right bits
+    left_bits: int
+    right_bits: int
+
+    @property
+    def bits_saved_fraction(self) -> float:
+        return self.bits_saved / self.left_bits if self.left_bits else 0.0
+
+
+def diff_variants(result: RunResult, left: str, right: str) -> VariantDiff:
+    """Diff two variants recorded from the same execution."""
+    left_profile = merge_profiles(
+        profile_log(output.entries, output.config)
+        for output in result.recordings[left])
+    right_profile = merge_profiles(
+        profile_log(output.entries, output.config)
+        for output in result.recordings[right])
+    return VariantDiff(
+        left=left,
+        right=right,
+        rescued_accesses=(left_profile.reordered_total
+                          - right_profile.reordered_total),
+        interval_delta=right_profile.intervals - left_profile.intervals,
+        block_delta=(right_profile.bits_by_type.get("InorderBlock", 0)
+                     - left_profile.bits_by_type.get("InorderBlock", 0)) // 35,
+        bits_saved=left_profile.bits - right_profile.bits,
+        left_bits=left_profile.bits,
+        right_bits=right_profile.bits,
+    )
+
+
+def render_diff(diff: VariantDiff) -> str:
+    """One-paragraph summary of a :class:`VariantDiff`."""
+    direction = "saves" if diff.bits_saved >= 0 else "costs"
+    return (
+        f"{diff.right} vs {diff.left}: rescued {diff.rescued_accesses} "
+        f"reordered accesses, interval count {diff.interval_delta:+d}, "
+        f"InorderBlocks {diff.block_delta:+d}; {direction} "
+        f"{abs(diff.bits_saved)} log bits "
+        f"({abs(diff.bits_saved_fraction):.1%} of {diff.left})\n"
+    )

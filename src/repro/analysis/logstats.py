@@ -1,0 +1,166 @@
+"""Log profiling: the distributions behind the paper's aggregate numbers.
+
+Figures 9–11 report averages; debugging a recorder (or a recorded
+application) needs the underlying distributions: how long intervals are,
+how big InorderBlocks get, how far reordered stores patch back, and which
+entry types dominate the log bytes.  :func:`profile_log` computes all of
+that from a single per-core entry stream, and :func:`render_profile` turns
+it into an ASCII report (used by ``python -m repro.tools inspect
+--analyze``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..common.config import RecorderConfig
+from ..common.stats import OnlineStats
+from ..recorder.logfmt import (
+    Dummy,
+    InorderBlock,
+    IntervalFrame,
+    LogEntry,
+    ReorderedLoad,
+    ReorderedRmw,
+    ReorderedStore,
+    entry_bit_size,
+)
+
+__all__ = ["LogProfile", "profile_log", "merge_profiles", "render_profile",
+           "ascii_histogram"]
+
+
+@dataclass
+class LogProfile:
+    """Distributional summary of one (or several merged) interval logs."""
+
+    intervals: int = 0
+    entries: int = 0
+    bits: int = 0
+    instructions: int = 0
+    interval_instructions: OnlineStats = field(default_factory=OnlineStats)
+    block_sizes: OnlineStats = field(default_factory=OnlineStats)
+    blocks_per_interval: OnlineStats = field(default_factory=OnlineStats)
+    store_offsets: OnlineStats = field(default_factory=OnlineStats)
+    reordered_loads: int = 0
+    reordered_stores: int = 0
+    reordered_rmws: int = 0
+    bits_by_type: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def reordered_total(self) -> int:
+        return (self.reordered_loads + self.reordered_stores
+                + self.reordered_rmws)
+
+    def bits_per_kilo_instruction(self) -> float:
+        if not self.instructions:
+            return 0.0
+        return self.bits * 1000.0 / self.instructions
+
+
+def profile_log(entries: list[LogEntry],
+                config: RecorderConfig | None = None) -> LogProfile:
+    """Profile one core's entry stream."""
+    config = config or RecorderConfig()
+    profile = LogProfile()
+    interval_instructions = 0
+    interval_blocks = 0
+    for entry in entries:
+        profile.entries += 1
+        bits = entry_bit_size(entry, config)
+        profile.bits += bits
+        kind = type(entry).__name__
+        profile.bits_by_type[kind] = profile.bits_by_type.get(kind, 0) + bits
+        if isinstance(entry, InorderBlock):
+            profile.block_sizes.add(entry.size)
+            interval_instructions += entry.size
+            interval_blocks += 1
+        elif isinstance(entry, ReorderedLoad):
+            profile.reordered_loads += 1
+            interval_instructions += 1
+        elif isinstance(entry, ReorderedStore):
+            profile.reordered_stores += 1
+            profile.store_offsets.add(entry.offset)
+            interval_instructions += 1
+        elif isinstance(entry, ReorderedRmw):
+            profile.reordered_rmws += 1
+            profile.store_offsets.add(entry.offset)
+            interval_instructions += 1
+        elif isinstance(entry, Dummy):
+            interval_instructions += 1
+        elif isinstance(entry, IntervalFrame):
+            profile.intervals += 1
+            profile.instructions += interval_instructions
+            profile.interval_instructions.add(interval_instructions)
+            profile.blocks_per_interval.add(interval_blocks)
+            interval_instructions = 0
+            interval_blocks = 0
+    return profile
+
+
+def merge_profiles(profiles) -> LogProfile:
+    """Merge per-core profiles into a whole-machine view."""
+    merged = LogProfile()
+    for profile in profiles:
+        merged.intervals += profile.intervals
+        merged.entries += profile.entries
+        merged.bits += profile.bits
+        merged.instructions += profile.instructions
+        merged.reordered_loads += profile.reordered_loads
+        merged.reordered_stores += profile.reordered_stores
+        merged.reordered_rmws += profile.reordered_rmws
+        merged.interval_instructions.merge(profile.interval_instructions)
+        merged.block_sizes.merge(profile.block_sizes)
+        merged.blocks_per_interval.merge(profile.blocks_per_interval)
+        merged.store_offsets.merge(profile.store_offsets)
+        for kind, bits in profile.bits_by_type.items():
+            merged.bits_by_type[kind] = merged.bits_by_type.get(kind, 0) + bits
+    return merged
+
+
+def ascii_histogram(values: dict, *, width: int = 40,
+                    label: str = "") -> str:
+    """Render ``{bucket: count}`` as horizontal ASCII bars."""
+    if not values:
+        return f"{label}: (empty)\n"
+    peak = max(values.values())
+    lines = [label] if label else []
+    for bucket in sorted(values):
+        count = values[bucket]
+        bar = "#" * max(1, round(width * count / peak)) if count else ""
+        lines.append(f"  {str(bucket):>12s} | {bar} {count}")
+    return "\n".join(lines) + "\n"
+
+
+def render_profile(profile: LogProfile, *, name: str = "log") -> str:
+    """Human-readable summary of a :class:`LogProfile`."""
+    lines = [f"profile: {name}",
+             f"  intervals            : {profile.intervals}",
+             f"  entries              : {profile.entries} "
+             f"({profile.bits} bits, "
+             f"{profile.bits_per_kilo_instruction():.0f} b/KI)",
+             f"  instructions covered : {profile.instructions}"]
+    if profile.intervals:
+        stats = profile.interval_instructions
+        lines.append(f"  interval size        : mean {stats.mean:.1f} "
+                     f"instructions (min {stats.minimum:.0f}, "
+                     f"max {stats.maximum:.0f})")
+        blocks = profile.blocks_per_interval
+        lines.append(f"  blocks per interval  : mean {blocks.mean:.1f}")
+    if profile.block_sizes.count:
+        stats = profile.block_sizes
+        lines.append(f"  InorderBlock size    : mean {stats.mean:.1f} "
+                     f"(min {stats.minimum:.0f}, max {stats.maximum:.0f})")
+    lines.append(f"  reordered entries    : {profile.reordered_loads} loads, "
+                 f"{profile.reordered_stores} stores, "
+                 f"{profile.reordered_rmws} RMWs")
+    if profile.store_offsets.count:
+        stats = profile.store_offsets
+        lines.append(f"  store patch offsets  : mean {stats.mean:.2f} "
+                     f"intervals (max {stats.maximum:.0f})")
+    total_bits = profile.bits or 1
+    for kind, bits in sorted(profile.bits_by_type.items(),
+                             key=lambda kv: -kv[1]):
+        lines.append(f"  bits in {kind:<14s}: {bits:>8d} "
+                     f"({100 * bits / total_bits:.1f}%)")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,58 @@
+"""ASCII interval timelines.
+
+Renders each core's recorded intervals as horizontal spans on a shared
+time axis (interval *i* spans from the previous frame's timestamp to its
+own), optionally annotating the conflict edges that ordered them.  Useful
+for eyeballing why replay parallelism is high or low: long intervals with
+few cross-core edges parallelize; fine-grained ping-ponging serializes.
+"""
+
+from __future__ import annotations
+
+from ..recorder.logfmt import IntervalFrame, LogEntry
+
+__all__ = ["interval_spans", "render_timeline"]
+
+
+def interval_spans(entries: list[LogEntry]) -> list[tuple[int, int, int]]:
+    """Extract ``(cisn, start_timestamp, end_timestamp)`` spans per core.
+
+    The recorder stamps only termination times; an interval starts when its
+    predecessor ended (the first starts at 0).
+    """
+    spans = []
+    previous_end = 0
+    index = 0
+    for entry in entries:
+        if isinstance(entry, IntervalFrame):
+            spans.append((index, previous_end, entry.timestamp))
+            previous_end = entry.timestamp
+            index += 1
+    return spans
+
+
+def render_timeline(per_core_entries: list[list[LogEntry]], *,
+                    width: int = 72) -> str:
+    """Render all cores' interval spans on one scaled axis."""
+    all_spans = [interval_spans(entries) for entries in per_core_entries]
+    horizon = max((span[2] for spans in all_spans for span in spans),
+                  default=0)
+    if horizon == 0:
+        return "(no intervals)\n"
+
+    def column(timestamp: int) -> int:
+        return min(width - 1, timestamp * (width - 1) // horizon)
+
+    lines = [f"interval timeline (0 .. {horizon} cycles; each char ~ "
+             f"{max(1, horizon // width)} cycles; '|' = interval boundary)"]
+    for core_id, spans in enumerate(all_spans):
+        row = [" "] * width
+        for index, start, end in spans:
+            start_col = column(start)
+            end_col = max(column(end), start_col)
+            for col in range(start_col, end_col + 1):
+                row[col] = "-"
+            row[end_col] = "|"
+        lines.append(f"  core {core_id}: " + "".join(row) +
+                     f"  ({len(spans)} intervals)")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,12 @@
+"""Baseline recorders the paper compares against (Sections 5.2 and 6)."""
+
+from .chunk import ChunkStats, CoreRacerRecorder, SCChunkRecorder
+from .value_loggers import FDRPointwiseRecorder, RTRValueRecorder
+
+__all__ = [
+    "ChunkStats",
+    "CoreRacerRecorder",
+    "SCChunkRecorder",
+    "FDRPointwiseRecorder",
+    "RTRValueRecorder",
+]

@@ -1,0 +1,95 @@
+"""Bit-level serialization used by the interval-log format.
+
+The paper reports log sizes in *bits* per kilo-instruction (Figure 11), so
+the log encoder packs entries at bit granularity rather than rounding every
+field up to a byte.  :class:`BitWriter` and :class:`BitReader` implement a
+simple MSB-first bit stream with fixed-width unsigned fields, which is all
+the log format (Figure 6(c)) needs.
+"""
+
+from __future__ import annotations
+
+__all__ = ["BitWriter", "BitReader"]
+
+
+class BitWriter:
+    """Append-only MSB-first bit stream."""
+
+    __slots__ = ("_chunks", "_acc", "_acc_bits", "_total_bits")
+
+    def __init__(self) -> None:
+        self._chunks = bytearray()
+        self._acc = 0
+        self._acc_bits = 0
+        self._total_bits = 0
+
+    def write(self, value: int, width: int) -> None:
+        """Append ``value`` as an unsigned ``width``-bit field."""
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        if value < 0 or value >> width:
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        self._acc = (self._acc << width) | value
+        self._acc_bits += width
+        self._total_bits += width
+        while self._acc_bits >= 8:
+            self._acc_bits -= 8
+            self._chunks.append((self._acc >> self._acc_bits) & 0xFF)
+        self._acc &= (1 << self._acc_bits) - 1
+
+    @property
+    def bit_length(self) -> int:
+        """Exact number of bits written so far."""
+        return self._total_bits
+
+    def getvalue(self) -> bytes:
+        """Return the stream as bytes; the final partial byte is zero-padded."""
+        out = bytes(self._chunks)
+        if self._acc_bits:
+            out += bytes([(self._acc << (8 - self._acc_bits)) & 0xFF])
+        return out
+
+
+class BitReader:
+    """Sequential reader matching :class:`BitWriter`'s layout."""
+
+    __slots__ = ("_data", "_bit_pos", "_bit_len")
+
+    def __init__(self, data: bytes, bit_len: int | None = None):
+        self._data = data
+        self._bit_pos = 0
+        self._bit_len = len(data) * 8 if bit_len is None else bit_len
+        if self._bit_len > len(data) * 8:
+            raise ValueError("bit_len exceeds available data")
+
+    def read(self, width: int) -> int:
+        """Consume and return the next unsigned ``width``-bit field."""
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        if self._bit_pos + width > self._bit_len:
+            raise EOFError(
+                f"bit stream exhausted: need {width} bits at offset {self._bit_pos}, "
+                f"stream has {self._bit_len}")
+        value = 0
+        pos = self._bit_pos
+        remaining = width
+        while remaining:
+            byte = self._data[pos >> 3]
+            offset = pos & 7
+            take = min(8 - offset, remaining)
+            shift = 8 - offset - take
+            value = (value << take) | ((byte >> shift) & ((1 << take) - 1))
+            pos += take
+            remaining -= take
+        self._bit_pos = pos
+        return value
+
+    @property
+    def bits_remaining(self) -> int:
+        """Bits left before the stream (as delimited by ``bit_len``) ends."""
+        return self._bit_len - self._bit_pos
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every bit has been consumed."""
+        return self._bit_pos >= self._bit_len

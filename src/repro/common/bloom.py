@@ -1,0 +1,96 @@
+"""Bloom-filter address signatures.
+
+Chunk/interval-based memory race recorders summarise the addresses read and
+written by the current interval in Bloom-filter *signatures* (Section 2 of the
+paper).  The paper's configuration (Table 1) is "4 x 256-bit Bloom filters
+with H3 hash" per signature: four independent banks, each 256 bits wide with
+its own H3 hash function.  Inserting an address sets one bit in every bank;
+an address *may* be present only if its bit is set in every bank.
+
+Bloom filters never produce false negatives, so a conflicting coherence
+transaction is never missed; false positives merely terminate intervals
+early, which costs log space but not correctness.  Both properties are relied
+on by the recorder and checked by the test suite.
+"""
+
+from __future__ import annotations
+
+from .h3 import make_h3_family
+
+__all__ = ["BloomSignature"]
+
+
+class BloomSignature:
+    """A banked Bloom filter over (line) addresses.
+
+    Parameters
+    ----------
+    banks:
+        Number of independent hash banks (the paper uses 4).
+    bits_per_bank:
+        Width of each bank in bits; must be a power of two (the paper uses
+        256).
+    seed:
+        Seed selecting the H3 functions.  Recorders on different processors
+        share the same seed so their signatures are comparable, but any seed
+        yields a correct filter.
+    """
+
+    __slots__ = ("banks", "bits_per_bank", "_hashes", "_bank_bits", "_inserted")
+
+    def __init__(self, banks: int = 4, bits_per_bank: int = 256, *, seed: int = 0):
+        if banks <= 0:
+            raise ValueError(f"banks must be positive, got {banks}")
+        if bits_per_bank <= 0 or bits_per_bank & (bits_per_bank - 1):
+            raise ValueError(
+                f"bits_per_bank must be a positive power of two, got {bits_per_bank}")
+        self.banks = banks
+        self.bits_per_bank = bits_per_bank
+        out_bits = bits_per_bank.bit_length() - 1
+        self._hashes = make_h3_family(banks, out_bits, seed=seed)
+        # Each bank is an int used as a bitset; Python ints keep this compact.
+        self._bank_bits = [0] * banks
+        self._inserted = 0
+
+    def insert(self, address: int) -> None:
+        """Insert a line address into the signature."""
+        for index, h in enumerate(self._hashes):
+            self._bank_bits[index] |= 1 << h(address)
+        self._inserted += 1
+
+    def may_contain(self, address: int) -> bool:
+        """Membership test: ``False`` is definite, ``True`` may be a false positive."""
+        for index, h in enumerate(self._hashes):
+            if not self._bank_bits[index] >> h(address) & 1:
+                return False
+        return True
+
+    def clear(self) -> None:
+        """Empty the signature (done at every interval termination)."""
+        for index in range(self.banks):
+            self._bank_bits[index] = 0
+        self._inserted = 0
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no address has been inserted since the last :meth:`clear`."""
+        return not any(self._bank_bits)
+
+    @property
+    def inserted_count(self) -> int:
+        """Number of insertions since the last clear (including duplicates)."""
+        return self._inserted
+
+    @property
+    def size_bits(self) -> int:
+        """Total storage of the signature in bits (hardware cost)."""
+        return self.banks * self.bits_per_bank
+
+    def occupancy(self) -> float:
+        """Fraction of set bits across all banks — a saturation indicator."""
+        set_bits = sum(bits.bit_count() for bits in self._bank_bits)
+        return set_bits / (self.banks * self.bits_per_bank)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"BloomSignature(banks={self.banks}, bits_per_bank={self.bits_per_bank}, "
+                f"inserted={self._inserted})")

@@ -1,0 +1,307 @@
+"""Machine and recorder configuration.
+
+Defaults reproduce Table 1 of the paper ("Architectural parameters"): an
+8-core ring-based multicore with a MESI snoopy protocol, 4-way out-of-order
+cores with a 176-entry ROB and 2 Ld/St units, 64KB private L1s, a shared L2,
+and the RelaxReplay structures (4x256-bit H3 Bloom signatures, 176-entry
+TRAQ, 2x64x16-bit Snoop Table, 16-bit CISN).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from .errors import ConfigError
+
+__all__ = [
+    "CoherenceProtocol",
+    "ConsistencyModel",
+    "RecorderMode",
+    "CoreConfig",
+    "L1Config",
+    "L2Config",
+    "RingConfig",
+    "MemoryConfig",
+    "RecorderConfig",
+    "ReplayCostConfig",
+    "MachineConfig",
+]
+
+
+class ConsistencyModel(enum.Enum):
+    """Memory consistency model enforced by the core's issue logic.
+
+    ``SC``  — memory operations issue strictly in program order.
+    ``TSO`` — loads may bypass older pending stores (with forwarding); all
+              other pairs stay ordered; the write buffer drains FIFO.
+    ``RC``  — release consistency: loads and stores issue out of order
+              whenever their operands are ready, constrained only by
+              acquire/release/fence semantics and same-address ordering.
+    """
+
+    SC = "SC"
+    TSO = "TSO"
+    RC = "RC"
+
+
+class CoherenceProtocol(enum.Enum):
+    """Coherence substrate: snoopy broadcast ring (Table 1) or a MESI
+    directory (Section 4.3)."""
+
+    SNOOPY = "snoopy"
+    DIRECTORY = "directory"
+
+
+class RecorderMode(enum.Enum):
+    """Which RelaxReplay design the MRR implements (Section 3.2)."""
+
+    BASE = "base"  # no Snoop Table; PISN != CISN  =>  reordered
+    OPT = "opt"    # Snoop Table filters accesses nobody observed
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Out-of-order core parameters (Table 1, "Core")."""
+
+    issue_width: int = 4
+    rob_entries: int = 176
+    lsq_entries: int = 128
+    ldst_units: int = 2
+    write_buffer_entries: int = 16
+    alu_latency: int = 1
+    clock_ghz: float = 2.0
+
+    def validate(self) -> None:
+        for name in ("issue_width", "rob_entries", "lsq_entries", "ldst_units",
+                     "write_buffer_entries", "alu_latency"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"CoreConfig.{name} must be positive")
+        if self.clock_ghz <= 0:
+            raise ConfigError("CoreConfig.clock_ghz must be positive")
+
+
+@dataclass(frozen=True)
+class L1Config:
+    """Private L1 data cache (Table 1, "L1 Cache")."""
+
+    size_kb: int = 64
+    assoc: int = 4
+    line_bytes: int = 32
+    mshr_entries: int = 64
+    hit_cycles: int = 2
+
+    @property
+    def num_sets(self) -> int:
+        sets = self.size_kb * 1024 // (self.assoc * self.line_bytes)
+        return max(sets, 1)
+
+    def validate(self) -> None:
+        for name in ("size_kb", "assoc", "line_bytes", "mshr_entries", "hit_cycles"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"L1Config.{name} must be positive")
+        if self.line_bytes & (self.line_bytes - 1):
+            raise ConfigError("L1Config.line_bytes must be a power of two")
+        if self.size_kb * 1024 % (self.assoc * self.line_bytes):
+            raise ConfigError("L1 size must be divisible by assoc * line size")
+
+
+@dataclass(frozen=True)
+class L2Config:
+    """Shared L2 (Table 1, "L2 Cache"); modelled as an idealised backstop
+    with a fixed average round-trip latency."""
+
+    size_kb_per_core: int = 512
+    assoc: int = 16
+    line_bytes: int = 32
+    mshr_entries: int = 64
+    roundtrip_cycles: int = 12
+
+    def validate(self) -> None:
+        for name in ("size_kb_per_core", "assoc", "line_bytes",
+                     "mshr_entries", "roundtrip_cycles"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"L2Config.{name} must be positive")
+
+
+@dataclass(frozen=True)
+class RingConfig:
+    """Ring interconnect (Table 1, "Ring")."""
+
+    width_bytes: int = 32
+    hop_cycles: int = 1
+
+    def validate(self) -> None:
+        if self.width_bytes <= 0 or self.hop_cycles <= 0:
+            raise ConfigError("RingConfig fields must be positive")
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Main memory behind the L2 (Table 1, "Memory")."""
+
+    roundtrip_cycles: int = 150
+
+    def validate(self) -> None:
+        if self.roundtrip_cycles <= 0:
+            raise ConfigError("MemoryConfig.roundtrip_cycles must be positive")
+
+
+@dataclass(frozen=True)
+class RecorderConfig:
+    """RelaxReplay MRR parameters (Table 1, "RelaxReplay Parameters")."""
+
+    mode: RecorderMode = RecorderMode.OPT
+    # Read & write signatures: each 4 x 256-bit Bloom filters with H3 hash.
+    signature_banks: int = 4
+    signature_bits_per_bank: int = 256
+    # TRAQ: 176 entries.
+    traq_entries: int = 176
+    nmi_bits: int = 4
+    cisn_bits: int = 16
+    # Snoop Table (RelaxReplay_Opt only): 2 arrays, 64 entries each, 16-bit.
+    snoop_table_arrays: int = 2
+    snoop_table_entries: int = 64
+    snoop_table_counter_bits: int = 16
+    # Maximum interval size in instructions; None means unbounded ("INF").
+    max_interval_instructions: int | None = None
+    # Log buffer: 8 cache lines (used for the hardware-cost summary only).
+    log_buffer_lines: int = 8
+    # Conservative Snoop Table increment on dirty evictions (Section 4.3);
+    # required for directory protocols, optional under snoopy coherence.
+    dirty_eviction_snoop_increment: bool = False
+    # Conservatively terminate the current interval when an owned line
+    # whose address is in the current signatures is evicted.  Required
+    # under directory coherence, where the evicting core stops observing
+    # transactions on the line (this reproduction's interval-ordering
+    # adaptation of Section 4.3; see DESIGN.md).
+    dirty_eviction_terminates: bool = False
+
+    def validate(self) -> None:
+        for name in ("signature_banks", "signature_bits_per_bank", "traq_entries",
+                     "nmi_bits", "cisn_bits", "snoop_table_arrays",
+                     "snoop_table_entries", "snoop_table_counter_bits",
+                     "log_buffer_lines"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"RecorderConfig.{name} must be positive")
+        if self.max_interval_instructions is not None and self.max_interval_instructions <= 0:
+            raise ConfigError("max_interval_instructions must be positive or None")
+        if self.signature_bits_per_bank & (self.signature_bits_per_bank - 1):
+            raise ConfigError("signature_bits_per_bank must be a power of two")
+        if self.snoop_table_entries & (self.snoop_table_entries - 1):
+            raise ConfigError("snoop_table_entries must be a power of two")
+
+    @property
+    def max_nmi(self) -> int:
+        """Largest non-memory-instruction count one TRAQ entry can carry."""
+        return (1 << self.nmi_bits) - 1
+
+    def traq_entry_bytes(self) -> float:
+        """Per-entry TRAQ storage, following Section 5.1's accounting.
+
+        The paper's machine stores 32-bit addresses and values, giving
+        exactly 14.5B per entry for RelaxReplay_Opt (32 addr + 32 value +
+        16 PISN + 2x16 Snoop Count + 4 NMI = 116 bits) and 10.5B for Base
+        (84 bits) — i.e. the quoted 2.5KB / 1.8KB for a 176-entry TRAQ.
+        (The *simulated* log format carries 64-bit values, since this
+        reproduction's ISA is 64-bit; the hardware-cost model keeps the
+        paper's field widths so Table 1 derivations match.)
+        """
+        bits = 32 + 32 + self.cisn_bits + self.nmi_bits
+        if self.mode is RecorderMode.OPT:
+            bits += self.snoop_table_arrays * self.snoop_table_counter_bits
+        return bits / 8
+
+
+@dataclass(frozen=True)
+class ReplayCostConfig:
+    """Cost model for replay-time estimation (Section 5.4).
+
+    The paper replays sequentially with an OS module that enforces interval
+    order, programs a per-InorderBlock instruction-count interrupt, and
+    emulates reordered instructions.  These constants model those costs.
+
+    ``user_cpi`` is, by default, *relative*: native replay runs on the same
+    hardware as recording, so user cycles are modelled as ``instructions x
+    user_cpi x recorded-per-core-CPI`` (a single replaying core is slightly
+    faster per instruction than the contended recording, hence the default
+    0.75).  Set ``relative_user_cpi=False`` to interpret ``user_cpi`` as
+    absolute cycles per instruction.  The OS constants were calibrated so
+    the 8-core workload averages land near the paper's Figure 13 range
+    (Opt: 6.7x-8.5x recording; Base: 8.6x-26.2x) given this reproduction's
+    denser interval structure; see EXPERIMENTS.md.
+    """
+
+    user_cpi: float = 0.75
+    relative_user_cpi: bool = True
+    interval_dispatch_cycles: int = 50
+    inorder_block_interrupt_cycles: int = 20
+    block_flush_user_cycles: int = 5
+    reordered_load_cycles: int = 20
+    reordered_store_cycles: int = 40
+    dummy_entry_cycles: int = 30
+
+    def validate(self) -> None:
+        if self.user_cpi <= 0:
+            raise ConfigError("ReplayCostConfig.user_cpi must be positive")
+        for name in ("interval_dispatch_cycles", "inorder_block_interrupt_cycles",
+                     "block_flush_user_cycles", "reordered_load_cycles",
+                     "reordered_store_cycles", "dummy_entry_cycles"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"ReplayCostConfig.{name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Top-level machine description (the whole of Table 1)."""
+
+    num_cores: int = 8
+    consistency: ConsistencyModel = ConsistencyModel.RC
+    protocol: CoherenceProtocol = CoherenceProtocol.SNOOPY
+    core: CoreConfig = field(default_factory=CoreConfig)
+    l1: L1Config = field(default_factory=L1Config)
+    l2: L2Config = field(default_factory=L2Config)
+    ring: RingConfig = field(default_factory=RingConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    recorder: RecorderConfig = field(default_factory=RecorderConfig)
+    replay_cost: ReplayCostConfig = field(default_factory=ReplayCostConfig)
+    seed: int = 0
+
+    def validate(self) -> "MachineConfig":
+        if self.num_cores <= 0:
+            raise ConfigError("MachineConfig.num_cores must be positive")
+        self.core.validate()
+        self.l1.validate()
+        self.l2.validate()
+        self.ring.validate()
+        self.memory.validate()
+        self.recorder.validate()
+        self.replay_cost.validate()
+        if self.l1.line_bytes != self.l2.line_bytes:
+            raise ConfigError("L1 and L2 must use the same line size")
+        return self
+
+    def with_recorder(self, **changes) -> "MachineConfig":
+        """Return a copy with recorder fields replaced (sweep convenience)."""
+        return replace(self, recorder=replace(self.recorder, **changes))
+
+    def with_cores(self, num_cores: int) -> "MachineConfig":
+        """Return a copy with a different core count (scalability sweeps)."""
+        return replace(self, num_cores=num_cores)
+
+    def mrr_size_bytes(self) -> float:
+        """Per-processor MRR storage, mirroring Section 5.1's accounting.
+
+        The paper computes 2.3KB for RelaxReplay_Base (1.8KB of TRAQ) and
+        3.3KB for RelaxReplay_Opt (2.5KB of TRAQ).
+        """
+        rec = self.recorder
+        signatures = 2 * rec.signature_banks * rec.signature_bits_per_bank / 8
+        traq = rec.traq_entries * rec.traq_entry_bytes()
+        fixed = (64 + 32 + rec.cisn_bits) / 8  # global time, block size, CISN
+        log_buffer = rec.log_buffer_lines * self.l1.line_bytes
+        total = signatures + traq + fixed + log_buffer
+        if rec.mode is RecorderMode.OPT:
+            total += (rec.snoop_table_arrays * rec.snoop_table_entries
+                      * rec.snoop_table_counter_bits / 8)
+        return total

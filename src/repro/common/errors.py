@@ -1,0 +1,47 @@
+"""Exception hierarchy for the RelaxReplay reproduction."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "SimulationError",
+    "LogFormatError",
+    "ReplayDivergenceError",
+    "WorkloadError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid or inconsistent machine/recorder configuration."""
+
+
+class SimulationError(ReproError):
+    """Raised when the timing simulator reaches an impossible state.
+
+    These indicate bugs (e.g. a coherence invariant violation), never
+    legitimate workload behaviour, and are therefore not meant to be caught
+    by user code.
+    """
+
+
+class LogFormatError(ReproError):
+    """Raised when a recorded interval log cannot be parsed."""
+
+
+class ReplayDivergenceError(ReproError):
+    """Raised when deterministic replay diverges from the recorded execution.
+
+    The paper asserts RelaxReplay logs are sufficient for deterministic
+    replay; the replayer in this reproduction verifies that claim and raises
+    this error with a precise description of the first divergence if it ever
+    fails to hold.
+    """
+
+
+class WorkloadError(ReproError):
+    """Raised for malformed workload programs (e.g. a jump out of range)."""

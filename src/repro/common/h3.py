@@ -1,0 +1,82 @@
+"""H3 universal hash family.
+
+The H3 family hashes an ``n``-bit key to an ``m``-bit value by XOR-ing
+together per-bit random masks: ``h(x) = XOR over set bits i of x of Q[i]``,
+where ``Q`` is an ``n x m`` matrix of random ``m``-bit words.  It is the hash
+family the RelaxReplay paper uses for its Bloom-filter read/write signatures
+(Table 1: "4 x 256-bit Bloom filters with H3 hash") and is also used here for
+the Snoop Table of RelaxReplay_Opt.
+
+H3 is a good fit for hardware models because each hash is a tree of XOR
+gates, and for simulation because it is cheap, deterministic and has strong
+universality guarantees.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+__all__ = ["H3Hash", "make_h3_family"]
+
+_DEFAULT_KEY_BITS = 64
+
+
+class H3Hash:
+    """A single H3 hash function from ``key_bits``-bit keys to ``[0, 2**out_bits)``.
+
+    Instances are deterministic given ``(key_bits, out_bits, seed)``, so
+    simulations are reproducible run to run.
+    """
+
+    __slots__ = ("key_bits", "out_bits", "_matrix")
+
+    def __init__(self, out_bits: int, *, key_bits: int = _DEFAULT_KEY_BITS, seed: int = 0):
+        if out_bits <= 0:
+            raise ValueError(f"out_bits must be positive, got {out_bits}")
+        if key_bits <= 0:
+            raise ValueError(f"key_bits must be positive, got {key_bits}")
+        self.key_bits = key_bits
+        self.out_bits = out_bits
+        rng = random.Random((seed << 16) ^ (out_bits << 8) ^ key_bits)
+        mask = (1 << out_bits) - 1
+        # One random out_bits-wide mask per input bit.
+        self._matrix = tuple(rng.getrandbits(out_bits) & mask for _ in range(key_bits))
+
+    def __call__(self, key: int) -> int:
+        """Hash ``key`` (negative keys are rejected; wider keys are truncated)."""
+        if key < 0:
+            raise ValueError(f"H3 keys must be non-negative, got {key}")
+        key &= (1 << self.key_bits) - 1
+        acc = 0
+        matrix = self._matrix
+        i = 0
+        while key:
+            if key & 1:
+                acc ^= matrix[i]
+            key >>= 1
+            i += 1
+        return acc
+
+    @property
+    def range_size(self) -> int:
+        """Number of distinct output values (``2**out_bits``)."""
+        return 1 << self.out_bits
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"H3Hash(key_bits={self.key_bits}, out_bits={self.out_bits})"
+
+
+def make_h3_family(count: int, out_bits: int, *, key_bits: int = _DEFAULT_KEY_BITS,
+                   seed: int = 0) -> Sequence[H3Hash]:
+    """Create ``count`` independent H3 functions with distinct derived seeds.
+
+    Used wherever the paper calls for "a different hash function for each
+    array" (Snoop Table, Figure 8) or one hash per Bloom-filter bank.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    return tuple(
+        H3Hash(out_bits, key_bits=key_bits, seed=seed * 7919 + index + 1)
+        for index in range(count)
+    )

@@ -1,0 +1,118 @@
+"""Light-weight statistics helpers used by the simulator and the harness."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["OnlineStats", "Histogram", "geometric_mean", "ratio"]
+
+
+class OnlineStats:
+    """Streaming count/mean/min/max/variance accumulator (Welford)."""
+
+    __slots__ = ("count", "_mean", "_m2", "minimum", "maximum", "total")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self.total = 0.0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / self.count if self.count else 0.0
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "OnlineStats") -> None:
+        """Fold ``other`` into ``self`` (parallel Welford merge)."""
+        if not other.count:
+            return
+        if not self.count:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            self.total = other.total
+            return
+        combined = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / combined
+        self._mean += delta * other.count / combined
+        self.count = combined
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"OnlineStats(count={self.count}, mean={self.mean:.4g}, "
+                f"min={self.minimum:.4g}, max={self.maximum:.4g})")
+
+
+@dataclass
+class Histogram:
+    """Fixed-width binned histogram (Figure 12(b)'s TRAQ occupancy bins)."""
+
+    bin_width: int = 10
+    counts: dict[int, int] = field(default_factory=dict)
+    samples: int = 0
+
+    def add(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"Histogram values must be non-negative, got {value}")
+        bin_index = int(value) // self.bin_width
+        self.counts[bin_index] = self.counts.get(bin_index, 0) + 1
+        self.samples += 1
+
+    def fraction(self, bin_index: int) -> float:
+        """Fraction of samples falling in ``[bin*width, (bin+1)*width)``."""
+        if not self.samples:
+            return 0.0
+        return self.counts.get(bin_index, 0) / self.samples
+
+    def fractions(self) -> dict[int, float]:
+        """All non-empty bins as ``{bin_index: fraction}``, sorted by bin."""
+        return {index: count / self.samples
+                for index, count in sorted(self.counts.items())} if self.samples else {}
+
+    def cumulative_fraction(self, upto_value: float) -> float:
+        """Fraction of samples with value < ``upto_value`` (bin-resolution)."""
+        if not self.samples:
+            return 0.0
+        limit = int(upto_value) // self.bin_width
+        return sum(count for index, count in self.counts.items() if index < limit) / self.samples
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean; zero inputs are clamped to a tiny epsilon."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric_mean of empty sequence")
+    log_sum = sum(math.log(max(value, 1e-12)) for value in values)
+    return math.exp(log_sum / len(values))
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """Safe division: returns 0.0 for a zero denominator."""
+    return numerator / denominator if denominator else 0.0

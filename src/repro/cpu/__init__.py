@@ -1,0 +1,7 @@
+"""Out-of-order core model with pluggable consistency policies."""
+
+from .consistency import IssuePolicy
+from .core import Core, CoreEventSink
+from .dynops import DynInstr
+
+__all__ = ["IssuePolicy", "Core", "CoreEventSink", "DynInstr"]

@@ -1,0 +1,101 @@
+"""Memory-consistency issue policies (SC, TSO, RC).
+
+The policy decides *when a memory access may be exposed to the coherence
+subsystem*; everything else about the core is model-independent.  The rules
+implemented here are deliberately the textbook hardware interpretations:
+
+``SC``
+    An access issues only when it is the oldest unperformed memory access of
+    its core — memory operations reach coherence in program order.  No
+    store-to-load forwarding (the older store has always performed first).
+
+``TSO``
+    Loads issue in program order with respect to other loads, and may bypass
+    older pending stores; a load to the address of a pending store must take
+    the store's value (forwarding).  Stores drain from the write buffer in
+    FIFO order, one outstanding store at a time.
+
+``RC``
+    Loads and stores issue whenever their operands are ready, subject only
+    to: same-address program order, acquire/fence barriers (nothing younger
+    issues until the barrier completes), release semantics (a release store
+    or RMW waits for all older accesses to perform), and conservative
+    disambiguation (a load waits until all older store addresses are known).
+
+All three policies additionally respect FENCE/acquire barriers; under SC and
+TSO the barriers are usually subsumed by the base ordering rules.
+"""
+
+from __future__ import annotations
+
+from ..common.config import ConsistencyModel
+from .dynops import DynInstr
+
+__all__ = ["IssuePolicy"]
+
+
+class IssuePolicy:
+    """Model-dependent issue predicates, evaluated against core state.
+
+    The core exposes three ordering oracles, kept incrementally:
+
+    * ``oldest_unperformed_mem_seq()`` — seq of the oldest memory access not
+      yet performed (or a sentinel larger than any seq);
+    * ``oldest_unperformed_load_seq()`` / ``oldest_unperformed_store_seq()``
+      — same, restricted to load-like / store-like accesses;
+    * ``has_barrier_older_than(seq)`` — an uncleared acquire/fence/RMW older
+      than ``seq`` exists.
+    """
+
+    def __init__(self, model: ConsistencyModel, core):
+        self.model = model
+        self.core = core
+
+    # ----------------------------------------------------------- loads
+
+    def may_issue_load(self, dyn: DynInstr) -> bool:
+        """May this load (plain or acquire) be issued/forwarded now?"""
+        core = self.core
+        if core.has_barrier_older_than(dyn.seq):
+            return False
+        if self.model is ConsistencyModel.SC:
+            return core.oldest_unperformed_mem_seq() >= dyn.seq
+        if self.model is ConsistencyModel.TSO:
+            return core.oldest_unperformed_load_seq() >= dyn.seq
+        return True  # RC
+
+    def allows_forwarding(self) -> bool:
+        """Store-to-load forwarding is meaningful only when loads may bypass
+        pending stores, i.e. under TSO and RC."""
+        return self.model is not ConsistencyModel.SC
+
+    # ---------------------------------------------------------- stores
+
+    def may_issue_store(self, dyn: DynInstr) -> bool:
+        """May this retired, write-buffered store merge with memory now?
+
+        Barriers need no re-check here: in-order retirement guarantees that
+        every older acquire/fence/RMW completed before this store entered
+        the write buffer.
+        """
+        core = self.core
+        if self.model is ConsistencyModel.SC:
+            return core.oldest_unperformed_mem_seq() >= dyn.seq
+        if self.model is ConsistencyModel.TSO:
+            return core.oldest_unperformed_store_seq() >= dyn.seq
+        # RC: same-word FIFO within the write buffer; release stores wait
+        # for all older stores (older loads performed before retirement).
+        if dyn.instr.release:
+            return core.oldest_unperformed_store_seq() >= dyn.seq
+        return not core.has_older_unperformed_store_to(dyn)
+
+    # ------------------------------------------------------------ RMWs
+
+    def may_issue_rmw(self, dyn: DynInstr) -> bool:
+        """RMWs carry acquire+release semantics under every model: they wait
+        for all older accesses and (as registered barriers) block younger
+        ones until they perform."""
+        core = self.core
+        if core.has_barrier_older_than(dyn.seq):
+            return False
+        return core.oldest_unperformed_mem_seq() >= dyn.seq

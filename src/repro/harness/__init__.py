@@ -1,0 +1,35 @@
+"""Experiment harness: regenerates every table and figure of Section 5."""
+
+from .figures import (
+    baseline_log_comparison,
+    fig1_ooo_fractions,
+    fig9_reordered_fractions,
+    fig10_inorder_blocks,
+    fig11_log_sizes,
+    fig12_traq_utilization,
+    fig13_replay_times,
+    fig14_scalability,
+    recording_overhead,
+    table1_parameters,
+)
+from .report import format_table, render_all
+from .runner import VARIANT_ORDER, VARIANTS, ExperimentRunner, default_scale
+
+__all__ = [
+    "baseline_log_comparison",
+    "fig1_ooo_fractions",
+    "fig9_reordered_fractions",
+    "fig10_inorder_blocks",
+    "fig11_log_sizes",
+    "fig12_traq_utilization",
+    "fig13_replay_times",
+    "fig14_scalability",
+    "recording_overhead",
+    "table1_parameters",
+    "format_table",
+    "render_all",
+    "VARIANT_ORDER",
+    "VARIANTS",
+    "ExperimentRunner",
+    "default_scale",
+]

@@ -1,0 +1,97 @@
+"""Regenerate every experiment from the command line.
+
+Usage::
+
+    python -m repro.harness [--scale S] [--seed N] [--cores N]
+                            [--experiments fig1,fig9,...] [--out FILE]
+
+Runs the selected experiments (default: all) and prints the paper-style
+tables; ``--out`` additionally writes them to a file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import figures
+from .report import render_all
+from .runner import ExperimentRunner
+
+_EXPERIMENTS = {
+    "table1": lambda runner, cores: figures.table1_parameters(),
+    "fig1": lambda runner, cores: figures.fig1_ooo_fractions(runner,
+                                                             cores=cores),
+    "fig9": lambda runner, cores: figures.fig9_reordered_fractions(
+        runner, cores=cores),
+    "fig10": lambda runner, cores: figures.fig10_inorder_blocks(runner,
+                                                                cores=cores),
+    "fig11": lambda runner, cores: figures.fig11_log_sizes(runner,
+                                                           cores=cores),
+    "fig12": lambda runner, cores: figures.fig12_traq_utilization(
+        runner, cores=cores),
+    "fig13": lambda runner, cores: figures.fig13_replay_times(runner,
+                                                              cores=cores),
+    "fig14": lambda runner, cores: figures.fig14_scalability(runner),
+    "baselines": lambda runner, cores: figures.baseline_log_comparison(
+        runner, cores=cores),
+    "overhead": lambda runner, cores: figures.recording_overhead(
+        runner, cores=cores),
+    "litmus": lambda runner, cores: _litmus_matrix(),
+}
+
+
+def _litmus_matrix() -> dict:
+    from repro.common.config import ConsistencyModel
+    from repro.workloads.litmus import LITMUS_TESTS, run_litmus
+
+    out = {}
+    for name, test in LITMUS_TESTS.items():
+        out[name] = {}
+        for model in ConsistencyModel:
+            result = run_litmus(test, model)
+            out[name][model.value] = {
+                "observed": sorted(result.observed),
+                "violations": sorted(result.violations),
+            }
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.harness",
+                                     description=__doc__)
+    parser.add_argument("--scale", type=float, default=None,
+                        help="work scale (default: REPRO_SCALE env or 1.0)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--cores", type=int, default=8)
+    parser.add_argument("--experiments", default="all",
+                        help="comma-separated subset of: "
+                             + ",".join(_EXPERIMENTS))
+    parser.add_argument("--out", default=None, help="also write to this file")
+    args = parser.parse_args(argv)
+
+    names = (list(_EXPERIMENTS) if args.experiments == "all"
+             else [name.strip() for name in args.experiments.split(",")])
+    unknown = [name for name in names if name not in _EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)}")
+
+    runner = ExperimentRunner(seed=args.seed, scale=args.scale)
+    results = {}
+    for name in names:
+        started = time.time()
+        results[name] = _EXPERIMENTS[name](runner, args.cores)
+        print(f"[{name}] computed in {time.time() - started:.1f}s",
+              file=sys.stderr)
+
+    text = render_all(results)
+    print(text)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

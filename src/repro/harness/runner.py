@@ -1,0 +1,123 @@
+"""Shared experiment runner with run caching.
+
+Every figure of Section 5 is computed from the same small set of recorded
+executions (12 workloads x {4, 8, 16} cores); recording is by far the
+expensive step, so the runner memoizes :class:`~repro.sim.machine.RunResult`
+objects by (workload, cores, scale, seed, consistency).  All four recorder
+variants (Base/Opt x 4K/INF) — plus a smaller 512-instruction cap used to
+expose interval-size sensitivity at reproduction scale — observe each
+execution simultaneously, which is sound because recording is passive.
+
+The work scale can be set globally with the ``REPRO_SCALE`` environment
+variable (default 1.0); smaller values make the benchmark suite faster at
+the cost of noisier statistics.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..baselines import (
+    CoreRacerRecorder,
+    FDRPointwiseRecorder,
+    RTRValueRecorder,
+    SCChunkRecorder,
+)
+from ..common.config import (
+    ConsistencyModel,
+    MachineConfig,
+    RecorderConfig,
+    RecorderMode,
+)
+from ..sim import Machine, RunResult
+from ..workloads import WORKLOAD_NAMES, build_workload
+
+__all__ = ["VARIANTS", "VARIANT_ORDER", "ExperimentRunner", "default_scale"]
+
+#: The recorder variants every recorded execution carries.
+VARIANTS: dict[str, RecorderConfig] = {
+    "base_4k": RecorderConfig(mode=RecorderMode.BASE,
+                              max_interval_instructions=4096),
+    "base_inf": RecorderConfig(mode=RecorderMode.BASE),
+    "base_512": RecorderConfig(mode=RecorderMode.BASE,
+                               max_interval_instructions=512),
+    "opt_4k": RecorderConfig(mode=RecorderMode.OPT,
+                             max_interval_instructions=4096),
+    "opt_inf": RecorderConfig(mode=RecorderMode.OPT),
+    "opt_512": RecorderConfig(mode=RecorderMode.OPT,
+                              max_interval_instructions=512),
+}
+
+#: Paper ordering: Base then Opt, 4K then INF (512 is reproduction-extra).
+VARIANT_ORDER = ("base_4k", "base_inf", "opt_4k", "opt_inf")
+
+
+def default_scale() -> float:
+    """Work scale for harness runs (``REPRO_SCALE`` env override)."""
+    return float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+def _baseline_factory(cls):
+    return lambda core_id, config: cls(core_id, config.recorder,
+                                       config.l1.line_bytes, seed=config.seed)
+
+
+@dataclass(frozen=True)
+class RunKey:
+    workload: str
+    cores: int
+    scale: float
+    seed: int
+    consistency: ConsistencyModel
+    with_baselines: bool
+
+
+class ExperimentRunner:
+    """Memoizing front-end over :class:`~repro.sim.machine.Machine`."""
+
+    def __init__(self, *, seed: int = 1, scale: float | None = None,
+                 workloads: tuple[str, ...] | None = None):
+        self.seed = seed
+        self.scale = default_scale() if scale is None else scale
+        self._workloads = tuple(workloads) if workloads else WORKLOAD_NAMES
+        self._cache: dict[RunKey, RunResult] = {}
+
+    @property
+    def workloads(self) -> tuple[str, ...]:
+        return self._workloads
+
+    def record(self, workload: str, *, cores: int = 8,
+               consistency: ConsistencyModel = ConsistencyModel.RC,
+               with_baselines: bool = False) -> RunResult:
+        """Record ``workload`` once (cached) with all recorder variants."""
+        key = RunKey(workload, cores, self.scale, self.seed, consistency,
+                     with_baselines)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+
+        program = build_workload(workload, num_threads=cores,
+                                 scale=self.scale, seed=self.seed)
+        config = MachineConfig(num_cores=cores, consistency=consistency,
+                               seed=self.seed)
+        machine = Machine(config, VARIANTS)
+        baseline_factories = None
+        if with_baselines:
+            if consistency is ConsistencyModel.SC:
+                baseline_factories = {
+                    "sc_chunk": _baseline_factory(SCChunkRecorder),
+                    "fdr": _baseline_factory(FDRPointwiseRecorder),
+                }
+            elif consistency is ConsistencyModel.TSO:
+                baseline_factories = {
+                    "coreracer": _baseline_factory(CoreRacerRecorder),
+                    "rtr": _baseline_factory(RTRValueRecorder),
+                }
+        result = machine.run(program, baseline_factories=baseline_factories)
+        self._cache[key] = result
+        return result
+
+    def record_all(self, *, cores: int = 8) -> dict[str, RunResult]:
+        """Record every workload at ``cores`` cores (the Section 5 default)."""
+        return {name: self.record(name, cores=cores) for name in self.workloads}

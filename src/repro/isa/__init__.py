@@ -1,0 +1,26 @@
+"""Tiny RISC-like ISA: instructions, programs and a builder DSL."""
+
+from .builder import ThreadBuilder
+from .instructions import (
+    MASK64,
+    NUM_REGS,
+    WORD_BYTES,
+    AluOp,
+    Instruction,
+    Opcode,
+    RmwOp,
+)
+from .program import Program, ThreadProgram
+
+__all__ = [
+    "ThreadBuilder",
+    "MASK64",
+    "NUM_REGS",
+    "WORD_BYTES",
+    "AluOp",
+    "Instruction",
+    "Opcode",
+    "RmwOp",
+    "Program",
+    "ThreadProgram",
+]

@@ -1,0 +1,63 @@
+"""Functional semantics shared by the timing simulator and the replayer.
+
+Both the out-of-order core model (at perform/execute time) and the
+deterministic replayer (during in-order re-execution) evaluate instructions
+with these helpers, so a divergence between recording and replay can never
+be an artifact of two different interpreters.
+"""
+
+from __future__ import annotations
+
+from .instructions import MASK64, AluOp, RmwOp
+
+__all__ = ["eval_alu", "eval_rmw"]
+
+
+def eval_alu(op: AluOp, a: int, b: int) -> int:
+    """Evaluate a 64-bit wrapping ALU operation."""
+    if op is AluOp.ADD:
+        result = a + b
+    elif op is AluOp.SUB:
+        result = a - b
+    elif op is AluOp.MUL:
+        result = a * b
+    elif op is AluOp.XOR:
+        result = a ^ b
+    elif op is AluOp.AND:
+        result = a & b
+    elif op is AluOp.OR:
+        result = a | b
+    elif op is AluOp.SHL:
+        result = a << (b & 63)
+    elif op is AluOp.SHR:
+        result = (a & MASK64) >> (b & 63)
+    elif op is AluOp.CMPLT:
+        result = 1 if (a & MASK64) < (b & MASK64) else 0
+    elif op is AluOp.CMPEQ:
+        result = 1 if (a & MASK64) == (b & MASK64) else 0
+    else:  # pragma: no cover - enum is exhaustive
+        raise ValueError(f"unknown ALU op {op}")
+    return result & MASK64
+
+
+def eval_rmw(op: RmwOp, old: int, operand: int | None, imm: int | None) -> int:
+    """Return the new memory value of an atomic read-modify-write.
+
+    The caller supplies the old memory value and receives the value to
+    store; the architectural result (``dst`` register) is always ``old``.
+    """
+    if op is RmwOp.TAS:
+        return 1
+    if op is RmwOp.FETCH_ADD:
+        if operand is None:
+            raise ValueError("FETCH_ADD requires an operand register value")
+        return (old + operand) & MASK64
+    if op is RmwOp.SWAP:
+        if operand is None:
+            raise ValueError("SWAP requires an operand register value")
+        return operand & MASK64
+    if op is RmwOp.CAS:
+        if operand is None or imm is None:
+            raise ValueError("CAS requires an operand register value and an immediate")
+        return operand & MASK64 if (old & MASK64) == (imm & MASK64) else old & MASK64
+    raise ValueError(f"unknown RMW op {op}")  # pragma: no cover

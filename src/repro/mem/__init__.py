@@ -1,0 +1,23 @@
+"""Memory substrate: MESI snoopy coherence over a ring, L1s, functional image."""
+
+from .bus import CoherenceListener, SnoopyRingBus
+from .cache import CacheLine, L1Cache
+from .coherence import BusTransaction, MesiState, SnoopEvent, TransactionKind
+from .directory import DirectoryEntry, DirectoryRingBus
+from .memsys import MemOp, MemOpKind, MemorySystem
+
+__all__ = [
+    "CoherenceListener",
+    "SnoopyRingBus",
+    "CacheLine",
+    "L1Cache",
+    "BusTransaction",
+    "DirectoryEntry",
+    "DirectoryRingBus",
+    "MesiState",
+    "SnoopEvent",
+    "TransactionKind",
+    "MemOp",
+    "MemOpKind",
+    "MemorySystem",
+]

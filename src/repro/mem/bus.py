@@ -1,0 +1,176 @@
+"""Snoopy bus over a ring: serialization point of the coherence protocol.
+
+The bus commits at most one transaction per cycle, in FIFO order, after a
+small fixed arbitration delay.  A commit is atomic: every other cache snoops
+(downgrading or invalidating its copy), the requester's line fills, and all
+registered listeners (the per-core MRR modules and metric collectors)
+observe the transaction at the same cycle.  This is what makes the machine
+write-atomic.
+
+The ring topology contributes timing only: cache-to-cache data returns pay a
+per-hop latency proportional to the ring distance between owner and
+requester.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Protocol
+
+from ..common.config import MachineConfig
+from .cache import L1Cache
+from .coherence import BusTransaction, MesiState, SnoopEvent, TransactionKind
+
+__all__ = ["CoherenceListener", "SnoopyRingBus"]
+
+# Cycles between a request being enqueued and its earliest possible commit
+# (request traversal + arbitration on the ring).
+_ARBITRATION_DELAY = 3
+# Fixed component of a cache-to-cache transfer, on top of per-hop latency.
+_C2C_BASE_LATENCY = 4
+# Latency of a data-less upgrade acknowledgment.
+_UPGRADE_ACK_LATENCY = 2
+
+
+class CoherenceListener(Protocol):
+    """Observer of committed coherence traffic (the MRR's memory-side input)."""
+
+    def on_transaction(self, event: SnoopEvent) -> None:
+        """Called once per committed transaction, for every core's listener."""
+
+    def on_dirty_eviction(self, cycle: int, core_id: int, line_addr: int) -> None:
+        """Called when ``core_id`` evicts a dirty line (Section 4.3 support)."""
+
+
+class SnoopyRingBus:
+    """FIFO-arbitrated snoopy bus shared by all L1 caches."""
+
+    def __init__(self, config: MachineConfig, caches: list[L1Cache]):
+        self.config = config
+        self.caches = caches
+        self.num_cores = len(caches)
+        self._queue: deque[BusTransaction] = deque()
+        self._pending_by_line: dict[tuple[int, int], BusTransaction] = {}
+        self._listeners: list[CoherenceListener] = []
+        # Lines resident in the shared L2 (warm after first transaction).
+        self._l2_present: set[int] = set()
+        # Statistics.
+        self.committed = 0
+        self.committed_by_kind = {kind: 0 for kind in TransactionKind}
+
+    def add_listener(self, listener: CoherenceListener) -> None:
+        self._listeners.append(listener)
+
+    # ----------------------------------------------------------- requests
+
+    def pending_for(self, core_id: int, line_addr: int) -> BusTransaction | None:
+        """The core's queued transaction for a line, for MSHR merging."""
+        return self._pending_by_line.get((core_id, line_addr))
+
+    def pending_count(self, core_id: int) -> int:
+        """Number of outstanding transactions for a core (MSHR pressure)."""
+        return sum(1 for (cid, _unused) in self._pending_by_line if cid == core_id)
+
+    def enqueue(self, transaction: BusTransaction) -> None:
+        key = (transaction.requester, transaction.line_addr)
+        assert key not in self._pending_by_line, "caller must merge via pending_for"
+        self._queue.append(transaction)
+        self._pending_by_line[key] = transaction
+
+    # ------------------------------------------------------------- commit
+
+    def tick(self, cycle: int) -> bool:
+        """Commit the transaction at the head of the queue, if it is due.
+
+        Returns True when a transaction committed this cycle.
+        """
+        if not self._queue:
+            return False
+        head = self._queue[0]
+        if cycle < head.enqueue_cycle + _ARBITRATION_DELAY:
+            return False
+        self._queue.popleft()
+        del self._pending_by_line[(head.requester, head.line_addr)]
+        self._commit(head, cycle)
+        return True
+
+    def _commit(self, transaction: BusTransaction, cycle: int) -> None:
+        requester_cache = self.caches[transaction.requester]
+        line_addr = transaction.line_addr
+        kind = transaction.kind
+
+        # An UPGRADE whose local copy was invalidated while queued must
+        # fetch data like a GETM.
+        if (kind is TransactionKind.UPGRADE
+                and not requester_cache.lookup(line_addr).can_read):
+            kind = TransactionKind.GETM
+
+        # Snoop every other cache; note ownership for data sourcing.
+        owner: int | None = None
+        other_sharer = False
+        for cache in self.caches:
+            if cache.core_id == transaction.requester:
+                continue
+            state_before = cache.lookup(line_addr)
+            if cache.snoop(line_addr, kind.is_write):
+                other_sharer = True
+                if state_before in (MesiState.MODIFIED, MesiState.EXCLUSIVE):
+                    owner = cache.core_id
+
+        data_ready = cycle + self._data_latency(transaction.requester, kind,
+                                                line_addr, owner)
+
+        # Fill/upgrade the requester's line.
+        if kind is TransactionKind.UPGRADE:
+            requester_cache.set_state(line_addr, MesiState.MODIFIED)
+            requester_cache.touch(line_addr)
+        else:
+            if kind is TransactionKind.GETM:
+                new_state = MesiState.MODIFIED
+            else:
+                new_state = MesiState.SHARED if other_sharer else MesiState.EXCLUSIVE
+            victim = requester_cache.fill(line_addr, new_state)
+            if victim is not None and victim.state is MesiState.MODIFIED:
+                self._l2_present.add(victim.line_addr)
+                for listener in self._listeners:
+                    listener.on_dirty_eviction(cycle, transaction.requester,
+                                               victim.line_addr)
+
+        self._l2_present.add(line_addr)
+        self.committed += 1
+        self.committed_by_kind[transaction.kind] += 1
+
+        # Everyone observes the committed transaction at this cycle.
+        event = SnoopEvent(cycle=cycle, requester=transaction.requester,
+                           line_addr=line_addr, is_write=kind.is_write)
+        for listener in self._listeners:
+            listener.on_transaction(event)
+
+        # Wake the memory operations waiting on this transaction.
+        for waiter in transaction.waiters:
+            waiter(cycle, data_ready)
+
+    def _data_latency(self, requester: int, kind: TransactionKind,
+                      line_addr: int, owner: int | None) -> int:
+        if kind is TransactionKind.UPGRADE:
+            return _UPGRADE_ACK_LATENCY
+        if owner is not None:
+            hops = self._ring_distance(owner, requester)
+            return _C2C_BASE_LATENCY + hops * self.config.ring.hop_cycles
+        if line_addr in self._l2_present:
+            return self.config.l2.roundtrip_cycles
+        return self.config.memory.roundtrip_cycles
+
+    def _ring_distance(self, a: int, b: int) -> int:
+        forward = (b - a) % self.num_cores
+        return min(forward, self.num_cores - forward)
+
+    @property
+    def idle(self) -> bool:
+        return not self._queue
+
+    def next_commit_cycle(self) -> int | None:
+        """Earliest cycle the head transaction can commit (fast-forwarding)."""
+        if not self._queue:
+            return None
+        return self._queue[0].enqueue_cycle + _ARBITRATION_DELAY

@@ -1,0 +1,130 @@
+"""Set-associative L1 cache model (tags + MESI state + LRU only).
+
+Data is *not* stored in the cache: the machine keeps a single functional
+memory image that is updated at the instant an access performs (its
+coherence-order point), which is observationally equivalent under write
+atomicity and keeps the model simple and fast.  The cache tracks what a real
+L1 tracks for coherence purposes: which lines are present, in what MESI
+state, and which victim an allocation replaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.config import L1Config
+from ..common.errors import SimulationError
+from .coherence import MesiState
+
+__all__ = ["CacheLine", "L1Cache"]
+
+
+@dataclass
+class CacheLine:
+    """One resident tag."""
+
+    line_addr: int
+    state: MesiState
+    last_use: int = 0
+
+
+class L1Cache:
+    """Private per-core L1 with LRU replacement.
+
+    ``line_addr`` everywhere is the line-aligned *line index* space used by
+    the memory system (byte address divided by the line size).
+    """
+
+    def __init__(self, config: L1Config, core_id: int):
+        self.config = config
+        self.core_id = core_id
+        self.num_sets = config.num_sets
+        self.assoc = config.assoc
+        # set index -> {line_addr: CacheLine}
+        self._sets: list[dict[int, CacheLine]] = [dict() for _ in range(self.num_sets)]
+        self._use_clock = 0
+        # Statistics.
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.dirty_evictions = 0
+
+    def _set_index(self, line_addr: int) -> int:
+        return line_addr % self.num_sets
+
+    def lookup(self, line_addr: int) -> MesiState:
+        """Current MESI state of a line (INVALID if absent)."""
+        line = self._sets[self._set_index(line_addr)].get(line_addr)
+        return line.state if line else MesiState.INVALID
+
+    def touch(self, line_addr: int) -> None:
+        """Mark a line most-recently-used."""
+        line = self._sets[self._set_index(line_addr)].get(line_addr)
+        if line:
+            self._use_clock += 1
+            line.last_use = self._use_clock
+
+    def set_state(self, line_addr: int, state: MesiState) -> None:
+        """Change the state of a *resident* line; INVALID removes it."""
+        entries = self._sets[self._set_index(line_addr)]
+        if state is MesiState.INVALID:
+            entries.pop(line_addr, None)
+            return
+        line = entries.get(line_addr)
+        if line is None:
+            raise SimulationError(
+                f"core {self.core_id}: set_state on non-resident line {line_addr:#x}")
+        line.state = state
+
+    def fill(self, line_addr: int, state: MesiState) -> CacheLine | None:
+        """Allocate (or update) a line in ``state``.
+
+        Returns the evicted :class:`CacheLine` when an *owned* (M or E)
+        line had to be victimized — the coherence substrate must know about
+        those (writeback under snoopy; ownership release at a directory).
+        Shared-line evictions are silent (their data is already in the
+        functional image, and a directory's stale sharer bit is harmless).
+        """
+        entries = self._sets[self._set_index(line_addr)]
+        self._use_clock += 1
+        existing = entries.get(line_addr)
+        if existing is not None:
+            existing.state = state
+            existing.last_use = self._use_clock
+            return None
+        owned_victim = None
+        if len(entries) >= self.assoc:
+            victim_addr, victim = min(entries.items(), key=lambda kv: kv[1].last_use)
+            del entries[victim_addr]
+            self.evictions += 1
+            if victim.state is MesiState.MODIFIED:
+                self.dirty_evictions += 1
+                owned_victim = victim
+            elif victim.state is MesiState.EXCLUSIVE:
+                owned_victim = victim
+        entries[line_addr] = CacheLine(line_addr, state, self._use_clock)
+        return owned_victim
+
+    def snoop(self, line_addr: int, is_write: bool) -> bool:
+        """Apply a remote transaction's effect; returns True if we had the line.
+
+        A remote read (GetS) downgrades M/E to S; a remote write (GetM or
+        Upgrade) invalidates.  The return value tells the bus whether this
+        cache could have supplied the data (owner intervention).
+        """
+        entries = self._sets[self._set_index(line_addr)]
+        line = entries.get(line_addr)
+        if line is None:
+            return False
+        if is_write:
+            del entries[line_addr]
+        elif line.state in (MesiState.MODIFIED, MesiState.EXCLUSIVE):
+            line.state = MesiState.SHARED
+        return True
+
+    def resident_lines(self) -> list[CacheLine]:
+        """All resident lines (diagnostics and invariant checks)."""
+        return [line for entries in self._sets for line in entries.values()]
+
+    def occupancy(self) -> int:
+        return sum(len(entries) for entries in self._sets)

@@ -1,0 +1,92 @@
+"""MESI coherence protocol types.
+
+The simulated machine uses a MESI snoopy protocol over a ring, as in the
+paper's Table 1.  Transactions are serialized by the bus (one commit per
+cycle), and a committing transaction's effects — state downgrades in every
+other cache and the requester's fill — are applied atomically at the commit
+cycle.  That construction gives *write atomicity* (a write becomes visible to
+every processor at a single instant, and writes to a line are serialized),
+which is the only property of the memory subsystem RelaxReplay's
+Observation 1 requires.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["MesiState", "TransactionKind", "BusTransaction", "SnoopEvent"]
+
+
+class MesiState(enum.Enum):
+    """Per-line cache state."""
+
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+    @property
+    def can_read(self) -> bool:
+        return self is not MesiState.INVALID
+
+    @property
+    def can_write(self) -> bool:
+        return self in (MesiState.MODIFIED, MesiState.EXCLUSIVE)
+
+
+class TransactionKind(enum.Enum):
+    """Bus transaction kinds.
+
+    ``GETS`` — read request (fill in S, or E if no other sharer).
+    ``GETM`` — read-for-ownership (fill in M, invalidate others).
+    ``UPGRADE`` — S->M permission request; behaves as GETM if the requester
+    lost its copy while the request was queued.
+    """
+
+    GETS = "GetS"
+    GETM = "GetM"
+    UPGRADE = "Upg"
+
+    @property
+    def is_write(self) -> bool:
+        return self in (TransactionKind.GETM, TransactionKind.UPGRADE)
+
+
+@dataclass
+class BusTransaction:
+    """A queued coherence request.
+
+    ``waiters`` are callbacks ``(commit_cycle, data_ready_cycle) -> None``
+    invoked when the transaction commits; MSHR merging appends additional
+    waiters to an already-queued transaction.  ``kind`` may be escalated
+    (GETS -> GETM) while the transaction is still queued, which models MSHR
+    read/write merging.
+    """
+
+    requester: int
+    kind: TransactionKind
+    line_addr: int
+    enqueue_cycle: int
+    waiters: list[Callable[[int, int], None]] = field(default_factory=list)
+
+    def escalate_to_getm(self) -> None:
+        """Upgrade a queued read request to a read-for-ownership."""
+        if self.kind is TransactionKind.GETS:
+            self.kind = TransactionKind.GETM
+
+
+@dataclass(frozen=True)
+class SnoopEvent:
+    """A committed transaction as observed by a (non-requesting) processor.
+
+    This is the "memory system signal" input to the MRR module in the
+    paper's Figure 6(a): the Snoop Table and the interval signatures consume
+    exactly this stream.
+    """
+
+    cycle: int
+    requester: int
+    line_addr: int
+    is_write: bool

@@ -1,0 +1,181 @@
+"""Directory-based MESI coherence (Section 4.3 support).
+
+RelaxReplay's event-tracking hardware is protocol-agnostic; the paper's
+Section 4.3 explains what changes when the machine uses a directory instead
+of snoopy broadcast: a core no longer observes *all* coherence traffic —
+only the transactions the directory forwards to it (because it owns or
+shares the line) — and once a dirty line leaves a cache, that cache loses
+its ability to observe conflicting transactions on it.  The paper's fix is
+a conservative Snoop Table increment on dirty evictions.  Section 5.5
+further predicts that directory coherence lowers the growth of reordered
+fractions and log rates with core count, because each core sees far less
+traffic (fewer Snoop Table and signature false positives).
+
+This module models a ring-based MESI directory with those observable
+properties:
+
+* a per-line directory entry (owner + sharer set) at a home node
+  (``line % num_cores``); the commit is still a single atomic serialization
+  point per cycle, so write atomicity is preserved;
+* committed transactions are delivered **only** to the cores the directory
+  involves (owner and sharers), not broadcast;
+* silent shared-line evictions leave stale sharer bits (such cores keep
+  receiving — harmless — invalidations, exactly like real sparse
+  directories); owned-line (M/E) evictions update the directory and are
+  reported to the evicting core's recorder, which must then both bump its
+  Snoop Table (Section 4.3) and conservatively close its interval if the
+  line is in its current signatures (the directory will not forward future
+  transactions on that line to us, so unrecorded conflicts could otherwise
+  slip by).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..common.config import MachineConfig
+from .bus import SnoopyRingBus, _C2C_BASE_LATENCY, _UPGRADE_ACK_LATENCY
+from .cache import L1Cache
+from .coherence import BusTransaction, MesiState, SnoopEvent, TransactionKind
+
+__all__ = ["DirectoryEntry", "DirectoryRingBus"]
+
+# Latency of the requester->home hop processing (lookup etc.).
+_DIRECTORY_LOOKUP_LATENCY = 2
+# Extra latency when the directory must invalidate sharers before granting M.
+_INVALIDATION_LATENCY = 2
+
+
+@dataclass
+class DirectoryEntry:
+    """Sharer tracking for one line at its home node."""
+
+    owner: int | None = None
+    sharers: set[int] = field(default_factory=set)
+
+    def involved_cores(self) -> set[int]:
+        cores = set(self.sharers)
+        if self.owner is not None:
+            cores.add(self.owner)
+        return cores
+
+
+class DirectoryRingBus(SnoopyRingBus):
+    """Directory protocol sharing the snoopy bus's serialization machinery.
+
+    Only `_commit` differs: state changes and notifications are driven by
+    the directory entry instead of broadcast snooping.
+    """
+
+    def __init__(self, config: MachineConfig, caches: list[L1Cache]):
+        super().__init__(config, caches)
+        self._directory: dict[int, DirectoryEntry] = {}
+
+    def entry(self, line_addr: int) -> DirectoryEntry:
+        entry = self._directory.get(line_addr)
+        if entry is None:
+            entry = self._directory[line_addr] = DirectoryEntry()
+        return entry
+
+    def home_of(self, line_addr: int) -> int:
+        return line_addr % self.num_cores
+
+    # ------------------------------------------------------------- commit
+
+    def _commit(self, transaction: BusTransaction, cycle: int) -> None:
+        requester = transaction.requester
+        requester_cache = self.caches[requester]
+        line_addr = transaction.line_addr
+        kind = transaction.kind
+        entry = self.entry(line_addr)
+
+        if (kind is TransactionKind.UPGRADE
+                and not requester_cache.lookup(line_addr).can_read):
+            kind = TransactionKind.GETM
+
+        # The cores the directory involves in this transaction.  Stale
+        # sharer bits (from silent S evictions) are notified too — their
+        # caches simply no longer hold the line.
+        notified = entry.involved_cores() - {requester}
+        owner = entry.owner if entry.owner != requester else None
+        # Latency must reflect the pre-snoop state (who can supply data).
+        owner_supplies = (owner is not None
+                          and self.caches[owner].lookup(line_addr).can_read)
+        data_ready = cycle + self._directory_latency(
+            requester, kind, line_addr, owner if owner_supplies else None,
+            bool(notified))
+
+        for core_id in sorted(notified):
+            self.caches[core_id].snoop(line_addr, kind.is_write)
+
+        # Update the directory and the requester's cache.
+        if kind is TransactionKind.UPGRADE:
+            requester_cache.set_state(line_addr, MesiState.MODIFIED)
+            requester_cache.touch(line_addr)
+            entry.owner = requester
+            entry.sharers.clear()
+        else:
+            if kind is TransactionKind.GETM:
+                new_state = MesiState.MODIFIED
+                entry.owner = requester
+                entry.sharers.clear()
+            else:
+                other_holder = bool(notified)
+                new_state = (MesiState.SHARED if other_holder
+                             else MesiState.EXCLUSIVE)
+                if entry.owner is not None:
+                    # Owner downgraded to sharer by the snoop above.
+                    entry.sharers.add(entry.owner)
+                    entry.owner = None
+                if new_state is MesiState.EXCLUSIVE:
+                    entry.owner = requester
+                else:
+                    entry.sharers.add(requester)
+            victim = requester_cache.fill(line_addr, new_state)
+            if victim is not None:
+                self._release_ownership(cycle, requester, victim)
+
+        self._l2_present.add(line_addr)
+        self.committed += 1
+        self.committed_by_kind[transaction.kind] += 1
+
+        # Only involved cores observe the transaction (the crucial
+        # difference from snoopy broadcast, Sections 4.3 / 5.5).
+        event = SnoopEvent(cycle=cycle, requester=requester,
+                           line_addr=line_addr, is_write=kind.is_write)
+        for listener in self._listeners:
+            core_id = getattr(listener, "core_id", None)
+            if core_id is None or core_id in notified:
+                listener.on_transaction(event)
+
+        for waiter in transaction.waiters:
+            waiter(cycle, data_ready)
+
+    def _release_ownership(self, cycle: int, core_id: int, victim) -> None:
+        """An owned (M/E) line left a cache: writeback/ownership release."""
+        entry = self.entry(victim.line_addr)
+        if entry.owner == core_id:
+            entry.owner = None
+        entry.sharers.discard(core_id)
+        self._l2_present.add(victim.line_addr)
+        for listener in self._listeners:
+            listener.on_dirty_eviction(cycle, core_id, victim.line_addr)
+
+    def _directory_latency(self, requester: int, kind: TransactionKind,
+                           line_addr: int, owner: int | None,
+                           had_holders: bool) -> int:
+        home_hops = self._ring_distance(requester, self.home_of(line_addr))
+        base = home_hops * self.config.ring.hop_cycles \
+            + _DIRECTORY_LOOKUP_LATENCY
+        if kind is TransactionKind.UPGRADE:
+            return base + _UPGRADE_ACK_LATENCY
+        if owner is not None:
+            forward = self._ring_distance(self.home_of(line_addr), owner)
+            back = self._ring_distance(owner, requester)
+            return base + _C2C_BASE_LATENCY \
+                + (forward + back) * self.config.ring.hop_cycles
+        invalidation = _INVALIDATION_LATENCY if (had_holders
+                                                 and kind.is_write) else 0
+        if line_addr in self._l2_present:
+            return base + self.config.l2.roundtrip_cycles + invalidation
+        return base + self.config.memory.roundtrip_cycles + invalidation

@@ -1,0 +1,194 @@
+"""Interval-log format (Figure 6(c)) with bit-exact encoding.
+
+A per-core log is a sequence of entries; each interval's entries are
+followed by its ``IntervalFrame``, which carries the (wrapping) CISN and the
+QuickRec-style global timestamp used for interval ordering.  Entry types:
+
+``InorderBlock``
+    A run of consecutive instructions (memory *and* non-memory, thanks to
+    the NMI mechanism) to be replayed natively in program order.
+``ReorderedLoad``
+    The next instruction in program order is a load whose perform event
+    could not be moved to its counting event; its recorded value is
+    injected at replay.
+``ReorderedStore``
+    Likewise for a store: the address/value written plus the ``offset`` (in
+    intervals) back to the interval where it performed.  A patching pass
+    moves the memory update there and leaves a ``Dummy`` at the counting
+    position.
+``ReorderedRmw``
+    Extension for atomic read-modify-writes (the paper's mechanism applied
+    to RMWs): records the old value (register result), the new memory
+    value, the address, and the perform-interval offset.
+``Dummy``
+    Post-patching placeholder: skip one instruction (PC advance only).
+    Never produced by the recorder itself.
+
+Sizes are reported in *bits* because Figure 11 measures bits per
+kilo-instruction of uncompressed log.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..common.bits import BitReader, BitWriter
+from ..common.config import RecorderConfig
+from ..common.errors import LogFormatError
+
+__all__ = [
+    "EntryType",
+    "InorderBlock",
+    "ReorderedLoad",
+    "ReorderedStore",
+    "ReorderedRmw",
+    "Dummy",
+    "IntervalFrame",
+    "LogEntry",
+    "entry_bit_size",
+    "encode_log",
+    "decode_log",
+]
+
+_TYPE_BITS = 3
+_BLOCK_BITS = 32
+_VALUE_BITS = 64
+_ADDR_BITS = 64
+_OFFSET_BITS = 16
+_TIMESTAMP_BITS = 64
+
+
+class EntryType(enum.IntEnum):
+    """On-disk type tags of the interval-log entries (3 bits)."""
+
+    INORDER_BLOCK = 0
+    REORDERED_LOAD = 1
+    REORDERED_STORE = 2
+    REORDERED_RMW = 3
+    DUMMY = 4
+    INTERVAL_FRAME = 5
+
+
+@dataclass(frozen=True)
+class InorderBlock:
+    size: int  # total instructions (not just memory accesses)
+
+
+@dataclass(frozen=True)
+class ReorderedLoad:
+    value: int
+
+
+@dataclass(frozen=True)
+class ReorderedStore:
+    addr: int
+    value: int
+    offset: int  # intervals between perform and counting
+
+
+@dataclass(frozen=True)
+class ReorderedRmw:
+    old_value: int   # architectural result (dst register)
+    new_value: int   # value left in memory
+    addr: int
+    offset: int
+
+
+@dataclass(frozen=True)
+class Dummy:
+    """Skip one instruction (its memory effect was patched elsewhere)."""
+
+
+@dataclass(frozen=True)
+class IntervalFrame:
+    cisn: int        # wrapping interval sequence number
+    timestamp: int   # global-clock cycle of interval termination (QuickRec)
+
+
+LogEntry = (InorderBlock | ReorderedLoad | ReorderedStore | ReorderedRmw
+            | Dummy | IntervalFrame)
+
+
+def entry_bit_size(entry: LogEntry, config: RecorderConfig) -> int:
+    """Uncompressed size of one entry in bits."""
+    if isinstance(entry, InorderBlock):
+        return _TYPE_BITS + _BLOCK_BITS
+    if isinstance(entry, ReorderedLoad):
+        return _TYPE_BITS + _VALUE_BITS
+    if isinstance(entry, ReorderedStore):
+        return _TYPE_BITS + _ADDR_BITS + _VALUE_BITS + _OFFSET_BITS
+    if isinstance(entry, ReorderedRmw):
+        return _TYPE_BITS + _ADDR_BITS + 2 * _VALUE_BITS + _OFFSET_BITS
+    if isinstance(entry, Dummy):
+        return _TYPE_BITS
+    if isinstance(entry, IntervalFrame):
+        return _TYPE_BITS + config.cisn_bits + _TIMESTAMP_BITS
+    raise LogFormatError(f"unknown log entry {entry!r}")
+
+
+def encode_log(entries, config: RecorderConfig) -> tuple[bytes, int]:
+    """Serialize entries to a bit stream; returns ``(data, bit_length)``."""
+    writer = BitWriter()
+    cisn_mask = (1 << config.cisn_bits) - 1
+    for entry in entries:
+        if isinstance(entry, InorderBlock):
+            writer.write(EntryType.INORDER_BLOCK, _TYPE_BITS)
+            writer.write(entry.size, _BLOCK_BITS)
+        elif isinstance(entry, ReorderedLoad):
+            writer.write(EntryType.REORDERED_LOAD, _TYPE_BITS)
+            writer.write(entry.value, _VALUE_BITS)
+        elif isinstance(entry, ReorderedStore):
+            writer.write(EntryType.REORDERED_STORE, _TYPE_BITS)
+            writer.write(entry.addr, _ADDR_BITS)
+            writer.write(entry.value, _VALUE_BITS)
+            writer.write(entry.offset, _OFFSET_BITS)
+        elif isinstance(entry, ReorderedRmw):
+            writer.write(EntryType.REORDERED_RMW, _TYPE_BITS)
+            writer.write(entry.old_value, _VALUE_BITS)
+            writer.write(entry.new_value, _VALUE_BITS)
+            writer.write(entry.addr, _ADDR_BITS)
+            writer.write(entry.offset, _OFFSET_BITS)
+        elif isinstance(entry, Dummy):
+            writer.write(EntryType.DUMMY, _TYPE_BITS)
+        elif isinstance(entry, IntervalFrame):
+            writer.write(EntryType.INTERVAL_FRAME, _TYPE_BITS)
+            writer.write(entry.cisn & cisn_mask, config.cisn_bits)
+            writer.write(entry.timestamp, _TIMESTAMP_BITS)
+        else:
+            raise LogFormatError(f"cannot encode {entry!r}")
+    return writer.getvalue(), writer.bit_length
+
+
+def decode_log(data: bytes, bit_length: int, config: RecorderConfig) -> list[LogEntry]:
+    """Parse a bit stream produced by :func:`encode_log`."""
+    reader = BitReader(data, bit_length)
+    entries: list[LogEntry] = []
+    while not reader.exhausted:
+        try:
+            kind = EntryType(reader.read(_TYPE_BITS))
+        except ValueError as exc:
+            raise LogFormatError(f"bad entry type near bit "
+                                 f"{bit_length - reader.bits_remaining}") from exc
+        if kind is EntryType.INORDER_BLOCK:
+            entries.append(InorderBlock(reader.read(_BLOCK_BITS)))
+        elif kind is EntryType.REORDERED_LOAD:
+            entries.append(ReorderedLoad(reader.read(_VALUE_BITS)))
+        elif kind is EntryType.REORDERED_STORE:
+            addr = reader.read(_ADDR_BITS)
+            value = reader.read(_VALUE_BITS)
+            offset = reader.read(_OFFSET_BITS)
+            entries.append(ReorderedStore(addr, value, offset))
+        elif kind is EntryType.REORDERED_RMW:
+            old = reader.read(_VALUE_BITS)
+            new = reader.read(_VALUE_BITS)
+            addr = reader.read(_ADDR_BITS)
+            offset = reader.read(_OFFSET_BITS)
+            entries.append(ReorderedRmw(old, new, addr, offset))
+        elif kind is EntryType.DUMMY:
+            entries.append(Dummy())
+        else:
+            cisn = reader.read(config.cisn_bits)
+            timestamp = reader.read(_TIMESTAMP_BITS)
+            entries.append(IntervalFrame(cisn, timestamp))
+    return entries

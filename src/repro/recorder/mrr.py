@@ -1,0 +1,304 @@
+"""The per-processor Memory Race Recorder (Sections 3 and 4, Figure 6).
+
+:class:`RelaxReplayRecorder` consumes a core's perform/counting events and
+the bus's snoop stream, forms intervals (QuickRec-style scalar-timestamp
+ordering: an interval terminates when an incoming coherence transaction
+conflicts with its read/write signatures, or when the configured maximum
+interval size is reached), and emits the interval log of Figure 6(c).
+
+The recorder is *passive*: several variants (Base/Opt x 4K/INF) can observe
+the same execution simultaneously, which is how the evaluation sweeps are
+run.  Each variant keeps its own CISN stream, signatures, Snoop Table and
+per-entry PISN / Snoop Count metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..common.bloom import BloomSignature
+from ..common.config import RecorderConfig, RecorderMode
+from ..common.errors import SimulationError
+from ..cpu.dynops import DynInstr
+from ..isa.instructions import Opcode
+from ..isa.semantics import eval_rmw
+from ..mem.coherence import SnoopEvent
+from .logfmt import (
+    InorderBlock,
+    IntervalFrame,
+    LogEntry,
+    ReorderedLoad,
+    ReorderedRmw,
+    ReorderedStore,
+    entry_bit_size,
+)
+from .snoop_table import SnoopTable
+from .traq import TraqEntry
+
+__all__ = ["RecorderStats", "RelaxReplayRecorder"]
+
+
+@dataclass
+class RecorderStats:
+    """Aggregate counters for the evaluation figures."""
+
+    mem_counted: int = 0
+    instructions_counted: int = 0
+    inorder_mem: int = 0
+    moved_across_intervals: int = 0   # Opt: perform moved past >=1 boundary
+    reordered_loads: int = 0
+    reordered_stores: int = 0
+    reordered_rmws: int = 0
+    inorder_blocks: int = 0
+    frames: int = 0
+    log_bits: int = 0
+    conflict_terminations: int = 0
+    size_terminations: int = 0
+    eviction_terminations: int = 0
+    entry_bits_by_type: dict[str, int] = field(default_factory=dict)
+    # Line address -> number of conflicting incoming transactions that
+    # terminated an interval because of it (contention hot spots).
+    conflict_lines: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def reordered_total(self) -> int:
+        return self.reordered_loads + self.reordered_stores + self.reordered_rmws
+
+    @property
+    def reordered_fraction(self) -> float:
+        return self.reordered_total / self.mem_counted if self.mem_counted else 0.0
+
+    def bits_per_kilo_instruction(self) -> float:
+        if not self.instructions_counted:
+            return 0.0
+        return self.log_bits * 1000.0 / self.instructions_counted
+
+
+class RelaxReplayRecorder:
+    """One recorder variant attached to one core."""
+
+    def __init__(self, core_id: int, config: RecorderConfig, line_bytes: int,
+                 *, seed: int = 0, name: str | None = None,
+                 dependence_tracker=None):
+        config.validate()
+        self.core_id = core_id
+        self.config = config
+        self.line_bytes = line_bytes
+        # Optional Cyrus-style pairwise ordering (repro.recorder.ordering):
+        # when set, conflict-driven terminations record an interval edge to
+        # the requester's current interval, enabling parallel replay.
+        self.dependence_tracker = dependence_tracker
+        if dependence_tracker is not None:
+            dependence_tracker.register(core_id, self)
+        cap = config.max_interval_instructions
+        self.name = name or (
+            f"{config.mode.value}_{'INF' if cap is None else str(cap)}")
+
+        self.read_sig = BloomSignature(config.signature_banks,
+                                       config.signature_bits_per_bank, seed=seed)
+        self.write_sig = BloomSignature(config.signature_banks,
+                                        config.signature_bits_per_bank, seed=seed)
+        self.snoop_table = (SnoopTable(config, seed=seed)
+                            if config.mode is RecorderMode.OPT else None)
+
+        self.cisn = 0                      # full (unwrapped) interval number
+        self.block_size = 0                # Current InorderBlock Size count
+        self.counted_in_interval = 0       # instructions counted this interval
+        self.performs_in_interval = 0
+        self.entries_in_interval = 0
+        self.entries: list[LogEntry] = []
+        self.stats = RecorderStats()
+
+        # Per-in-flight-instruction recorder state (the PISN and Snoop Count
+        # fields of the TRAQ entry, Figure 6(b)), keyed by dynamic seq.
+        self._pisn: dict[int, int] = {}
+        self._snoop_sample: dict[int, tuple[int, ...]] = {}
+        # Patch-target clamping (reproduction refinement, see DESIGN.md):
+        # line -> count-interval of the latest access whose perform event was
+        # *moved* across interval boundaries.  A younger same-line store
+        # patched to an interval before that point would replay before the
+        # moved access — inverting same-processor same-address order — so
+        # reordered stores clamp their effective perform interval to it.
+        self._moved_line_cisn: dict[int, int] = {}
+
+    # ---------------------------------------------------- core-side events
+
+    def on_perform(self, dyn: DynInstr, cycle: int, out_of_order: bool) -> None:
+        """Record the perform event: stamp PISN, sample the Snoop Table and
+        insert the line address into the interval signatures."""
+        del out_of_order  # metric collectors use it; the recorder does not
+        line = dyn.addr // self.line_bytes
+        self._pisn[dyn.seq] = self.cisn
+        if self.snoop_table is not None:
+            self._snoop_sample[dyn.seq] = self.snoop_table.sample(line)
+        self._insert_signature(dyn, line)
+        self.performs_in_interval += 1
+
+    def _insert_signature(self, dyn: DynInstr, line: int) -> None:
+        if dyn.opcode is Opcode.LOAD:
+            self.read_sig.insert(line)
+        elif dyn.opcode is Opcode.STORE:
+            self.write_sig.insert(line)
+        else:  # RMW reads and writes
+            self.read_sig.insert(line)
+            self.write_sig.insert(line)
+
+    def on_count(self, entry: TraqEntry, cycle: int) -> None:
+        """The in-order counting step (Section 3.3): classify the entry as
+        in-order or reordered and extend the interval log accordingly."""
+        if entry.is_filler:
+            self.block_size += entry.nmi
+            self.counted_in_interval += entry.nmi
+            self.stats.instructions_counted += entry.nmi
+            self._check_size_cap(cycle)
+            return
+
+        dyn = entry.dyn
+        pisn = self._pisn.pop(dyn.seq)
+        snapshot = (self._snoop_sample.pop(dyn.seq, None)
+                    if self.snoop_table is not None else None)
+        line = dyn.addr // self.line_bytes
+
+        reordered = False
+        if pisn != self.cisn:
+            if self.snoop_table is None:
+                reordered = True  # RelaxReplay_Base
+            elif self.snoop_table.conflicts_since(line, snapshot):
+                reordered = True
+            else:
+                # Perform event moved across interval boundaries: the access
+                # now belongs to the current interval, so its address joins
+                # the current signatures (Section 4.2) and later same-line
+                # patched stores may not land before this interval.
+                self._insert_signature(dyn, line)
+                self._moved_line_cisn[line] = self.cisn
+                self.stats.moved_across_intervals += 1
+
+        self.stats.mem_counted += 1
+        self.stats.instructions_counted += entry.nmi + 1
+        self.counted_in_interval += entry.nmi + 1
+
+        if not reordered:
+            self.stats.inorder_mem += 1
+            self.block_size += entry.nmi + 1
+        else:
+            self.block_size += entry.nmi
+            self._flush_block()
+            self._append(self._reordered_entry(dyn, pisn))
+        self._check_size_cap(cycle)
+
+    def _reordered_entry(self, dyn: DynInstr, pisn: int) -> LogEntry:
+        if dyn.opcode is Opcode.LOAD:
+            self.stats.reordered_loads += 1
+            return ReorderedLoad(dyn.mem_value)
+        # Stores/RMWs are patched back `offset` intervals during replay.
+        # Clamp the target so the relocated write never jumps over a moved
+        # same-line access counted earlier (which replays in its counting
+        # interval but performed *before* this store).  Clamping is safe:
+        # the first remote access to observe this store's value necessarily
+        # arrived after that moved access was counted (or the Snoop Table
+        # would have caught it), hence after the clamped interval terminated.
+        line = dyn.addr // self.line_bytes
+        effective_pisn = max(pisn, self._moved_line_cisn.get(line, -1))
+        offset = self.cisn - effective_pisn
+        if offset >= (1 << 16):
+            raise SimulationError(
+                f"reordered-store offset {offset} overflows the log field")
+        if dyn.opcode is Opcode.STORE:
+            self.stats.reordered_stores += 1
+            return ReorderedStore(dyn.addr, dyn.source_value("data"), offset)
+        self.stats.reordered_rmws += 1
+        new_value = eval_rmw(dyn.instr.rmw_op, dyn.mem_value,
+                             dyn.src_values.get("data"), dyn.instr.imm)
+        return ReorderedRmw(dyn.mem_value, new_value, dyn.addr, offset)
+
+    # --------------------------------------------------- bus-side events
+
+    def on_transaction(self, event: SnoopEvent) -> None:
+        """Observe a committed coherence transaction: update the Snoop
+        Table and terminate the interval on a signature conflict."""
+        if event.requester == self.core_id:
+            return
+        if self.dependence_tracker is not None:
+            # Weak ordering edge: the requester follows everything this
+            # processor already closed (see DependenceTracker).
+            self.dependence_tracker.record_observation(
+                self.core_id, self.cisn - 1, event.requester)
+        if self.snoop_table is not None:
+            self.snoop_table.observe(event.line_addr)
+        conflict = self.write_sig.may_contain(event.line_addr)
+        if not conflict and event.is_write:
+            conflict = self.read_sig.may_contain(event.line_addr)
+        if conflict:
+            self.stats.conflict_terminations += 1
+            lines = self.stats.conflict_lines
+            lines[event.line_addr] = lines.get(event.line_addr, 0) + 1
+            if self.dependence_tracker is not None:
+                # The terminating interval is the dependence *source*; the
+                # requester's access performs into its current interval.
+                self.dependence_tracker.record_conflict(
+                    self.core_id, self.cisn, event.requester)
+            self._terminate_interval(event.cycle)
+
+    def on_dirty_eviction(self, cycle: int, core_id: int, line_addr: int) -> None:
+        """Section 4.3: conservatively account for an owned-line eviction
+        (Snoop Table bump and, in directory mode, interval closure)."""
+        if core_id != self.core_id:
+            return
+        if (self.snoop_table is not None
+                and self.config.dirty_eviction_snoop_increment):
+            self.snoop_table.observe(line_addr)
+        if self.config.dirty_eviction_terminates and (
+                self.read_sig.may_contain(line_addr)
+                or self.write_sig.may_contain(line_addr)):
+            # Directory mode: we can no longer observe conflicts on this
+            # line, so close the interval now — any future access to it is
+            # thereby ordered after us.
+            self.stats.eviction_terminations += 1
+            self._terminate_interval(cycle)
+
+    # -------------------------------------------------- interval handling
+
+    def _check_size_cap(self, cycle: int) -> None:
+        cap = self.config.max_interval_instructions
+        if cap is not None and self.counted_in_interval >= cap:
+            self.stats.size_terminations += 1
+            self._terminate_interval(cycle)
+
+    def _terminate_interval(self, cycle: int) -> None:
+        self._flush_block()
+        if self.entries_in_interval == 0 and self.performs_in_interval == 0:
+            # Nothing happened: no ordering obligation, keep CISN stable so
+            # logged frames stay consecutive.
+            return
+        self._append(IntervalFrame(self.cisn, cycle))
+        self.stats.frames += 1
+        self.cisn += 1
+        self.read_sig.clear()
+        self.write_sig.clear()
+        self.counted_in_interval = 0
+        self.performs_in_interval = 0
+        self.entries_in_interval = 0
+
+    def _flush_block(self) -> None:
+        if self.block_size > 0:
+            self._append(InorderBlock(self.block_size))
+            self.stats.inorder_blocks += 1
+            self.block_size = 0
+
+    def _append(self, entry: LogEntry) -> None:
+        self.entries.append(entry)
+        self.entries_in_interval += 1
+        bits = entry_bit_size(entry, self.config)
+        self.stats.log_bits += bits
+        kind = type(entry).__name__
+        by_type = self.stats.entry_bits_by_type
+        by_type[kind] = by_type.get(kind, 0) + bits
+
+    def finish(self, cycle: int) -> None:
+        """Terminate the final interval at the end of execution."""
+        if self._pisn:
+            raise SimulationError(
+                f"recorder {self.name} core {self.core_id}: "
+                f"{len(self._pisn)} accesses performed but never counted")
+        self._terminate_interval(cycle)

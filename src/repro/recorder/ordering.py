@@ -1,0 +1,102 @@
+"""Interval-ordering schemes (Section 3.6 / Figure 7).
+
+RelaxReplay's event-tracking mechanism composes with *any* chunk-based
+interval-ordering scheme.  Two are implemented:
+
+``QuickRec`` (the paper's evaluation default, Section 4.1)
+    A globally-consistent scalar timestamp — the global cycle count at
+    interval termination — recorded in each IntervalFrame.  Replay follows
+    the total order (timestamp, core id).  Simple, but serializes replay.
+
+``Cyrus``-style pairwise ordering (this module)
+    When an incoming coherence transaction conflicts with the local
+    interval, the *source* interval (the one being terminated) records a
+    dependence edge to the requester's *current* interval — in hardware the
+    requester's interval id rides on the coherence reply; in this model the
+    recorder group provides it.  The resulting interval DAG admits parallel
+    replay: an interval may start once its predecessors finished, so
+    independent intervals of different cores replay concurrently
+    (Section 2.1's third advantage; exploited by
+    :mod:`repro.replay.parallel`).
+
+Edges are conservative over-approximations of the true dependences (Bloom
+false positives add edges, never remove them), so any topological execution
+of the DAG reproduces the recorded execution — which the parallel
+replayer's verification checks end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["IntervalEdge", "DependenceTracker"]
+
+
+@dataclass(frozen=True)
+class IntervalEdge:
+    """``(src_core, src_cisn)`` must replay before ``(dst_core, dst_cisn)``."""
+
+    src_core: int
+    src_cisn: int
+    dst_core: int
+    dst_cisn: int
+
+
+@dataclass
+class DependenceTracker:
+    """Collects the pairwise edges of one recorder variant across cores.
+
+    The :class:`~repro.sim.machine.Machine` registers every per-core
+    recorder of a variant with the same tracker; when core ``s`` terminates
+    an interval because of a conflicting transaction from requester ``r``,
+    it calls :meth:`record_conflict` and the tracker snapshots ``r``'s
+    current interval number — exactly the information a real implementation
+    piggybacks on the coherence message.
+    """
+
+    recorders: dict[int, object] = field(default_factory=dict)
+    edges: list[IntervalEdge] = field(default_factory=list)
+    _seen: set[tuple[int, int, int, int]] = field(default_factory=set)
+
+    def register(self, core_id: int, recorder) -> None:
+        self.recorders[core_id] = recorder
+
+    def _add(self, src_core: int, src_cisn: int, dst_core: int,
+             dst_cisn: int) -> None:
+        if src_cisn < 0 or src_core == dst_core:
+            return
+        key = (src_core, src_cisn, dst_core, dst_cisn)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.edges.append(IntervalEdge(src_core, src_cisn,
+                                       dst_core, dst_cisn))
+
+    def record_conflict(self, src_core: int, src_cisn: int,
+                        dst_core: int) -> None:
+        """The interval ``(src_core, src_cisn)`` was terminated by a
+        conflicting request from ``dst_core``: a strong dependence edge."""
+        destination = self.recorders.get(dst_core)
+        if destination is None:
+            return
+        self._add(src_core, src_cisn, dst_core, destination.cisn)
+
+    def record_observation(self, observer_core: int, last_terminated: int,
+                           dst_core: int) -> None:
+        """A *weak* edge: the requester's current interval is ordered after
+        every interval the observer has already terminated.
+
+        This supplies the transitivity the scalar-timestamp total order
+        provides for free: a dependence whose source access lives in an
+        already-terminated interval (its signature long cleared) raises no
+        conflict at the destination's request, yet the destination must
+        still replay after it.  In hardware, this is the predecessor
+        information Cyrus piggybacks on every coherence response.
+        """
+        destination = self.recorders.get(dst_core)
+        if destination is None:
+            return
+        self._add(observer_core, last_terminated, dst_core, destination.cisn)
+
+    def edges_for(self) -> list[IntervalEdge]:
+        return list(self.edges)

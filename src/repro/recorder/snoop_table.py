@@ -1,0 +1,63 @@
+"""The Snoop Table of RelaxReplay_Opt (Section 4.2, Figure 8).
+
+Two (configurably more) arrays of wrapping counters, each indexed by a
+different H3 hash of the snooped line address.  When the processor observes
+a coherence transaction, both counters increment.  A memory access samples
+its two counters at *perform* time; at *counting* time the counters are
+read again: if **all** of them changed, some transaction may have conflicted
+with the access's address between the two events and the access is declared
+reordered.  If none — or only some, which can only be aliasing — changed,
+the perform event is safely moved to the counting event.
+
+This check is conservative (aliasing in all arrays at once gives a false
+positive, which merely logs an extra value) but never misses a true
+conflict, except for the astronomically unlikely full counter wrap-around
+between the two samples, which the paper sizes the counters against
+(2x64x16 bits).
+"""
+
+from __future__ import annotations
+
+from ..common.config import RecorderConfig
+from ..common.h3 import make_h3_family
+
+__all__ = ["SnoopTable"]
+
+
+class SnoopTable:
+    """Counting snoop filter with multi-hash aliasing rejection."""
+
+    def __init__(self, config: RecorderConfig, *, seed: int = 0):
+        self.num_arrays = config.snoop_table_arrays
+        self.entries = config.snoop_table_entries
+        self.counter_mask = (1 << config.snoop_table_counter_bits) - 1
+        out_bits = self.entries.bit_length() - 1
+        self._hashes = make_h3_family(self.num_arrays, out_bits, seed=seed + 101)
+        self._counters = [[0] * self.entries for _ in range(self.num_arrays)]
+        self.observed = 0
+
+    def observe(self, line_addr: int) -> None:
+        """Record an incoming coherence transaction (or a conservative dirty
+        eviction, Section 4.3)."""
+        for index, h in enumerate(self._hashes):
+            slot = h(line_addr)
+            counters = self._counters[index]
+            counters[slot] = (counters[slot] + 1) & self.counter_mask
+        self.observed += 1
+
+    def sample(self, line_addr: int) -> tuple[int, ...]:
+        """Counter snapshot for an address (stored in the TRAQ Snoop Count
+        field at perform time)."""
+        return tuple(self._counters[index][h(line_addr)]
+                     for index, h in enumerate(self._hashes))
+
+    def conflicts_since(self, line_addr: int, snapshot: tuple[int, ...]) -> bool:
+        """True if a conflicting transaction may have been observed since
+        ``snapshot`` was taken — i.e. *all* counters changed."""
+        current = self.sample(line_addr)
+        return all(now != then for now, then in zip(current, snapshot))
+
+    @property
+    def size_bits(self) -> int:
+        return (self.num_arrays * self.entries
+                * (self.counter_mask.bit_length()))

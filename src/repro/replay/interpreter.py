@@ -1,0 +1,113 @@
+"""In-order functional interpreter used during deterministic replay.
+
+This is the "native hardware" of the replay machine: InorderBlock entries
+are replayed by executing instructions one at a time against the replay
+memory image, using the same functional semantics
+(:mod:`repro.isa.semantics`) as the recording simulator.  It is also usable
+standalone as a golden sequential model for single-threaded programs.
+"""
+
+from __future__ import annotations
+
+from ..common.errors import ReplayDivergenceError
+from ..isa.instructions import MASK64, NUM_REGS, Instruction, Opcode
+from ..isa.program import ThreadProgram
+from ..isa.semantics import eval_alu, eval_rmw
+
+__all__ = ["ThreadContext"]
+
+
+class ThreadContext:
+    """Architectural state of one replayed thread."""
+
+    def __init__(self, core_id: int, program: ThreadProgram):
+        self.core_id = core_id
+        self.program = program
+        self.pc = 0
+        self.regs = [0] * NUM_REGS
+        self.halted = False
+        self.instructions_executed = 0
+        # Loaded values in program order (for trace-level verification).
+        self.load_values: list[int] = []
+
+    # ------------------------------------------------------------ helpers
+
+    def current_instruction(self) -> Instruction:
+        if self.pc >= len(self.program):
+            raise ReplayDivergenceError(
+                f"core {self.core_id}: replay ran past the end of the program "
+                f"(pc={self.pc})")
+        return self.program[self.pc]
+
+    def _address(self, instr: Instruction) -> int:
+        base = self.regs[instr.addr_base] if instr.addr_base is not None else 0
+        return base + instr.addr_offset
+
+    # ---------------------------------------------------------- execution
+
+    def step(self, memory: dict[int, int]) -> None:
+        """Execute one instruction natively against ``memory``."""
+        instr = self.current_instruction()
+        opcode = instr.opcode
+        if opcode is Opcode.LOAD:
+            value = memory.get(self._address(instr), 0)
+            self.regs[instr.dst] = value
+            self.load_values.append(value)
+            self.pc += 1
+        elif opcode is Opcode.STORE:
+            memory[self._address(instr)] = self.regs[instr.src1] & MASK64
+            self.pc += 1
+        elif opcode is Opcode.RMW:
+            address = self._address(instr)
+            old = memory.get(address, 0)
+            operand = self.regs[instr.src1] if instr.src1 is not None else None
+            memory[address] = eval_rmw(instr.rmw_op, old, operand, instr.imm)
+            self.regs[instr.dst] = old
+            self.load_values.append(old)
+            self.pc += 1
+        elif opcode is Opcode.ALU:
+            b = self.regs[instr.src2] if instr.src2 is not None else instr.imm
+            self.regs[instr.dst] = eval_alu(instr.alu_op, self.regs[instr.src1], b)
+            self.pc += 1
+        elif opcode is Opcode.MOVI:
+            self.regs[instr.dst] = instr.imm & MASK64
+            self.pc += 1
+        elif opcode is Opcode.BEQZ:
+            self.pc = instr.target if self.regs[instr.src1] == 0 else self.pc + 1
+        elif opcode is Opcode.BNEZ:
+            self.pc = instr.target if self.regs[instr.src1] != 0 else self.pc + 1
+        elif opcode is Opcode.JUMP:
+            self.pc = instr.target
+        elif opcode is Opcode.HALT:
+            self.halted = True
+            self.pc += 1
+        else:  # FENCE / NOP are architectural no-ops during replay
+            self.pc += 1
+        self.instructions_executed += 1
+
+    # -------------------------------------------- reordered-entry support
+
+    def inject_load_value(self, value: int) -> None:
+        """Apply a ReorderedLoad (or patched RMW count) entry: write the
+        logged value to the destination register and advance the PC without
+        touching memory (Section 3.5)."""
+        instr = self.current_instruction()
+        if not instr.is_load_like:
+            raise ReplayDivergenceError(
+                f"core {self.core_id}: ReorderedLoad entry at pc={self.pc} but "
+                f"instruction is {instr.opcode.value}")
+        self.regs[instr.dst] = value & MASK64
+        self.load_values.append(value & MASK64)
+        self.pc += 1
+        self.instructions_executed += 1
+
+    def skip_store(self) -> None:
+        """Apply a Dummy entry: the store's memory effect was patched into an
+        earlier interval; just advance the PC (Section 3.5)."""
+        instr = self.current_instruction()
+        if not instr.is_store_like:
+            raise ReplayDivergenceError(
+                f"core {self.core_id}: Dummy entry at pc={self.pc} but "
+                f"instruction is {instr.opcode.value}")
+        self.pc += 1
+        self.instructions_executed += 1

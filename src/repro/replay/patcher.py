@@ -1,0 +1,132 @@
+"""Log patching (Section 3.3.2) and interval grouping.
+
+Before a log can be replayed, every ``ReorderedStore`` entry must move from
+the interval where the store was *counted* to the interval where it
+*performed* — ``Offset`` intervals earlier — leaving a ``Dummy`` at the
+counting position so the store instruction is skipped there.  For the RMW
+extension, the counting position keeps the architectural effect (the old
+value goes to the destination register, exactly a ``ReorderedLoad``) while
+the memory update patches backwards like a store.
+
+The patching pass can run off-line or on the fly while the log is read; we
+implement it as an explicit pass producing :class:`ReplayInterval` objects,
+which also gives the test-suite a stable structure to assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..common.errors import LogFormatError
+from ..recorder.logfmt import (
+    Dummy,
+    InorderBlock,
+    IntervalFrame,
+    LogEntry,
+    ReorderedLoad,
+    ReorderedRmw,
+    ReorderedStore,
+)
+
+__all__ = ["PatchedWrite", "ReplayInterval", "group_intervals", "patch_intervals"]
+
+
+@dataclass(frozen=True)
+class PatchedWrite:
+    """A store's memory update relocated to its perform interval.
+
+    Applied by the replayer as a raw memory write with *no* program-counter
+    advance — the corresponding instruction is consumed by the ``Dummy`` (or
+    ``ReorderedLoad``) left at its counting position.
+    """
+
+    addr: int
+    value: int
+
+
+@dataclass
+class ReplayInterval:
+    """One interval of one core, ready for ordering and replay."""
+
+    core_id: int
+    cisn: int
+    timestamp: int
+    entries: list = field(default_factory=list)
+
+    def sort_key(self) -> tuple[int, int]:
+        """QuickRec total order: global timestamp, core id as tie-break.
+
+        Intervals of different cores terminated by the same bus transaction
+        share a timestamp; they are mutually dependence-free (any dependence
+        would have terminated one of them earlier), so the tie-break is
+        arbitrary but must be deterministic.
+        """
+        return (self.timestamp, self.core_id)
+
+
+def group_intervals(core_id: int, entries: list[LogEntry],
+                    *, cisn_bits: int = 16) -> list[ReplayInterval]:
+    """Split a core's flat entry stream into intervals at IntervalFrames.
+
+    Frames carry the CISN modulo ``2**cisn_bits``; logged frames are
+    consecutive per core (the recorder never skips a CISN it logged), which
+    this function validates while unwrapping.
+    """
+    intervals: list[ReplayInterval] = []
+    current: list[LogEntry] = []
+    mask = (1 << cisn_bits) - 1
+    for entry in entries:
+        if isinstance(entry, IntervalFrame):
+            expected = len(intervals)
+            if entry.cisn & mask != expected & mask:
+                raise LogFormatError(
+                    f"core {core_id}: frame CISN {entry.cisn & mask} does not "
+                    f"match expected interval index {expected}")
+            intervals.append(ReplayInterval(core_id, expected, entry.timestamp,
+                                            current))
+            current = []
+        else:
+            current.append(entry)
+    if current:
+        raise LogFormatError(
+            f"core {core_id}: {len(current)} trailing entries after the last "
+            f"IntervalFrame (log not finalized?)")
+    return intervals
+
+
+def patch_intervals(intervals: list[ReplayInterval]) -> list[ReplayInterval]:
+    """Apply the patching pass in place (and return the list).
+
+    ``ReorderedStore``/``ReorderedRmw`` entries are rewritten at their
+    counting position and their memory update is appended to the interval
+    ``offset`` positions earlier.
+    """
+    for index, interval in enumerate(intervals):
+        patched: list = []
+        for entry in interval.entries:
+            if isinstance(entry, (ReorderedStore, ReorderedRmw)):
+                target = index - entry.offset
+                if target < 0:
+                    raise LogFormatError(
+                        f"core {interval.core_id}: interval {index} entry "
+                        f"{entry!r} points {entry.offset} intervals back, "
+                        f"before the log begins")
+                if isinstance(entry, ReorderedStore):
+                    patched.append(Dummy())
+                    write = PatchedWrite(entry.addr, entry.value)
+                else:
+                    patched.append(ReorderedLoad(entry.old_value))
+                    write = PatchedWrite(entry.addr, entry.new_value)
+                if target == index:
+                    # Performed and counted in the same interval (offset 0):
+                    # the update belongs right here, in counting order.
+                    patched.append(write)
+                else:
+                    intervals[target].entries.append(write)
+            elif isinstance(entry, (InorderBlock, ReorderedLoad, Dummy,
+                                    PatchedWrite)):
+                patched.append(entry)
+            else:
+                raise LogFormatError(f"unexpected log entry {entry!r}")
+        interval.entries = patched
+    return intervals

@@ -1,0 +1,183 @@
+"""Sequential deterministic replayer with verification (Section 3.5).
+
+The replayer consumes a recording (one recorder variant's per-core interval
+logs), patches reordered stores, orders all intervals by their QuickRec
+timestamps, and re-executes the program: InorderBlocks run natively on the
+in-order interpreter, ReorderedLoads inject logged values, Dummies skip
+patched stores, and PatchedWrites apply relocated memory updates.
+
+Unlike the paper — which asserts determinism — this replayer *verifies* it:
+final memory, final architectural registers, and (when a load trace was
+captured) every loaded value are compared against the recorded execution,
+raising :class:`~repro.common.errors.ReplayDivergenceError` on the first
+mismatch.  The property-based test-suite leans on this heavily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import LogFormatError, ReplayDivergenceError
+from ..isa.instructions import MASK64
+from ..isa.program import Program
+from ..recorder.logfmt import Dummy, InorderBlock, ReorderedLoad
+from ..sim.machine import RunResult
+from .costmodel import ReplayCounts, ReplayTime, estimate_replay_time
+from .interpreter import ThreadContext
+from .patcher import PatchedWrite, ReplayInterval, group_intervals, patch_intervals
+
+__all__ = ["ReplayResult", "Replayer", "replay_recording"]
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of a verified deterministic replay."""
+
+    variant: str
+    counts: ReplayCounts
+    time: ReplayTime
+    final_memory: dict[int, int]
+    final_regs: list[list[int]]
+    verified: bool
+
+    def normalized_to_recording(self, recording_cycles: int) -> dict[str, float]:
+        return self.time.normalized_to(recording_cycles)
+
+
+class Replayer:
+    """Replays one recorder variant's log against the original program."""
+
+    def __init__(self, program: Program, per_core_entries: list[list],
+                 *, cisn_bits: int = 16, variant: str = "default"):
+        if len(per_core_entries) != program.num_threads:
+            raise LogFormatError(
+                f"log has {len(per_core_entries)} cores, program has "
+                f"{program.num_threads} threads")
+        self.program = program
+        self.variant = variant
+        intervals: list[ReplayInterval] = []
+        for core_id, entries in enumerate(per_core_entries):
+            per_core = group_intervals(core_id, list(entries),
+                                       cisn_bits=cisn_bits)
+            patch_intervals(per_core)
+            intervals.extend(per_core)
+        intervals.sort(key=ReplayInterval.sort_key)
+        self.intervals = intervals
+
+    def replay(self) -> tuple[dict[int, int], list[ThreadContext], ReplayCounts]:
+        """Run the replay; returns (memory, contexts, counts)."""
+        memory: dict[int, int] = {addr: value & MASK64 for addr, value
+                                  in self.program.initial_memory.items()}
+        contexts = [ThreadContext(core_id, self.program.threads[core_id])
+                    for core_id in range(self.program.num_threads)]
+        counts = ReplayCounts()
+        for interval in self.intervals:
+            # In the real system the OS waits here for all predecessor
+            # intervals; sequential replay makes that wait implicit.
+            counts.intervals += 1
+            context = contexts[interval.core_id]
+            for entry in interval.entries:
+                if isinstance(entry, InorderBlock):
+                    for _ in range(entry.size):
+                        context.step(memory)
+                    counts.instructions += entry.size
+                    counts.inorder_blocks += 1
+                elif isinstance(entry, ReorderedLoad):
+                    context.inject_load_value(entry.value)
+                    counts.injected_loads += 1
+                elif isinstance(entry, Dummy):
+                    context.skip_store()
+                    counts.dummies += 1
+                elif isinstance(entry, PatchedWrite):
+                    memory[entry.addr] = entry.value & MASK64
+                    counts.patched_writes += 1
+                else:
+                    raise LogFormatError(
+                        f"unpatched or unknown entry {entry!r} during replay")
+        return memory, contexts, counts
+
+
+def replay_recording(result: RunResult, variant: str = "default", *,
+                     verify: bool = True,
+                     verify_load_trace: bool = True) -> ReplayResult:
+    """Replay a :class:`~repro.sim.machine.RunResult` variant and verify it.
+
+    ``verify`` checks final memory and final architectural registers against
+    the recorded execution.  ``verify_load_trace`` additionally compares
+    every loaded value when the run captured a load trace.
+    """
+    outputs = result.recordings[variant]
+    replayer = Replayer(result.program,
+                        [output.entries for output in outputs],
+                        cisn_bits=outputs[0].config.cisn_bits,
+                        variant=variant)
+    memory, contexts, counts = replayer.replay()
+
+    if verify:
+        _verify_memory(memory, result.final_memory, variant)
+        _verify_registers(contexts, result, variant)
+        if verify_load_trace and result.load_trace is not None:
+            _verify_load_trace(contexts, result, variant)
+
+    total_instructions = result.total_instructions
+    recorded_cpi = (result.cycles * len(result.cores) / total_instructions
+                    if total_instructions else 1.0)
+    time = estimate_replay_time(counts, result.config.replay_cost,
+                                recorded_cpi=recorded_cpi)
+    return ReplayResult(
+        variant=variant,
+        counts=counts,
+        time=time,
+        final_memory={addr: value for addr, value in memory.items() if value},
+        final_regs=[list(context.regs) for context in contexts],
+        verified=verify,
+    )
+
+
+def _verify_memory(replayed: dict[int, int], recorded: dict[int, int],
+                   variant: str) -> None:
+    replayed_nz = {addr: value for addr, value in replayed.items() if value}
+    if replayed_nz == recorded:
+        return
+    for addr in sorted(set(replayed_nz) | set(recorded)):
+        got = replayed_nz.get(addr, 0)
+        want = recorded.get(addr, 0)
+        if got != want:
+            raise ReplayDivergenceError(
+                f"[{variant}] memory diverged at {addr:#x}: "
+                f"replayed {got:#x}, recorded {want:#x}")
+
+
+def _verify_registers(contexts: list[ThreadContext], result: RunResult,
+                      variant: str) -> None:
+    for context, core in zip(contexts, result.cores):
+        if context.instructions_executed != core.instructions:
+            raise ReplayDivergenceError(
+                f"[{variant}] core {core.core_id}: replayed "
+                f"{context.instructions_executed} instructions, recorded "
+                f"{core.instructions}")
+        if context.regs != core.final_regs:
+            diffs = [f"r{index}: replayed {got:#x} recorded {want:#x}"
+                     for index, (got, want)
+                     in enumerate(zip(context.regs, core.final_regs))
+                     if got != want]
+            raise ReplayDivergenceError(
+                f"[{variant}] core {core.core_id} registers diverged: "
+                + "; ".join(diffs))
+
+
+def _verify_load_trace(contexts: list[ThreadContext], result: RunResult,
+                       variant: str) -> None:
+    for context, recorded in zip(contexts, result.load_trace):
+        recorded_values = [value for _seq, _addr, value in
+                           sorted(recorded, key=lambda item: item[0])]
+        if context.load_values != recorded_values:
+            for index, (got, want) in enumerate(
+                    zip(context.load_values, recorded_values)):
+                if got != want:
+                    raise ReplayDivergenceError(
+                        f"[{variant}] core {context.core_id}: load #{index} "
+                        f"replayed {got:#x}, recorded {want:#x}")
+            raise ReplayDivergenceError(
+                f"[{variant}] core {context.core_id}: load count mismatch "
+                f"({len(context.load_values)} vs {len(recorded_values)})")

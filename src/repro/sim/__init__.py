@@ -1,0 +1,5 @@
+"""Machine assembly and run orchestration."""
+
+from .machine import CoreResult, Machine, RecorderOutput, RunResult
+
+__all__ = ["CoreResult", "Machine", "RecorderOutput", "RunResult"]

@@ -1,0 +1,340 @@
+"""The simulated multicore: cores + MRRs + memory system + global clock.
+
+:class:`Machine` wires one :class:`~repro.cpu.core.Core` per thread of a
+:class:`~repro.isa.program.Program` to a shared
+:class:`~repro.mem.memsys.MemorySystem`, attaches any number of passive
+recorder variants (Base/Opt x interval caps can all watch one execution,
+since recording never perturbs it beyond the — shared — TRAQ), and steps a
+global cycle loop.  Idle stretches where no core can make progress are
+fast-forwarded to the next scheduled wake-up (a bus commit or a known
+future completion), which keeps pure-Python simulation tractable.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from ..common.config import (CoherenceProtocol, MachineConfig,
+                             RecorderConfig)
+from ..common.errors import ConfigError, SimulationError
+from ..common.stats import Histogram, OnlineStats
+from ..cpu.core import Core
+from ..cpu.dynops import DynInstr
+from ..isa.program import Program
+from ..mem.coherence import SnoopEvent
+from ..mem.memsys import MemorySystem
+from ..recorder.logfmt import LogEntry
+from ..recorder.mrr import RecorderStats, RelaxReplayRecorder
+from ..recorder.ordering import DependenceTracker
+from ..recorder.traq import TraqEntry, TrackingQueue
+
+__all__ = ["CoreResult", "RecorderOutput", "RunResult", "Machine"]
+
+_DEADLOCK_WINDOW = 1_000_000
+
+
+@dataclass
+class RecorderOutput:
+    """One recorder variant's log for one core."""
+
+    core_id: int
+    config: RecorderConfig
+    entries: list[LogEntry]
+    stats: RecorderStats
+
+
+@dataclass
+class CoreResult:
+    """Per-core execution facts needed for reporting and verification."""
+
+    core_id: int
+    instructions: int
+    mem_instructions: int
+    loads: int
+    stores: int
+    rmws: int
+    ooo_loads: int
+    ooo_stores: int
+    forwarded_loads: int
+    traq_stall_cycles: int
+    final_regs: list[int]
+    traq_occupancy: OnlineStats
+    traq_histogram: Histogram
+
+
+@dataclass
+class RunResult:
+    """Everything a recording run produces."""
+
+    program: Program
+    config: MachineConfig
+    cycles: int
+    cores: list[CoreResult]
+    recordings: dict[str, list[RecorderOutput]]
+    final_memory: dict[int, int]
+    bus_transactions: int
+    load_trace: list[list[tuple[int, int, int]]] | None = None
+    # Baseline recorders (repro.baselines) attached to the same execution,
+    # keyed by name; each value is the per-core list of recorder objects.
+    baselines: dict[str, list] = field(default_factory=dict)
+    # Cyrus-style pairwise interval edges per variant (collected when the
+    # run was started with collect_dependence_edges=True); consumed by
+    # repro.replay.parallel.
+    dependence_edges: dict[str, list] = field(default_factory=dict)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(core.instructions for core in self.cores)
+
+    @property
+    def total_mem_instructions(self) -> int:
+        return sum(core.mem_instructions for core in self.cores)
+
+    def ooo_fraction(self) -> dict[str, float]:
+        """Figure 1 quantities: OoO loads/stores as fractions of all memory
+        instructions."""
+        mem = self.total_mem_instructions
+        if not mem:
+            return {"loads": 0.0, "stores": 0.0, "total": 0.0}
+        loads = sum(core.ooo_loads for core in self.cores)
+        stores = sum(core.ooo_stores for core in self.cores)
+        return {"loads": loads / mem, "stores": stores / mem,
+                "total": (loads + stores) / mem}
+
+    def recording_stats(self, variant: str) -> RecorderStats:
+        """Aggregate a variant's stats over all cores."""
+        import dataclasses as _dataclasses
+
+        total = RecorderStats()
+        dict_fields = [field.name
+                       for field in _dataclasses.fields(RecorderStats)
+                       if field.default_factory is dict]  # type: ignore
+        counter_fields = [field.name
+                          for field in _dataclasses.fields(RecorderStats)
+                          if field.name not in dict_fields]
+        for output in self.recordings[variant]:
+            stats = output.stats
+            for name in counter_fields:
+                setattr(total, name,
+                        getattr(total, name) + getattr(stats, name))
+            for name in dict_fields:
+                merged = getattr(total, name)
+                for key, value in getattr(stats, name).items():
+                    merged[key] = merged.get(key, 0) + value
+        return total
+
+    def log_rate_mb_per_s(self, variant: str) -> float:
+        """Log generation rate in MB/s at the configured clock (Section 5.2)."""
+        if not self.cycles:
+            return 0.0
+        bits = self.recording_stats(variant).log_bits
+        seconds = self.cycles / (self.config.core.clock_ghz * 1e9)
+        return bits / 8 / 1e6 / seconds
+
+
+class _LoadTraceSink:
+    """Optional sink recording every load-like value (verification aid)."""
+
+    def __init__(self, trace: list[tuple[int, int, int]]):
+        self.trace = trace
+
+    def on_perform(self, dyn: DynInstr, cycle: int, out_of_order: bool) -> None:
+        if dyn.is_load_like:
+            self.trace.append((dyn.seq, dyn.addr, dyn.mem_value))
+
+    def on_count(self, entry: TraqEntry, cycle: int) -> None:
+        pass
+
+
+class Machine:
+    """A configured multicore ready to record executions."""
+
+    def __init__(self, config: MachineConfig,
+                 recorder_configs: dict[str, RecorderConfig] | None = None):
+        self.config = config.validate()
+        if recorder_configs is None:
+            recorder_configs = {"default": config.recorder}
+        if not recorder_configs:
+            raise ConfigError("at least one recorder variant is required")
+        for recorder_config in recorder_configs.values():
+            recorder_config.validate()
+        self.recorder_configs = dict(recorder_configs)
+
+    def run(self, program: Program, *, max_cycles: int = 500_000_000,
+            sample_interval: int = 200,
+            capture_load_trace: bool = False,
+            baseline_factories: dict | None = None,
+            check_invariants_every: int | None = None,
+            collect_dependence_edges: bool = False) -> RunResult:
+        """Record one execution of ``program`` and return logs + facts."""
+        program.validate()
+        config = self.config
+        if program.num_threads != config.num_cores:
+            config = config.with_cores(program.num_threads).validate()
+
+        memsys = MemorySystem(config, program.initial_memory)
+        traqs = [TrackingQueue(config.recorder.traq_entries,
+                               config.recorder.nmi_bits)
+                 for _ in range(config.num_cores)]
+        cores = [Core(core_id, program.threads[core_id], config, memsys,
+                      traqs[core_id])
+                 for core_id in range(config.num_cores)]
+
+        wake_heap: list[int] = []
+
+        def make_wake():
+            def schedule(cycle: int) -> None:
+                heapq.heappush(wake_heap, cycle)
+            return schedule
+
+        for core in cores:
+            core.schedule_wake = make_wake()
+
+        directory = config.protocol is CoherenceProtocol.DIRECTORY
+        if directory and collect_dependence_edges:
+            raise ConfigError(
+                "pairwise dependence edges (parallel replay) require the "
+                "snoopy protocol: a directory does not give every core the "
+                "global view the weak ordering edges rely on")
+        recorders: dict[str, list[RelaxReplayRecorder]] = {}
+        trackers: dict[str, DependenceTracker] = {}
+        for name, recorder_config in self.recorder_configs.items():
+            if directory:
+                # Section 4.3: directory coherence needs the conservative
+                # eviction handling for correctness.
+                from dataclasses import replace as _replace
+                recorder_config = _replace(
+                    recorder_config, dirty_eviction_snoop_increment=True,
+                    dirty_eviction_terminates=True)
+            tracker = DependenceTracker() if collect_dependence_edges else None
+            if tracker is not None:
+                trackers[name] = tracker
+            per_core = [RelaxReplayRecorder(core_id, recorder_config,
+                                            config.l1.line_bytes,
+                                            seed=config.seed, name=name,
+                                            dependence_tracker=tracker)
+                        for core_id in range(config.num_cores)]
+            recorders[name] = per_core
+            for core_id, recorder in enumerate(per_core):
+                cores[core_id].sinks.append(recorder)
+                memsys.add_listener(recorder)
+
+        baselines: dict[str, list] = {}
+        for name, factory in (baseline_factories or {}).items():
+            per_core = [factory(core_id, config)
+                        for core_id in range(config.num_cores)]
+            baselines[name] = per_core
+            for core_id, recorder in enumerate(per_core):
+                if hasattr(recorder, "core"):
+                    recorder.core = cores[core_id]
+                cores[core_id].sinks.append(recorder)
+                memsys.add_listener(recorder)
+
+        load_trace: list[list[tuple[int, int, int]]] | None = None
+        if capture_load_trace:
+            load_trace = [[] for _ in range(config.num_cores)]
+            for core_id, core in enumerate(cores):
+                core.sinks.append(_LoadTraceSink(load_trace[core_id]))
+
+        occupancy_stats = [OnlineStats() for _ in range(config.num_cores)]
+        occupancy_hists = [Histogram(bin_width=10) for _ in range(config.num_cores)]
+
+        cycle = 0
+        next_sample = 0
+        last_progress_cycle = 0
+        while True:
+            if all(core.done for core in cores):
+                break
+            if cycle > max_cycles:
+                raise SimulationError(
+                    f"exceeded max_cycles={max_cycles} running {program.name!r}")
+
+            progress = memsys.tick(cycle)
+            for core in cores:
+                progress |= core.step(cycle)
+
+            while next_sample <= cycle:
+                for core_id, traq in enumerate(traqs):
+                    occupancy_stats[core_id].add(len(traq))
+                    occupancy_hists[core_id].add(len(traq))
+                next_sample += sample_interval
+                if (check_invariants_every is not None
+                        and next_sample % check_invariants_every
+                        < sample_interval):
+                    memsys.check_coherence_invariants()
+
+            if progress:
+                last_progress_cycle = cycle
+                cycle += 1
+                continue
+
+            # Nothing happened: fast-forward to the next scheduled event.
+            target = memsys.bus.next_commit_cycle()
+            while wake_heap and wake_heap[0] <= cycle:
+                heapq.heappop(wake_heap)
+            if wake_heap and (target is None or wake_heap[0] < target):
+                target = wake_heap[0]
+            if target is None or target <= cycle:
+                if cycle - last_progress_cycle > _DEADLOCK_WINDOW:
+                    raise SimulationError(self._deadlock_report(program, cores, cycle))
+                cycle += 1
+                continue
+            cycle = target
+
+        for per_core in recorders.values():
+            for recorder in per_core:
+                recorder.finish(cycle)
+        for per_core in baselines.values():
+            for recorder in per_core:
+                recorder.finish(cycle)
+
+        core_results = [
+            CoreResult(
+                core_id=core.core_id,
+                instructions=core.instructions_retired,
+                mem_instructions=core.mem_retired,
+                loads=core.loads_performed,
+                stores=core.stores_performed,
+                rmws=core.rmws_performed,
+                ooo_loads=core.ooo_loads,
+                ooo_stores=core.ooo_stores,
+                forwarded_loads=core.forwarded_loads,
+                traq_stall_cycles=core.traq.stall_cycles,
+                final_regs=list(core.arch_regs),
+                traq_occupancy=occupancy_stats[core.core_id],
+                traq_histogram=occupancy_hists[core.core_id],
+            )
+            for core in cores
+        ]
+        recordings = {
+            name: [RecorderOutput(recorder.core_id, recorder.config,
+                                  recorder.entries, recorder.stats)
+                   for recorder in per_core]
+            for name, per_core in recorders.items()
+        }
+        return RunResult(
+            program=program,
+            config=config,
+            cycles=cycle,
+            cores=core_results,
+            recordings=recordings,
+            final_memory=memsys.memory_image(),
+            bus_transactions=memsys.bus.committed,
+            load_trace=load_trace,
+            baselines=baselines,
+            dependence_edges={name: tracker.edges_for()
+                              for name, tracker in trackers.items()},
+        )
+
+    @staticmethod
+    def _deadlock_report(program: Program, cores: list[Core], cycle: int) -> str:
+        lines = [f"no progress for {_DEADLOCK_WINDOW} cycles at cycle {cycle} "
+                 f"in {program.name!r}:"]
+        for core in cores:
+            head = core.rob[0] if core.rob else None
+            lines.append(
+                f"  core {core.core_id}: pc={core.pc} halted={core.halted} "
+                f"rob={len(core.rob)} head={head!r} wb={len(core.write_buffer)} "
+                f"traq={len(core.traq)} retired={core.instructions_retired}")
+        return "\n".join(lines)

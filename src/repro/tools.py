@@ -1,0 +1,180 @@
+"""Command-line tools: record, replay and inspect recordings.
+
+Usage::
+
+    python -m repro.tools record --workload fft --cores 8 --out rec/
+    python -m repro.tools replay rec/ --variant opt_4k
+    python -m repro.tools inspect rec/
+
+``record`` runs a named workload (or a saved ``program.json``) under the
+configured machine and saves the recording directory; ``replay``
+deterministically replays a stored variant, verifying against the stored
+execution; ``inspect`` summarizes the logs without replaying.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+from .common.config import (
+    CoherenceProtocol,
+    ConsistencyModel,
+    MachineConfig,
+    RecorderConfig,
+    RecorderMode,
+)
+from .recorder.logfmt import IntervalFrame
+from .sim import Machine
+from .storage import load_program, load_recording, save_recording
+from .workloads import WORKLOAD_NAMES, build_workload
+
+
+def _build_variants(names: list[str]) -> dict[str, RecorderConfig]:
+    variants = {}
+    for name in names:
+        mode_part, _, cap_part = name.partition("_")
+        mode = RecorderMode(mode_part)
+        cap = None if cap_part in ("", "inf") else int(cap_part)
+        variants[name] = RecorderConfig(mode=mode,
+                                        max_interval_instructions=cap)
+    return variants
+
+
+def cmd_record(args) -> int:
+    if args.program:
+        program = load_program(args.program)
+    else:
+        program = build_workload(args.workload, num_threads=args.cores,
+                                 scale=args.scale, seed=args.seed)
+    config = replace(
+        MachineConfig(num_cores=program.num_threads, seed=args.seed),
+        consistency=ConsistencyModel(args.consistency),
+        protocol=CoherenceProtocol(args.protocol))
+    machine = Machine(config, _build_variants(args.variants))
+    result = machine.run(
+        program, collect_dependence_edges=args.edges)
+    root = save_recording(result, args.out)
+    print(f"recorded {result.total_instructions} instructions "
+          f"({result.cycles} cycles, {len(result.cores)} cores) -> {root}")
+    for variant in args.variants:
+        stats = result.recording_stats(variant)
+        print(f"  {variant}: {stats.log_bits} bits "
+              f"({stats.bits_per_kilo_instruction():.0f} b/KI, "
+              f"{stats.reordered_total} reordered)")
+    return 0
+
+
+def cmd_replay(args) -> int:
+    stored = load_recording(args.recording)
+    variants = args.variant or list(stored.variants)
+    for variant in variants:
+        if args.parallel:
+            from .replay.parallel import ParallelReplayer
+            total = sum(f["instructions"] for f in stored.core_facts)
+            cpi = (stored.cycles * len(stored.core_facts) / total
+                   if total else 1.0)
+            replayer = ParallelReplayer(
+                stored.program, stored.log_entries(variant),
+                stored.edges(variant), stored.config.replay_cost,
+                recorded_cpi=cpi, variant=variant)
+            _memory, _contexts, counts, sequential, makespan = \
+                replayer.replay()
+            print(f"{variant}: parallel replay OK "
+                  f"({counts.intervals} intervals, "
+                  f"speedup {sequential / makespan:.2f}x)")
+            continue
+        result = stored.replay(variant, verify=not args.no_verify)
+        status = "VERIFIED" if result.verified else "replayed (unverified)"
+        normalized = result.normalized_to_recording(stored.cycles)
+        print(f"{variant}: {status} — {result.counts.instructions} native "
+              f"instructions, {result.counts.injected_loads} injected "
+              f"loads, {result.counts.patched_writes} patched writes; "
+              f"est. {normalized['total']:.1f}x recording time")
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    stored = load_recording(args.recording)
+    config = stored.config
+    print(f"recording: {stored.root}")
+    print(f"  program : {stored.program.name} "
+          f"({stored.program.num_threads} threads, "
+          f"{stored.program.total_instructions()} static instructions)")
+    print(f"  machine : {config.num_cores} cores, "
+          f"{config.consistency.value}, {config.protocol.value}, "
+          f"{stored.cycles} cycles")
+    for variant in stored.variants:
+        per_core = stored.log_entries(variant)
+        entries = sum(len(core) for core in per_core)
+        intervals = sum(1 for core in per_core for entry in core
+                        if isinstance(entry, IntervalFrame))
+        bits = stored.log_bits(variant)
+        print(f"  {variant}: {entries} entries, {intervals} intervals, "
+              f"{bits} bits ({bits / 8 / 1024:.2f} KiB on disk)")
+        if args.verbose:
+            kinds: dict[str, int] = {}
+            for core in per_core:
+                for entry in core:
+                    kinds[type(entry).__name__] = \
+                        kinds.get(type(entry).__name__, 0) + 1
+            for kind, count in sorted(kinds.items()):
+                print(f"      {kind}: {count}")
+        if args.analyze:
+            from .analysis import merge_profiles, profile_log, \
+                render_profile, render_timeline
+            profile = merge_profiles(profile_log(core) for core in per_core)
+            print(render_profile(profile, name=variant), end="")
+            print(render_timeline(per_core), end="")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.tools",
+                                     description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    record = sub.add_parser("record", help="record a workload execution")
+    record.add_argument("--workload", choices=WORKLOAD_NAMES, default="fft")
+    record.add_argument("--program", help="record a saved program.json "
+                                          "instead of a named workload")
+    record.add_argument("--cores", type=int, default=8)
+    record.add_argument("--scale", type=float, default=0.5)
+    record.add_argument("--seed", type=int, default=1)
+    record.add_argument("--consistency", default="RC",
+                        choices=[m.value for m in ConsistencyModel])
+    record.add_argument("--protocol", default="snoopy",
+                        choices=[p.value for p in CoherenceProtocol])
+    record.add_argument("--variants", nargs="+", default=["opt_4096"],
+                        help="e.g. opt_inf base_4096 opt_512")
+    record.add_argument("--edges", action="store_true",
+                        help="collect pairwise edges (enables parallel "
+                             "replay; snoopy only)")
+    record.add_argument("--out", required=True)
+    record.set_defaults(func=cmd_record)
+
+    replay = sub.add_parser("replay", help="replay a stored recording")
+    replay.add_argument("recording")
+    replay.add_argument("--variant", action="append",
+                        help="variant(s) to replay (default: all)")
+    replay.add_argument("--parallel", action="store_true",
+                        help="use the DAG-ordered parallel replayer "
+                             "(requires --edges at record time)")
+    replay.add_argument("--no-verify", action="store_true")
+    replay.set_defaults(func=cmd_replay)
+
+    inspect = sub.add_parser("inspect", help="summarize a stored recording")
+    inspect.add_argument("recording")
+    inspect.add_argument("--verbose", "-v", action="store_true")
+    inspect.add_argument("--analyze", "-a", action="store_true",
+                         help="print log profiles and interval timelines")
+    inspect.set_defaults(func=cmd_inspect)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""SPLASH-2 analog workloads and test-program generators.
+
+The twelve generators reproduce the communication structure of the SPLASH-2
+applications the paper evaluates on (see ``repro.workloads.base`` for the
+rationale).  ``build_workload`` is the registry entry point used by the
+benchmark harness::
+
+    from repro.workloads import build_workload
+    program = build_workload("fft", num_threads=8, scale=1.0, seed=0)
+"""
+
+from __future__ import annotations
+
+from ..common.errors import WorkloadError
+from ..isa.program import Program
+from .base import Allocator, KernelThread, WorkloadSpec, make_program
+from .irregular import build_radiosity, build_radix, build_raytrace, build_volrend
+from .nbody import (
+    build_barnes,
+    build_fmm,
+    build_water_nsquared,
+    build_water_spatial,
+)
+from .litmus import LITMUS_TESTS, LitmusResult, LitmusTest, litmus_program, run_litmus
+from .random_programs import random_program
+from .scientific import build_cholesky, build_fft, build_lu, build_ocean
+
+WORKLOADS = {
+    "barnes": build_barnes,
+    "cholesky": build_cholesky,
+    "fft": build_fft,
+    "fmm": build_fmm,
+    "lu": build_lu,
+    "ocean": build_ocean,
+    "radiosity": build_radiosity,
+    "radix": build_radix,
+    "raytrace": build_raytrace,
+    "volrend": build_volrend,
+    "water_nsquared": build_water_nsquared,
+    "water_spatial": build_water_spatial,
+}
+
+WORKLOAD_NAMES = tuple(sorted(WORKLOADS))
+
+
+def build_workload(name: str, *, num_threads: int = 8, scale: float = 1.0,
+                   seed: int = 0) -> Program:
+    """Build a named workload for ``num_threads`` cores."""
+    try:
+        generator = WORKLOADS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; available: {', '.join(WORKLOAD_NAMES)}")
+    spec = WorkloadSpec(num_threads=num_threads, scale=scale, seed=seed)
+    return generator(spec)
+
+
+__all__ = [
+    "WORKLOADS",
+    "WORKLOAD_NAMES",
+    "build_workload",
+    "random_program",
+    "LITMUS_TESTS",
+    "LitmusResult",
+    "LitmusTest",
+    "litmus_program",
+    "run_litmus",
+    "Allocator",
+    "KernelThread",
+    "WorkloadSpec",
+    "make_program",
+    "Program",
+]

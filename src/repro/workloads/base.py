@@ -1,0 +1,260 @@
+"""Workload-construction infrastructure.
+
+The paper evaluates on SPLASH-2; those binaries (and a simulator able to run
+them) are not reproducible here, so ``repro.workloads`` provides synthetic
+analogs that recreate each application's *sharing pattern* — which is what
+drives interval terminations, Snoop Table hits and reordered-access counts.
+This module holds the shared machinery: a bump allocator for laying out
+shared/private regions, a kernel context wrapping one thread's
+:class:`~repro.isa.builder.ThreadBuilder` with common macro fragments
+(compute loops, barriers, critical sections), and the workload registry
+plumbing.
+
+Register convention inside kernels: r1-r9 are scratch registers owned by the
+fragments below; r10 accumulates a checksum of every loaded value (so that
+replay verification is sensitive to any mis-recorded value); r11+ are free
+for kernel-specific state.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+
+from ..common.errors import WorkloadError
+from ..isa.builder import ThreadBuilder
+from ..isa.instructions import WORD_BYTES
+from ..isa.program import Program
+
+__all__ = ["CHECKSUM_REG", "Allocator", "KernelThread", "WorkloadSpec",
+           "make_program"]
+
+CHECKSUM_REG = 10
+
+_HEAP_BASE = 0x1_0000
+_LINE_BYTES = 32
+
+
+class Allocator:
+    """Bump allocator laying out named regions in the shared address space."""
+
+    def __init__(self, base: int = _HEAP_BASE):
+        self._next = base
+        self.regions: dict[str, tuple[int, int]] = {}
+
+    def array(self, name: str, words: int, *, line_aligned: bool = True) -> int:
+        """Allocate ``words`` contiguous 8-byte words; returns the base address."""
+        if words <= 0:
+            raise WorkloadError(f"region {name!r} must have positive size")
+        if name in self.regions:
+            raise WorkloadError(f"duplicate region {name!r}")
+        if line_aligned:
+            self._next = (self._next + _LINE_BYTES - 1) // _LINE_BYTES * _LINE_BYTES
+        base = self._next
+        self._next += words * WORD_BYTES
+        self.regions[name] = (base, words)
+        return base
+
+    def word(self, name: str, *, line_aligned: bool = True) -> int:
+        """Allocate a single word (locks, flags, barrier counters).
+
+        Line alignment (the default) keeps synchronization variables on
+        their own cache lines, as tuned parallel code does.
+        """
+        base = self.array(name, 1, line_aligned=line_aligned)
+        if line_aligned:
+            # Burn the rest of the line so the next allocation cannot share it.
+            self._next = (self._next + _LINE_BYTES - 1) // _LINE_BYTES * _LINE_BYTES
+        return base
+
+
+@dataclass
+class WorkloadSpec:
+    """Parameters every workload generator accepts."""
+
+    num_threads: int = 8
+    scale: float = 1.0      # multiplies per-thread work
+    seed: int = 0
+
+    def scaled(self, base: int, minimum: int = 1) -> int:
+        """Scale an iteration/size constant."""
+        return max(minimum, int(round(base * self.scale)))
+
+
+class KernelThread:
+    """One thread's builder plus common workload fragments."""
+
+    def __init__(self, thread_id: int, spec: WorkloadSpec, name: str):
+        self.thread_id = thread_id
+        self.spec = spec
+        self.builder = ThreadBuilder(f"{name}.t{thread_id}")
+        # zlib.crc32 is stable across processes (str hash() is salted).
+        name_tag = zlib.crc32(name.encode()) & 0x3FF
+        self.rng = random.Random((spec.seed << 20) ^ (thread_id << 10) ^ name_tag)
+        self._barrier_index = 0
+        self.builder.movi(CHECKSUM_REG, 0)
+
+    # Convenience passthrough.
+    def __getattr__(self, item):
+        return getattr(self.builder, item)
+
+    # ------------------------------------------------------ fragments
+
+    def load_checksum(self, address: int, *, acquire: bool = False) -> None:
+        """Load a word and fold it into the checksum register."""
+        b = self.builder
+        b.load(1, offset=address, acquire=acquire)
+        b.xor(CHECKSUM_REG, CHECKSUM_REG, 1)
+
+    def store_value(self, address: int, value_seed: int) -> None:
+        """Store a value derived from the checksum (data-dependent, so any
+        replay divergence cascades into memory state)."""
+        b = self.builder
+        b.xori(2, CHECKSUM_REG, value_seed & 0xFFFF)
+        b.store(2, offset=address)
+
+    def compute(self, alu_ops: int) -> None:
+        """Pure ALU filler mixing the checksum register."""
+        b = self.builder
+        for index in range(alu_ops):
+            if index % 3 == 0:
+                b.muli(3, CHECKSUM_REG, 2654435761)
+            elif index % 3 == 1:
+                b.shri(4, 3, 13)
+            else:
+                b.xor(CHECKSUM_REG, CHECKSUM_REG, 4)
+
+    def private_mix(self, base: int, words: int, accesses: int,
+                    *, store_ratio: float = 0.35, alu_per_access: int = 1) -> None:
+        """A realistic private working loop: strided/random loads and stores
+        over ``[base, base + words)`` with ALU work in between."""
+        b = self.builder
+        rng = self.rng
+        for _ in range(accesses):
+            offset = base + rng.randrange(words) * WORD_BYTES
+            if rng.random() < store_ratio:
+                self.store_value(offset, rng.getrandbits(16))
+            else:
+                self.load_checksum(offset)
+            self.compute(alu_per_access)
+
+    def read_region(self, base: int, words: int, accesses: int,
+                    *, stride: int = 1) -> None:
+        """Read-only sweep over a (possibly remote-written) region."""
+        rng = self.rng
+        start = rng.randrange(max(1, words))
+        for index in range(accesses):
+            word = (start + index * stride) % words
+            self.load_checksum(base + word * WORD_BYTES)
+
+    def write_region(self, base: int, words: int, accesses: int,
+                     *, stride: int = 1) -> None:
+        """Write sweep over a region this thread produces."""
+        rng = self.rng
+        start = rng.randrange(max(1, words))
+        for index in range(accesses):
+            word = (start + index * stride) % words
+            self.store_value(base + word * WORD_BYTES, index)
+
+    def critical_section(self, lock_addr: int, body) -> None:
+        """Run ``body()`` under a test-and-set spin lock."""
+        b = self.builder
+        b.spin_lock(lock_addr, 5)
+        body()
+        b.spin_unlock(lock_addr, 5)
+
+    def locked_update(self, lock_addr: int, data_addr: int, words: int = 1) -> None:
+        """Classic lock-protected read-modify-write of a shared record."""
+        def body():
+            for word in range(words):
+                address = data_addr + word * WORD_BYTES
+                self.load_checksum(address)
+                self.builder.addi(2, 1, 1)
+                self.builder.store(2, offset=address)
+        self.critical_section(lock_addr, body)
+
+    def barrier(self, counter_addr: int) -> None:
+        """Join a barrier episode (each episode uses a fresh counter)."""
+        self.builder.barrier(counter_addr, self.spec.num_threads, 6, 7)
+
+    def atomic_ticket(self, counter_addr: int, dst_reg: int) -> None:
+        """Fetch-and-increment a shared work counter; old value -> dst."""
+        b = self.builder
+        b.movi(8, 1)
+        b.atomic_add(counter_addr, 8, dst_reg)
+
+    # ------------------------------------------- dynamic addressing
+
+    def indexed_addr(self, dst_reg: int, index_reg: int, base: int,
+                     element_shift: int, mask: int | None = None) -> None:
+        """``dst = base + (index [& mask]) << element_shift`` — the address of
+        element ``index`` in an array of ``2**element_shift``-byte records."""
+        b = self.builder
+        source = index_reg
+        if mask is not None:
+            b.andi(dst_reg, index_reg, mask)
+            source = dst_reg
+        b.shli(dst_reg, source, element_shift)
+        b.addi(dst_reg, dst_reg, base)
+
+    def chase(self, base: int, words: int, steps: int, *, ptr_reg: int = 9,
+              store_base: int | None = None, store_words: int = 0,
+              store_every: int = 4) -> None:
+        """Pointer-chase through a read-only region: each loaded value picks
+        the next index.  ``words`` must be a power of two.  Exercises loads
+        whose addresses depend on earlier loads.
+
+        When ``store_base`` is given, an independent private store is issued
+        every ``store_every`` steps (rendering kernels write results while
+        walking their acceleration structures), which keeps the chase from
+        being a fully serialized memory stream.
+        """
+        if words & (words - 1):
+            raise WorkloadError("chase region size must be a power of two")
+        b = self.builder
+        b.movi(ptr_reg, base + self.rng.randrange(words) * WORD_BYTES)
+        for step in range(steps):
+            b.load(1, base=ptr_reg)
+            b.xor(CHECKSUM_REG, CHECKSUM_REG, 1)
+            self.indexed_addr(ptr_reg, 1, base, 3, mask=words - 1)
+            if store_base is not None and step % store_every == store_every - 1:
+                self.store_value(store_base
+                                 + self.rng.randrange(store_words) * WORD_BYTES,
+                                 step)
+
+    def locked_update_indirect(self, lock_reg: int, data_reg: int,
+                               words: int = 1) -> None:
+        """Lock-protected update of a record whose address is in a register
+        (per-object fine-grained locking, as in water/cholesky)."""
+        b = self.builder
+        b.spin_lock_indirect(lock_reg, 5)
+        for word in range(words):
+            b.load(1, base=data_reg, offset=word * WORD_BYTES)
+            b.xor(CHECKSUM_REG, CHECKSUM_REG, 1)
+            b.addi(2, 1, 1)
+            b.store(2, base=data_reg, offset=word * WORD_BYTES)
+        b.spin_unlock_indirect(lock_reg, 5)
+
+    def finalize(self, result_base: int) -> None:
+        """Publish the thread's checksum (makes replay divergence visible in
+        final memory, not just registers)."""
+        self.builder.store(CHECKSUM_REG,
+                           offset=result_base + self.thread_id * WORD_BYTES)
+
+
+def make_program(name: str, spec: WorkloadSpec, build_thread,
+                 *, initial_memory: dict[int, int] | None = None,
+                 metadata: dict | None = None) -> Program:
+    """Assemble a :class:`Program` by running ``build_thread(kernel)`` for
+    each thread id."""
+    threads = []
+    for thread_id in range(spec.num_threads):
+        kernel = KernelThread(thread_id, spec, name)
+        build_thread(kernel)
+        threads.append(kernel.builder.build())
+    meta = {"num_threads": spec.num_threads, "scale": spec.scale,
+            "seed": spec.seed}
+    meta.update(metadata or {})
+    return Program(threads, initial_memory=dict(initial_memory or {}),
+                   name=name, metadata=meta).validate()

@@ -1,0 +1,188 @@
+"""Task-parallel / irregular kernels: radix, raytrace, radiosity, volrend.
+
+``radix``
+    Histogram accumulation with atomic fetch-and-add on a small shared
+    histogram (heavy RMW contention) followed by a permutation phase that
+    scatters writes across a large shared output array.
+``raytrace``
+    A central ticket queue hands out tiles; each ray walks the read-only
+    scene (pointer chasing) and writes its tile of the shared framebuffer
+    (dynamically assigned, deliberately not line-aligned, so neighbouring
+    tiles exhibit false sharing).
+``radiosity``
+    Per-thread task counters with work stealing: when a thread "steals" it
+    reads a victim's patch region and both touch the same counter lines;
+    patch updates are lock-protected.
+``volrend``
+    Read-only volume data, a shared tile counter, private image writes and
+    a rarely-updated global statistics cell.
+"""
+
+from __future__ import annotations
+
+from ..isa.instructions import WORD_BYTES
+from ..isa.program import Program
+from .base import Allocator, KernelThread, WorkloadSpec, make_program
+from .nbody import _read_only_init
+
+__all__ = ["build_radix", "build_raytrace", "build_radiosity", "build_volrend"]
+
+
+def build_radix(spec: WorkloadSpec) -> Program:
+    """The `radix` analog: atomic histogram merges then a contended permutation scatter."""
+    alloc = Allocator()
+    threads = spec.num_threads
+    hist_words = 32
+    histogram = alloc.array("histogram", hist_words)
+    out_words = 256 * threads
+    output = alloc.array("output", out_words)
+    keys = [alloc.array(f"keys{t}", 256) for t in range(threads)]
+    barriers = [alloc.word(f"bar{i}") for i in range(3)]
+    results = alloc.array("results", threads)
+    local_accesses = spec.scaled(800, minimum=8)
+    hist_updates = spec.scaled(32, minimum=4)
+    scatter_writes = spec.scaled(160, minimum=8)
+
+    def build(k: KernelThread) -> None:
+        own = keys[k.thread_id]
+        # Phase 1: local histogram of own keys (private), then merge into
+        # the global histogram with atomic adds (contended RMWs).
+        k.private_mix(own, 256, local_accesses, store_ratio=0.3)
+        for _ in range(hist_updates):
+            bucket = k.rng.randrange(hist_words)
+            k.movi(8, 1)
+            k.atomic_add(histogram + bucket * WORD_BYTES, 8, 9)
+        k.barrier(barriers[0])
+        # Phase 2: permutation — scatter writes into the shared output.
+        for _ in range(scatter_writes):
+            k.store_value(output + k.rng.randrange(out_words) * WORD_BYTES,
+                          k.rng.getrandbits(16))
+            k.compute(1)
+        k.barrier(barriers[1])
+        # Phase 3: verify a slice of the permuted output (remote reads).
+        k.read_region(output, out_words, spec.scaled(80, minimum=4),
+                      stride=threads + 1)
+        k.barrier(barriers[2])
+        k.finalize(results)
+
+    return make_program("radix", spec, build,
+                        metadata={"hist_words": hist_words,
+                                  "out_words": out_words})
+
+
+def build_raytrace(spec: WorkloadSpec) -> Program:
+    """The `raytrace` analog: a tile ticket queue, read-only scene chases, false-shared framebuffer."""
+    alloc = Allocator()
+    threads = spec.num_threads
+    scene_words = 2048
+    scene = alloc.array("scene", scene_words)
+    tiles = 64  # power of two; tile stride deliberately odd for false sharing
+    tile_words = 12
+    framebuffer = alloc.array("framebuffer", tiles * tile_words)
+    ticket = alloc.word("ticket")
+    barriers = [alloc.word("bar0")]
+    results = alloc.array("results", threads)
+    tasks = spec.scaled(12, minimum=2)
+    rays_per_tile = spec.scaled(10, minimum=2)
+    scratch = [alloc.array(f"raystack{t}", 64) for t in range(threads)]
+
+    def build(k: KernelThread) -> None:
+        own_scratch = scratch[k.thread_id]
+        for _task in range(tasks):
+            k.atomic_ticket(ticket, 11)
+            # tile_addr = framebuffer + (ticket % tiles) * 96 bytes: compute
+            # via mask + multiply (96 is not a power of two, hence mul).
+            k.andi(12, 11, tiles - 1)
+            k.muli(12, 12, tile_words * WORD_BYTES)
+            k.addi(12, 12, framebuffer)
+            for _ray in range(rays_per_tile):
+                # Walk the BVH, pushing hits onto the private ray stack.
+                k.chase(scene, scene_words, spec.scaled(8, minimum=2),
+                        store_base=own_scratch, store_words=64, store_every=2)
+                k.private_mix(own_scratch, 64, spec.scaled(12, minimum=2),
+                              store_ratio=0.4)
+                # Shade: write a pixel of the grabbed tile.
+                pixel = k.rng.randrange(tile_words) * WORD_BYTES
+                k.xori(2, 10, k.rng.getrandbits(16))
+                k.store(2, base=12, offset=pixel)
+        k.barrier(barriers[0])
+        k.finalize(results)
+
+    return make_program(
+        "raytrace", spec, build,
+        initial_memory=_read_only_init(scene, scene_words, spec.seed + 1),
+        metadata={"tiles": tiles, "tile_words": tile_words})
+
+
+def build_radiosity(spec: WorkloadSpec) -> Program:
+    """The `radiosity` analog: per-thread task queues with stealing and locked patch updates."""
+    alloc = Allocator()
+    threads = spec.num_threads
+    patches = 16
+    patch_words = 32
+    patch_data = alloc.array("patches", patches * patch_words)
+    patch_locks = alloc.array("patch_locks", patches * 4)
+    queues = [alloc.word(f"queue{t}") for t in range(threads)]
+    work = [alloc.array(f"work{t}", 192) for t in range(threads)]
+    barriers = [alloc.word("bar0")]
+    results = alloc.array("results", threads)
+    tasks = spec.scaled(14, minimum=3)
+
+    def build(k: KernelThread) -> None:
+        own = work[k.thread_id]
+        for _task in range(tasks):
+            steal = k.rng.random() < 0.2
+            victim = (k.rng.randrange(threads) if steal else k.thread_id)
+            k.atomic_ticket(queues[victim], 11)
+            if steal and victim != k.thread_id:
+                # Pull the victim's task data across.
+                k.read_region(work[victim], 192, spec.scaled(25, minimum=2))
+            # Form-factor computation on own buffers.
+            k.private_mix(own, 192, spec.scaled(200, minimum=3),
+                          store_ratio=0.4)
+            # Radiosity gather: lock-protected patch update.
+            patch = k.rng.randrange(patches)
+            k.locked_update(patch_locks + patch * 32,
+                            patch_data + patch * patch_words * WORD_BYTES,
+                            words=3)
+        k.barrier(barriers[0])
+        k.finalize(results)
+
+    return make_program("radiosity", spec, build,
+                        metadata={"patches": patches, "tasks": tasks})
+
+
+def build_volrend(spec: WorkloadSpec) -> Program:
+    """The `volrend` analog: read-only volume chases into private image strips."""
+    alloc = Allocator()
+    threads = spec.num_threads
+    volume_words = 2048
+    volume = alloc.array("volume", volume_words)
+    image = [alloc.array(f"image{t}", 128) for t in range(threads)]
+    ticket = alloc.word("ticket")
+    stats_lock = alloc.word("stats_lock")
+    stats = alloc.word("stats")
+    barriers = [alloc.word("bar0")]
+    results = alloc.array("results", threads)
+    tasks = spec.scaled(16, minimum=3)
+
+    def build(k: KernelThread) -> None:
+        own = image[k.thread_id]
+        for task in range(tasks):
+            k.atomic_ticket(ticket, 11)
+            # Cast rays through the (read-only) volume, compositing into the
+            # private image strip as samples accumulate.
+            k.chase(volume, volume_words, spec.scaled(18, minimum=2),
+                    store_base=own, store_words=128, store_every=2)
+            k.write_region(own, 128, spec.scaled(40, minimum=2))
+            k.private_mix(own, 128, spec.scaled(60, minimum=2),
+                          store_ratio=0.35)
+            if task % 5 == 4:
+                k.locked_update(stats_lock, stats, words=1)
+        k.barrier(barriers[0])
+        k.finalize(results)
+
+    return make_program(
+        "volrend", spec, build,
+        initial_memory=_read_only_init(volume, volume_words, spec.seed + 2),
+        metadata={"volume_words": volume_words, "tasks": tasks})

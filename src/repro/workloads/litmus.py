@@ -1,0 +1,394 @@
+"""Classic memory-model litmus tests.
+
+RelaxReplay's correctness argument rests on two properties of the machine
+being recorded: the coherence substrate provides *write atomicity*
+(Observation 1), and the core may otherwise reorder accesses as its
+consistency model allows.  This module encodes the standard litmus tests
+(store buffering, message passing, load buffering, IRIW, coherence
+read-read, 2+2W) as runnable programs, explores timing interleavings by
+staggering thread start-up, and classifies the observed outcomes.
+
+Besides validating the simulated SC/TSO/RC implementations against the
+models' allowed-outcome sets, every litmus execution can be recorded and
+replayed — demonstrating that RelaxReplay reproduces even the "weird"
+relaxed outcomes exactly (the whole point of the paper).
+
+Two outcomes are *architecturally allowed* but never produced by this
+implementation (each test lists them in ``unproduced_here``):
+
+* LB's ``(1, 1)`` needs load-store speculation — stores here perform only
+  after retirement, which follows all older loads' performs, as on most
+  real hardware;
+* MP's ``(1, 0)`` needs a remote core to observe the flag store while the
+  data store is still invisible; the atomic single-commit bus serializes
+  store visibility to within ~a cycle, so the window is effectively
+  unobservable.  (The *recorder* still sees the writer's store-store
+  reordering — the flag store hits in M under the data store's pending
+  upgrade — it is only remote visibility mid-window that the bus model
+  forecloses.)
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..common.config import ConsistencyModel, MachineConfig, RecorderConfig
+from ..isa.builder import ThreadBuilder
+from ..isa.program import Program
+from ..sim import Machine
+
+__all__ = ["LitmusTest", "LitmusResult", "LITMUS_TESTS", "run_litmus",
+           "litmus_program"]
+
+_X = 0x1000
+_Y = 0x2000  # different cache lines
+_OUT = 0x8000
+
+SC = ConsistencyModel.SC
+TSO = ConsistencyModel.TSO
+RC = ConsistencyModel.RC
+
+
+@dataclass(frozen=True)
+class LitmusTest:
+    """One litmus shape.
+
+    ``threads`` is a list of callables ``(builder, out_slot)``; observed
+    registers are published to ``_OUT + slot*8`` so outcomes can be read
+    from final memory.  ``allowed`` maps each consistency model to the set
+    of outcomes the *model* permits; ``unproduced_here`` lists outcomes
+    that are allowed (under the weakest model) but which this
+    implementation never manufactures (see the module docstring).
+    """
+
+    name: str
+    description: str
+    threads: tuple
+    #: observed values each thread publishes (slot bases are cumulative)
+    publishes: tuple
+    outcome_slots: int
+    allowed: dict
+    unproduced_here: frozenset = frozenset()
+
+    def forbidden(self, model: ConsistencyModel) -> set[tuple[int, ...]]:
+        universe = set(itertools.product((0, 1),
+                                         repeat=self.outcome_slots))
+        return universe - self.allowed[model]
+
+
+@dataclass
+class LitmusResult:
+    """Outcomes observed over a sweep of timing perturbations."""
+
+    test: LitmusTest
+    model: ConsistencyModel
+    observed: dict = field(default_factory=dict)  # outcome -> count
+
+    @property
+    def violations(self) -> set[tuple[int, ...]]:
+        return set(self.observed) & self.test.forbidden(self.model)
+
+    def saw(self, outcome: tuple[int, ...]) -> bool:
+        return outcome in self.observed
+
+
+# ------------------------------------------------------------------ shapes
+
+def _publish(builder: ThreadBuilder, reg: int, slot: int) -> None:
+    builder.store(reg, offset=_OUT + slot * 8)
+
+
+def _sb_t0(builder, base_slot):
+    builder.movi(1, 1)
+    builder.store(1, offset=_X)
+    builder.load(2, offset=_Y)
+    _publish(builder, 2, base_slot)
+
+
+def _sb_t1(builder, base_slot):
+    builder.movi(1, 1)
+    builder.store(1, offset=_Y)
+    builder.load(2, offset=_X)
+    _publish(builder, 2, base_slot)
+
+
+def _mp_writer(builder, base_slot, *, release=False):
+    # Dirty the flag's line first (a different word of it), so the flag
+    # store can hit in M and perform under the data store's miss — the
+    # store-store reordering a plain RC write buffer exhibits.  A release
+    # flag store must wait for the data store regardless.
+    builder.movi(3, 7)
+    builder.store(3, offset=_Y + 8)
+    builder.movi(1, 1)
+    builder.store(1, offset=_X)
+    builder.movi(2, 1)
+    builder.store(2, offset=_Y, release=release)
+
+
+def _mp_reader(builder, base_slot, *, acquire=False):
+    builder.load(1, offset=_Y, acquire=acquire)
+    builder.load(2, offset=_X)
+    _publish(builder, 1, base_slot)
+    _publish(builder, 2, base_slot + 1)
+
+
+def _lb_t0(builder, base_slot):
+    builder.load(1, offset=_X)
+    builder.movi(2, 1)
+    builder.store(2, offset=_Y)
+    _publish(builder, 1, base_slot)
+
+
+def _lb_t1(builder, base_slot):
+    builder.load(1, offset=_Y)
+    builder.movi(2, 1)
+    builder.store(2, offset=_X)
+    _publish(builder, 1, base_slot)
+
+
+def _iriw_writer(address):
+    def build(builder, base_slot):
+        builder.movi(1, 1)
+        builder.store(1, offset=address)
+    return build
+
+
+def _iriw_reader(first, second):
+    def build(builder, base_slot):
+        builder.load(1, offset=first)
+        builder.fence()
+        builder.load(2, offset=second)
+        _publish(builder, 1, base_slot)
+        _publish(builder, 2, base_slot + 1)
+    return build
+
+
+def _sb_fenced(store_addr, load_addr):
+    def build(builder, base_slot):
+        builder.movi(1, 1)
+        builder.store(1, offset=store_addr)
+        builder.fence()
+        builder.load(2, offset=load_addr)
+        _publish(builder, 2, base_slot)
+    return build
+
+
+def _wrc_t0(builder, base_slot):
+    builder.movi(1, 1)
+    builder.store(1, offset=_X)
+
+
+def _wrc_t1(builder, base_slot):
+    builder.load(1, offset=_X)      # r1: may observe T0's write...
+    builder.fence()
+    builder.movi(2, 1)
+    builder.store(2, offset=_Y)     # ...then propagate via y
+    _publish(builder, 1, base_slot)
+
+
+def _wrc_t2(builder, base_slot):
+    builder.load(1, offset=_Y)      # r2
+    builder.fence()
+    builder.load(2, offset=_X)      # r3: must see x if r1 and r2 did
+    _publish(builder, 1, base_slot)
+    _publish(builder, 2, base_slot + 1)
+
+
+def _corr_writer(builder, base_slot):
+    builder.movi(1, 1)
+    builder.store(1, offset=_X)
+
+
+def _corr_reader(builder, base_slot):
+    builder.load(1, offset=_X)
+    builder.load(2, offset=_X)
+    _publish(builder, 1, base_slot)
+    _publish(builder, 2, base_slot + 1)
+
+
+_ALL2 = set(itertools.product((0, 1), repeat=2))
+_ALL3 = set(itertools.product((0, 1), repeat=3))
+_ALL4 = set(itertools.product((0, 1), repeat=4))
+
+LITMUS_TESTS: dict[str, LitmusTest] = {
+    "SB": LitmusTest(
+        name="SB",
+        description="Store buffering (Dekker): both threads store then load "
+                    "the other's flag; (0,0) exposes store->load reordering.",
+        threads=(_sb_t0, _sb_t1),
+        publishes=(1, 1),
+        outcome_slots=2,
+        allowed={
+            SC: _ALL2 - {(0, 0)},
+            TSO: _ALL2,
+            RC: _ALL2,
+        },
+    ),
+    "MP": LitmusTest(
+        name="MP",
+        description="Message passing without synchronization: (flag=1, "
+                    "data=0) exposes store-store or load-load reordering.",
+        threads=(lambda b, s: _mp_writer(b, s),
+                 lambda b, s: _mp_reader(b, s)),
+        publishes=(0, 2),
+        outcome_slots=2,
+        allowed={
+            SC: _ALL2 - {(1, 0)},
+            TSO: _ALL2 - {(1, 0)},
+            RC: _ALL2,
+        },
+        unproduced_here=frozenset({(1, 0)}),
+    ),
+    "MP+rel-acq": LitmusTest(
+        name="MP+rel-acq",
+        description="Message passing with release store / acquire load: "
+                    "(1, 0) is forbidden under every model.",
+        threads=(lambda b, s: _mp_writer(b, s, release=True),
+                 lambda b, s: _mp_reader(b, s, acquire=True)),
+        publishes=(0, 2),
+        outcome_slots=2,
+        allowed={
+            SC: _ALL2 - {(1, 0)},
+            TSO: _ALL2 - {(1, 0)},
+            RC: _ALL2 - {(1, 0)},
+        },
+    ),
+    "LB": LitmusTest(
+        name="LB",
+        description="Load buffering: (1,1) needs loads to see stores that "
+                    "program-order-follow them (speculation only).",
+        threads=(_lb_t0, _lb_t1),
+        publishes=(1, 1),
+        outcome_slots=2,
+        allowed={
+            SC: _ALL2 - {(1, 1)},
+            TSO: _ALL2 - {(1, 1)},
+            RC: _ALL2,  # architecturally allowed...
+        },
+        unproduced_here=frozenset({(1, 1)}),  # ...never produced here
+    ),
+    "IRIW": LitmusTest(
+        name="IRIW",
+        description="Independent reads of independent writes, with fenced "
+                    "readers: (1,0,1,0) requires non-atomic stores and is "
+                    "forbidden on any write-atomic machine (Observation 1).",
+        threads=(_iriw_writer(_X), _iriw_writer(_Y),
+                 _iriw_reader(_X, _Y), _iriw_reader(_Y, _X)),
+        publishes=(0, 0, 2, 2),
+        outcome_slots=4,
+        allowed={
+            SC: _ALL4 - {(1, 0, 1, 0)},
+            TSO: _ALL4 - {(1, 0, 1, 0)},
+            RC: _ALL4 - {(1, 0, 1, 0)},
+        },
+    ),
+    "SB+fences": LitmusTest(
+        name="SB+fences",
+        description="Dekker with full fences between store and load: the "
+                    "(0,0) outcome is forbidden under every model (fences "
+                    "restore SC for this pattern).",
+        threads=(_sb_fenced(_X, _Y), _sb_fenced(_Y, _X)),
+        publishes=(1, 1),
+        outcome_slots=2,
+        allowed={
+            SC: _ALL2 - {(0, 0)},
+            TSO: _ALL2 - {(0, 0)},
+            RC: _ALL2 - {(0, 0)},
+        },
+    ),
+    "WRC": LitmusTest(
+        name="WRC",
+        description="Write-to-read causality with fenced middleman and "
+                    "reader: (r1,r2,r3)=(1,1,0) needs non-atomic writes "
+                    "and is forbidden on this machine (Observation 1).",
+        threads=(_wrc_t0, _wrc_t1, _wrc_t2),
+        publishes=(0, 1, 2),
+        outcome_slots=3,
+        allowed={
+            SC: _ALL3 - {(1, 1, 0)},
+            TSO: _ALL3 - {(1, 1, 0)},
+            RC: _ALL3 - {(1, 1, 0)},
+        },
+    ),
+    "CoRR": LitmusTest(
+        name="CoRR",
+        description="Coherence read-read: two program-ordered loads of one "
+                    "location may not observe values in anti-coherence "
+                    "order ((1, 0) forbidden everywhere).",
+        threads=(_corr_writer, _corr_reader),
+        publishes=(0, 2),
+        outcome_slots=2,
+        allowed={
+            SC: _ALL2 - {(1, 0)},
+            TSO: _ALL2 - {(1, 0)},
+            RC: _ALL2 - {(1, 0)},
+        },
+    ),
+}
+
+
+def litmus_program(test: LitmusTest, staggers: tuple[int, ...], *,
+                   warm: bool = True) -> Program:
+    """Build the litmus program with per-thread start-up delays.
+
+    ``warm`` pre-loads both test lines into each thread's cache before the
+    stagger: relaxed outcomes generally require a later load to *hit* under
+    an earlier miss, which cold caches never produce.  (Warming loads use a
+    scratch register and publish nothing.)
+    """
+    threads = []
+    for index, (build, stagger) in enumerate(zip(test.threads, staggers)):
+        builder = ThreadBuilder(f"{test.name}.t{index}")
+        # Stagger first: the warm-up misses take ~memory-latency cycles, so
+        # a post-warm-up stagger smaller than that would be masked.
+        if stagger:
+            builder.nop(stagger)
+        if warm:
+            builder.load(15, offset=_X)
+            builder.load(15, offset=_Y)
+            builder.fence()
+        build(builder, sum(test.publishes[:index]))
+        threads.append(builder.build())
+    return Program(threads, name=f"litmus_{test.name}")
+
+
+_STAGGER_AXIS = (0, 20, 60, 120, 200, 320, 480, 700, 1000, 1400)
+
+
+def run_litmus(test: LitmusTest, model: ConsistencyModel, *,
+               stagger_axis: tuple[int, ...] = _STAGGER_AXIS,
+               record_variant: RecorderConfig | None = None) -> LitmusResult:
+    """Sweep start-up staggers and classify outcomes.
+
+    With ``record_variant`` set, every execution is also recorded (the
+    returned result gains a ``recordings`` list of
+    :class:`~repro.sim.machine.RunResult`).
+    """
+    from dataclasses import replace
+
+    result = LitmusResult(test, model)
+    recordings = []
+    staggers_axis = list(stagger_axis)
+    num_threads = len(test.threads)
+    variants = ({"litmus": record_variant} if record_variant is not None
+                else None)
+    config = replace(MachineConfig(num_cores=num_threads),
+                     consistency=model)
+    machine = (Machine(config, variants) if variants
+               else Machine(config))
+
+    combos = itertools.product(staggers_axis, repeat=min(num_threads, 2))
+    for combo in combos:
+        staggers = tuple(combo[index % len(combo)]
+                         for index in range(num_threads))
+        program = litmus_program(test, staggers)
+        run = machine.run(program)
+        outcome = tuple(1 if run.final_memory.get(_OUT + slot * 8, 0) else 0
+                        for slot in range(test.outcome_slots))
+        result.observed[outcome] = result.observed.get(outcome, 0) + 1
+        if record_variant is not None:
+            recordings.append(run)
+    if record_variant is not None:
+        result.recordings = recordings
+    return result

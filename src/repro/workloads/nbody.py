@@ -1,0 +1,183 @@
+"""Irregular n-body style kernels: barnes, fmm, water-nsquared, water-spatial.
+
+``barnes``
+    Pointer-chasing reads of a shared read-only octree interleaved with
+    private body updates and occasional lock-protected centre-of-mass
+    updates — read-mostly sharing with fine-grained locking.
+``fmm``
+    Structured cell interactions: each thread writes its own cells, then
+    reads a random interaction list of other threads' cells each phase.
+``water_nsquared``
+    All-pairs force computation: private work plus frequent lock-protected
+    read-modify-writes of *other* threads' molecule records (migratory
+    sharing), ending in a global lock-protected reduction.
+``water_spatial``
+    Spatial decomposition: mostly-private box updates with boundary reads
+    from ring neighbours and rare locked boundary migrations.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..isa.instructions import WORD_BYTES
+from ..isa.program import Program
+from .base import Allocator, KernelThread, WorkloadSpec, make_program
+
+__all__ = ["build_barnes", "build_fmm", "build_water_nsquared",
+           "build_water_spatial"]
+
+
+def _read_only_init(base: int, words: int, seed: int) -> dict[int, int]:
+    """Deterministic contents for a read-only region (pointer-chase data)."""
+    rng = random.Random(seed * 16369 + base)
+    return {base + index * WORD_BYTES: rng.getrandbits(48)
+            for index in range(words)}
+
+
+def build_barnes(spec: WorkloadSpec) -> Program:
+    """The `barnes` analog: read-only tree walks, private bodies, locked centre updates."""
+    alloc = Allocator()
+    threads = spec.num_threads
+    tree_words = 1024
+    tree = alloc.array("tree", tree_words)
+    num_centers = max(4, threads)
+    center_locks = alloc.array("center_locks", num_centers * 4)
+    centers = alloc.array("centers", num_centers * 4)
+    bodies = [alloc.array(f"bodies{t}", 256) for t in range(threads)]
+    barriers = [alloc.word(f"bar{i}") for i in range(3)]
+    results = alloc.array("results", threads)
+    steps = spec.scaled(2, minimum=1)
+    walk_length = spec.scaled(180, minimum=8)
+    body_accesses = spec.scaled(700, minimum=8)
+
+    def build(k: KernelThread) -> None:
+        own = bodies[k.thread_id]
+        for step in range(steps):
+            # Tree walks (force computation): read-only pointer chasing.
+            k.chase(tree, tree_words, walk_length,
+                    store_base=own, store_words=256, store_every=3)
+            # Integrate own bodies.
+            k.private_mix(own, 256, body_accesses, store_ratio=0.45)
+            # Occasional centre-of-mass updates under per-cell locks.
+            for _ in range(spec.scaled(3, minimum=1)):
+                cell = k.rng.randrange(num_centers)
+                k.locked_update(center_locks + cell * 32,
+                                centers + cell * 32, words=2)
+            if step < len(barriers):
+                k.barrier(barriers[step])
+        k.finalize(results)
+
+    return make_program(
+        "barnes", spec, build,
+        initial_memory=_read_only_init(tree, tree_words, spec.seed),
+        metadata={"tree_words": tree_words, "steps": steps})
+
+
+def build_fmm(spec: WorkloadSpec) -> Program:
+    """The `fmm` analog: own-cell writes then interaction-list reads of peers' cells."""
+    alloc = Allocator()
+    threads = spec.num_threads
+    cell_words = spec.scaled(128, minimum=16)
+    cells = [alloc.array(f"cells{t}", cell_words) for t in range(threads)]
+    phases = spec.scaled(3, minimum=2)
+    barriers = [alloc.word(f"bar{i}") for i in range(2 * phases + 1)]
+    results = alloc.array("results", threads)
+
+    def build(k: KernelThread) -> None:
+        own = cells[k.thread_id]
+        for phase in range(phases):
+            # Upward pass: compute multipole expansions for own cells.
+            k.write_region(own, cell_words, spec.scaled(200, minimum=4))
+            k.private_mix(own, cell_words, spec.scaled(400, minimum=4),
+                          store_ratio=0.3)
+            k.barrier(barriers[2 * phase])
+            # Interaction lists: read a random subset of peers' cells.
+            peers = [p for p in range(threads) if p != k.thread_id]
+            k.rng.shuffle(peers)
+            for peer in peers[:max(1, len(peers) // 2)]:
+                k.read_region(cells[peer], cell_words,
+                              spec.scaled(30, minimum=2))
+            k.barrier(barriers[2 * phase + 1])
+        k.barrier(barriers[-1])
+        k.finalize(results)
+
+    return make_program("fmm", spec, build,
+                        metadata={"cell_words": cell_words, "phases": phases})
+
+
+def build_water_nsquared(spec: WorkloadSpec) -> Program:
+    """The `water-nsquared` analog: per-molecule locked accumulations plus a global reduction."""
+    alloc = Allocator()
+    threads = spec.num_threads
+    molecules = 32  # power of two for register-masked indexing
+    mol_words = 8
+    mol_shift = 6   # 8 words * 8 bytes
+    mol_data = alloc.array("molecules", molecules * mol_words)
+    mol_locks = alloc.array("mol_locks", molecules * 4)
+    global_lock = alloc.word("global_lock")
+    global_acc = alloc.word("global_acc")
+    barriers = [alloc.word(f"bar{i}") for i in range(3)]
+    results = alloc.array("results", threads)
+    private = [alloc.array(f"forces{t}", 128) for t in range(threads)]
+    interactions = spec.scaled(24, minimum=4)
+
+    def build(k: KernelThread) -> None:
+        own = private[k.thread_id]
+        for step in range(2):
+            for _ in range(interactions):
+                # Pairwise force: private computation...
+                k.private_mix(own, 128, spec.scaled(90, minimum=2),
+                              store_ratio=0.4)
+                # ...then accumulate into a random molecule under its lock.
+                k.movi(11, k.rng.randrange(molecules))
+                k.indexed_addr(12, 11, mol_locks, 5, mask=molecules - 1)
+                k.indexed_addr(13, 11, mol_data, mol_shift,
+                               mask=molecules - 1)
+                k.locked_update_indirect(12, 13, words=3)
+            # Global potential-energy reduction.
+            k.locked_update(global_lock, global_acc, words=1)
+            k.barrier(barriers[step])
+        k.barrier(barriers[2])
+        k.finalize(results)
+
+    return make_program("water_nsquared", spec, build,
+                        metadata={"molecules": molecules,
+                                  "interactions": interactions})
+
+
+def build_water_spatial(spec: WorkloadSpec) -> Program:
+    """The `water-spatial` analog: private boxes, neighbour boundary reads, rare locked migrations."""
+    alloc = Allocator()
+    threads = spec.num_threads
+    box_words = spec.scaled(192, minimum=32)
+    boundary_words = max(8, box_words // 12)
+    boxes = [alloc.array(f"box{t}", box_words) for t in range(threads)]
+    boundary_locks = [alloc.word(f"blk{t}") for t in range(threads)]
+    iterations = spec.scaled(3, minimum=2)
+    barriers = [alloc.word(f"bar{i}") for i in range(iterations + 1)]
+    results = alloc.array("results", threads)
+
+    def build(k: KernelThread) -> None:
+        own = boxes[k.thread_id]
+        left = (k.thread_id - 1) % threads
+        right = (k.thread_id + 1) % threads
+        for iteration in range(iterations):
+            k.private_mix(own, box_words, spec.scaled(700, minimum=8),
+                          store_ratio=0.45)
+            # Read neighbour boundaries (molecules near the box faces).
+            k.read_region(boxes[left] + (box_words - boundary_words) * WORD_BYTES,
+                          boundary_words, boundary_words)
+            k.read_region(boxes[right], boundary_words, boundary_words)
+            # A molecule occasionally migrates across a boundary.
+            if k.rng.random() < 0.6:
+                neighbour = left if k.rng.random() < 0.5 else right
+                k.locked_update(boundary_locks[neighbour], boxes[neighbour],
+                                words=2)
+            k.barrier(barriers[iteration])
+        k.barrier(barriers[-1])
+        k.finalize(results)
+
+    return make_program("water_spatial", spec, build,
+                        metadata={"box_words": box_words,
+                                  "iterations": iterations})

@@ -1,0 +1,85 @@
+"""Random multithreaded program generation for property-based testing.
+
+These programs are adversarial rather than realistic: they mix private and
+heavily-shared accesses, forwarding-prone same-word store/load pairs,
+acquire/release flags, fences and atomic counters, with all control flow
+bounded (straight-line plus finite retry loops) so every program terminates.
+The property tests record them under every recorder variant and verify
+bit-exact deterministic replay.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..isa.instructions import WORD_BYTES
+from ..isa.program import Program
+from .base import Allocator, KernelThread, WorkloadSpec, make_program
+
+__all__ = ["random_program"]
+
+
+def random_program(num_threads: int, ops_per_thread: int, seed: int, *,
+                   shared_words: int = 16, private_words: int = 32,
+                   lock_probability: float = 0.1,
+                   fence_probability: float = 0.05,
+                   sharing: float = 0.5) -> Program:
+    """Generate a terminating adversarial program.
+
+    ``sharing`` is the probability an access targets the shared region (the
+    same few cache lines for every thread), maximizing races and
+    interval-boundary crossings.
+    """
+    spec = WorkloadSpec(num_threads=num_threads, scale=1.0, seed=seed)
+    alloc = Allocator()
+    shared = alloc.array("shared", shared_words)
+    privates = [alloc.array(f"private{t}", private_words)
+                for t in range(num_threads)]
+    locks = [alloc.word(f"lock{i}") for i in range(2)]
+    counter = alloc.word("counter")
+    results = alloc.array("results", num_threads)
+    master = random.Random(seed)
+    thread_seeds = [master.getrandbits(32) for _ in range(num_threads)]
+
+    def build(k: KernelThread) -> None:
+        rng = random.Random(thread_seeds[k.thread_id])
+        own = privates[k.thread_id]
+        for _ in range(ops_per_thread):
+            roll = rng.random()
+            if roll < lock_probability:
+                lock = locks[rng.randrange(len(locks))]
+                k.locked_update(lock, shared + rng.randrange(shared_words)
+                                * WORD_BYTES, words=1)
+                continue
+            if roll < lock_probability + fence_probability:
+                k.builder.fence()
+                continue
+            if roll < lock_probability + fence_probability + 0.08:
+                k.movi(8, 1)
+                k.atomic_add(counter, 8, 9)
+                k.xor(10, 10, 9)
+                continue
+            if rng.random() < sharing:
+                base, words = shared, shared_words
+            else:
+                base, words = own, private_words
+            address = base + rng.randrange(words) * WORD_BYTES
+            choice = rng.random()
+            if choice < 0.45:
+                k.load_checksum(address)
+            elif choice < 0.85:
+                k.store_value(address, rng.getrandbits(16))
+            else:
+                # Same-word store->load pair: exercises forwarding.
+                k.store_value(address, rng.getrandbits(16))
+                k.load_checksum(address)
+            if rng.random() < 0.1:
+                k.builder.load(1, offset=address,
+                               acquire=rng.random() < 0.5)
+                k.builder.xor(10, 10, 1)
+            k.compute(rng.randrange(3))
+        k.finalize(results)
+
+    return make_program(f"random_{seed}", spec, build,
+                        metadata={"ops_per_thread": ops_per_thread,
+                                  "sharing": sharing})

@@ -1,0 +1,169 @@
+"""Regular scientific kernels: fft, lu, ocean, cholesky.
+
+Each generator reproduces the sharing structure of its SPLASH-2 namesake:
+
+``fft``
+    Bulk-synchronous phases of private butterfly computation followed by an
+    all-to-all transpose in which every thread reads the sections other
+    threads just wrote.
+``lu``
+    A rotating owner updates the shared diagonal block; after a barrier,
+    every thread reads it to update its own (private) blocks —
+    single-producer/many-consumer sharing.
+``ocean``
+    Red/black grid relaxation with nearest-neighbour boundary exchange:
+    each thread reads the edge rows of its ring neighbours and writes its
+    own partition each iteration.
+``cholesky``
+    A dynamic task queue (atomic ticket) hands out block updates; blocks
+    are protected by per-block locks, giving migratory read-modify-write
+    sharing on a moderate number of records.
+"""
+
+from __future__ import annotations
+
+from ..isa.instructions import WORD_BYTES
+from ..isa.program import Program
+from .base import Allocator, KernelThread, WorkloadSpec, make_program
+
+__all__ = ["build_fft", "build_lu", "build_ocean", "build_cholesky"]
+
+
+def build_fft(spec: WorkloadSpec) -> Program:
+    """The `fft` analog: bulk-synchronous butterfly phases plus an all-to-all transpose."""
+    alloc = Allocator()
+    threads = spec.num_threads
+    row_words = spec.scaled(256, minimum=16)
+    phases = 3
+    sections = [alloc.array(f"data{t}", row_words) for t in range(threads)]
+    scratch = [alloc.array(f"scratch{t}", row_words) for t in range(threads)]
+    barriers = [alloc.word(f"bar{i}") for i in range(2 * phases + 1)]
+    results = alloc.array("results", threads)
+    compute_accesses = spec.scaled(700, minimum=8)
+    transpose_reads = spec.scaled(150, minimum=8)
+
+    def build(k: KernelThread) -> None:
+        own = sections[k.thread_id]
+        own_scratch = scratch[k.thread_id]
+        for phase in range(phases):
+            # Butterfly stage on the thread's own rows.
+            k.private_mix(own, row_words, compute_accesses, store_ratio=0.4)
+            k.barrier(barriers[2 * phase])
+            # Transpose: gather a slice from every other thread's section.
+            per_peer = max(1, transpose_reads // max(1, threads - 1))
+            for peer in range(threads):
+                if peer == k.thread_id:
+                    continue
+                k.read_region(sections[peer], row_words, per_peer,
+                              stride=threads)
+            k.write_region(own_scratch, row_words, per_peer, stride=1)
+            k.barrier(barriers[2 * phase + 1])
+        k.barrier(barriers[-1])
+        k.finalize(results)
+
+    return make_program("fft", spec, build,
+                        metadata={"row_words": row_words, "phases": phases})
+
+
+def build_lu(spec: WorkloadSpec) -> Program:
+    """The `lu` analog: a rotating owner produces the diagonal block everyone consumes."""
+    alloc = Allocator()
+    threads = spec.num_threads
+    block_words = spec.scaled(128, minimum=16)
+    iterations = spec.scaled(5, minimum=2)
+    diagonal = alloc.array("diag", block_words)
+    private_blocks = [alloc.array(f"block{t}", block_words * 2)
+                      for t in range(threads)]
+    barriers = [alloc.word(f"bar{i}") for i in range(2 * iterations + 1)]
+    results = alloc.array("results", threads)
+    update_accesses = spec.scaled(600, minimum=8)
+
+    def build(k: KernelThread) -> None:
+        own = private_blocks[k.thread_id]
+        for iteration in range(iterations):
+            owner = iteration % threads
+            if k.thread_id == owner:
+                # Factor the diagonal block (exclusive writer this round).
+                k.write_region(diagonal, block_words, block_words, stride=1)
+            k.barrier(barriers[2 * iteration])
+            # Everyone consumes the diagonal and updates their own panel.
+            k.read_region(diagonal, block_words, block_words // 2, stride=1)
+            k.private_mix(own, block_words * 2, update_accesses,
+                          store_ratio=0.45)
+            k.barrier(barriers[2 * iteration + 1])
+        k.barrier(barriers[-1])
+        k.finalize(results)
+
+    return make_program("lu", spec, build,
+                        metadata={"block_words": block_words,
+                                  "iterations": iterations})
+
+
+def build_ocean(spec: WorkloadSpec) -> Program:
+    """The `ocean` analog: grid relaxation with nearest-neighbour boundary reads."""
+    alloc = Allocator()
+    threads = spec.num_threads
+    partition_words = spec.scaled(256, minimum=32)
+    boundary_words = max(8, partition_words // 16)
+    iterations = spec.scaled(4, minimum=2)
+    partitions = [alloc.array(f"grid{t}", partition_words)
+                  for t in range(threads)]
+    barriers = [alloc.word(f"bar{i}") for i in range(iterations + 1)]
+    results = alloc.array("results", threads)
+    interior_accesses = spec.scaled(800, minimum=8)
+
+    def build(k: KernelThread) -> None:
+        own = partitions[k.thread_id]
+        up = partitions[(k.thread_id - 1) % threads]
+        down = partitions[(k.thread_id + 1) % threads]
+        for iteration in range(iterations):
+            # Read our neighbours' boundary rows...
+            k.read_region(up + (partition_words - boundary_words) * WORD_BYTES,
+                          boundary_words, boundary_words)
+            k.read_region(down, boundary_words, boundary_words)
+            # ...then relax our own partition.
+            k.private_mix(own, partition_words, interior_accesses,
+                          store_ratio=0.5)
+            k.barrier(barriers[iteration])
+        k.barrier(barriers[-1])
+        k.finalize(results)
+
+    return make_program("ocean", spec, build,
+                        metadata={"partition_words": partition_words,
+                                  "iterations": iterations})
+
+
+def build_cholesky(spec: WorkloadSpec) -> Program:
+    """The `cholesky` analog: a dynamic task queue over per-block locked updates."""
+    alloc = Allocator()
+    threads = spec.num_threads
+    num_blocks = 16  # power of two for register-masked indexing
+    block_words = 64
+    block_shift = 9  # 64 words * 8 bytes = 512-byte records
+    blocks = alloc.array("blocks", num_blocks * block_words)
+    locks = alloc.array("locks", num_blocks * 4)  # one line per lock
+    ticket = alloc.word("ticket")
+    barriers = [alloc.word("bar0"), alloc.word("bar1")]
+    results = alloc.array("results", threads)
+    tasks = spec.scaled(10, minimum=2)
+    private = [alloc.array(f"frontal{t}", 128) for t in range(threads)]
+
+    def build(k: KernelThread) -> None:
+        own = private[k.thread_id]
+        for _task in range(tasks):
+            # Grab the next block update from the global task counter.
+            k.atomic_ticket(ticket, 11)
+            # lock_addr = locks + (ticket % num_blocks) * 32
+            k.indexed_addr(12, 11, locks, 5, mask=num_blocks - 1)
+            # data_addr = blocks + (ticket % num_blocks) * 512
+            k.indexed_addr(13, 11, blocks, block_shift, mask=num_blocks - 1)
+            k.locked_update_indirect(12, 13, words=6)
+            # Local frontal-matrix work between block updates.
+            k.private_mix(own, 128, spec.scaled(250, minimum=4),
+                          store_ratio=0.4)
+        k.barrier(barriers[0])
+        k.barrier(barriers[1])
+        k.finalize(results)
+
+    return make_program("cholesky", spec, build,
+                        metadata={"num_blocks": num_blocks, "tasks": tasks})

@@ -1,0 +1,126 @@
+"""Tests for the baseline recorders (SC chunk, CoreRacer, RTR, FDR)."""
+
+import pytest
+
+from repro.baselines import (
+    CoreRacerRecorder,
+    FDRPointwiseRecorder,
+    RTRValueRecorder,
+    SCChunkRecorder,
+)
+from repro.common.config import (
+    ConsistencyModel,
+    MachineConfig,
+    RecorderConfig,
+    RecorderMode,
+)
+from repro.sim import Machine
+from repro.workloads import random_program
+
+
+def factory(cls):
+    return lambda core_id, config: cls(core_id, config.recorder,
+                                       config.l1.line_bytes, seed=config.seed)
+
+
+def record(consistency, classes, *, seed=3, sharing=0.6):
+    from dataclasses import replace
+    program = random_program(3, 60, seed=seed, sharing=sharing)
+    config = replace(MachineConfig(num_cores=3), consistency=consistency)
+    machine = Machine(config, {"opt": RecorderConfig(mode=RecorderMode.OPT)})
+    return machine.run(program, baseline_factories={
+        name: factory(cls) for name, cls in classes.items()})
+
+
+class TestSCChunkRecorder:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return record(ConsistencyModel.SC, {"sc": SCChunkRecorder})
+
+    def test_chunks_logged(self, result):
+        recorders = result.baselines["sc"]
+        assert sum(r.stats.chunks for r in recorders) > 0
+
+    def test_log_bits_accounting(self, result):
+        for recorder in result.baselines["sc"]:
+            assert recorder.stats.log_bits == \
+                recorder.stats.chunks * SCChunkRecorder.chunk_bits
+
+    def test_instructions_counted_matches_execution(self, result):
+        total = sum(r.stats.instructions_counted
+                    for r in result.baselines["sc"])
+        assert total == result.total_instructions
+
+    def test_conflicts_terminate_chunks(self, result):
+        recorders = result.baselines["sc"]
+        assert sum(r.stats.conflict_terminations for r in recorders) > 0
+
+    def test_bits_per_ki(self, result):
+        for recorder in result.baselines["sc"]:
+            if recorder.stats.instructions_counted:
+                expected = (recorder.stats.log_bits * 1000
+                            / recorder.stats.instructions_counted)
+                assert recorder.stats.bits_per_kilo_instruction() == \
+                    pytest.approx(expected)
+
+
+class TestCoreRacer:
+    def test_chunk_record_is_larger(self):
+        assert CoreRacerRecorder.chunk_bits > SCChunkRecorder.chunk_bits
+
+    def test_runs_under_tso(self):
+        result = record(ConsistencyModel.TSO, {"cr": CoreRacerRecorder})
+        recorders = result.baselines["cr"]
+        assert sum(r.stats.chunks for r in recorders) > 0
+        # The core handle was wired so pending stores could be sampled.
+        assert all(r.core is not None for r in recorders)
+
+
+class TestRTR:
+    def test_logs_values_for_racy_loads(self):
+        result = record(ConsistencyModel.TSO, {"rtr": RTRValueRecorder},
+                        sharing=0.9)
+        recorders = result.baselines["rtr"]
+        chunk_bits = sum(r.stats.chunks for r in recorders) \
+            * SCChunkRecorder.chunk_bits
+        total_bits = sum(r.stats.log_bits for r in recorders)
+        values = sum(r.values_logged for r in recorders)
+        assert total_bits == chunk_bits + values * (3 + 64)
+
+    def test_no_values_without_remote_writes(self):
+        result = record(ConsistencyModel.TSO, {"rtr": RTRValueRecorder},
+                        sharing=0.0)
+        # Fully private program: no remote write can taint an inflight load.
+        assert sum(r.values_logged for r in result.baselines["rtr"]) == 0
+
+
+class TestFDR:
+    def test_dependences_logged(self):
+        result = record(ConsistencyModel.SC, {"fdr": FDRPointwiseRecorder},
+                        sharing=0.9)
+        recorders = result.baselines["fdr"]
+        assert sum(r.dependences for r in recorders) > 0
+
+    def test_fdr_log_exceeds_chunk_log(self):
+        result = record(ConsistencyModel.SC,
+                        {"fdr": FDRPointwiseRecorder,
+                         "sc": SCChunkRecorder}, sharing=0.9)
+        fdr_bits = sum(r.log_bits for r in result.baselines["fdr"])
+        chunk_bits = sum(r.stats.log_bits for r in result.baselines["sc"])
+        # Pointwise logging is why chunk recorders exist (Section 6).
+        assert fdr_bits > chunk_bits
+
+    def test_suppression_dedupes(self):
+        from repro.common.config import RecorderConfig as RC
+        recorder = FDRPointwiseRecorder(0, RC(), 32)
+
+        class Dyn:
+            addr = 0x100
+            seq = 1
+
+        from repro.mem.coherence import SnoopEvent
+        recorder.on_perform(Dyn, 1, False)
+        event = SnoopEvent(2, 1, 0x100 // 32, True)
+        recorder.on_transaction(event)
+        recorder.on_transaction(event)  # same (requester, line, seq)
+        assert recorder.dependences == 1

@@ -1,0 +1,94 @@
+"""Tests for the bit-level log stream."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.bits import BitReader, BitWriter
+
+
+class TestBitWriter:
+    def test_bit_length_tracks_exactly(self):
+        writer = BitWriter()
+        writer.write(1, 3)
+        writer.write(0, 13)
+        assert writer.bit_length == 16
+        assert len(writer.getvalue()) == 2
+
+    def test_padding_to_byte(self):
+        writer = BitWriter()
+        writer.write(0b101, 3)
+        data = writer.getvalue()
+        assert len(data) == 1
+        assert data[0] == 0b1010_0000  # MSB-first, zero padded
+
+    def test_value_too_wide(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError):
+            writer.write(4, 2)
+
+    def test_negative_value(self):
+        with pytest.raises(ValueError):
+            BitWriter().write(-1, 8)
+
+    def test_zero_width(self):
+        with pytest.raises(ValueError):
+            BitWriter().write(0, 0)
+
+    def test_getvalue_is_stable(self):
+        writer = BitWriter()
+        writer.write(0xAB, 8)
+        writer.write(1, 1)
+        assert writer.getvalue() == writer.getvalue()
+
+
+class TestBitReader:
+    def test_sequential_reads(self):
+        writer = BitWriter()
+        writer.write(5, 3)
+        writer.write(1000, 16)
+        writer.write(1, 1)
+        reader = BitReader(writer.getvalue(), writer.bit_length)
+        assert reader.read(3) == 5
+        assert reader.read(16) == 1000
+        assert reader.read(1) == 1
+        assert reader.exhausted
+
+    def test_eof(self):
+        reader = BitReader(b"\xff", 4)
+        reader.read(4)
+        with pytest.raises(EOFError):
+            reader.read(1)
+
+    def test_bit_len_exceeding_data(self):
+        with pytest.raises(ValueError):
+            BitReader(b"\x00", 9)
+
+    def test_bits_remaining(self):
+        reader = BitReader(b"\x00\x00", 12)
+        reader.read(5)
+        assert reader.bits_remaining == 7
+
+    def test_cross_byte_field(self):
+        writer = BitWriter()
+        writer.write(0b1, 1)
+        writer.write(0x7FFF, 15)
+        reader = BitReader(writer.getvalue(), 16)
+        assert reader.read(1) == 1
+        assert reader.read(15) == 0x7FFF
+
+
+@given(st.lists(st.tuples(st.integers(min_value=1, max_value=64),
+                          st.integers(min_value=0)),
+                min_size=1, max_size=60))
+def test_roundtrip_property(fields):
+    """Any sequence of (width, value % 2^width) fields round-trips."""
+    writer = BitWriter()
+    expected = []
+    for width, raw in fields:
+        value = raw % (1 << width)
+        writer.write(value, width)
+        expected.append((width, value))
+    reader = BitReader(writer.getvalue(), writer.bit_length)
+    for width, value in expected:
+        assert reader.read(width) == value
+    assert reader.exhausted

@@ -1,0 +1,135 @@
+"""Configuration tests: Table 1 defaults and validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.config import (
+    ConsistencyModel,
+    CoreConfig,
+    L1Config,
+    L2Config,
+    MachineConfig,
+    MemoryConfig,
+    RecorderConfig,
+    RecorderMode,
+    ReplayCostConfig,
+    RingConfig,
+)
+from repro.common.errors import ConfigError
+
+
+class TestTable1Defaults:
+    """The defaults must reproduce the paper's Table 1."""
+
+    def test_machine(self):
+        config = MachineConfig().validate()
+        assert config.num_cores == 8
+        assert config.consistency is ConsistencyModel.RC
+
+    def test_core(self):
+        core = CoreConfig()
+        assert core.issue_width == 4
+        assert core.rob_entries == 176
+        assert core.ldst_units == 2
+        assert core.lsq_entries == 128
+        assert core.clock_ghz == 2.0
+
+    def test_l1(self):
+        l1 = L1Config()
+        assert l1.size_kb == 64
+        assert l1.assoc == 4
+        assert l1.line_bytes == 32
+        assert l1.mshr_entries == 64
+        assert l1.hit_cycles == 2
+        assert l1.num_sets == 512
+
+    def test_l2_ring_memory(self):
+        assert L2Config().size_kb_per_core == 512
+        assert L2Config().roundtrip_cycles == 12
+        assert RingConfig().hop_cycles == 1
+        assert MemoryConfig().roundtrip_cycles == 150
+
+    def test_recorder(self):
+        rec = RecorderConfig()
+        assert rec.signature_banks == 4
+        assert rec.signature_bits_per_bank == 256
+        assert rec.traq_entries == 176
+        assert rec.nmi_bits == 4
+        assert rec.cisn_bits == 16
+        assert rec.snoop_table_arrays == 2
+        assert rec.snoop_table_entries == 64
+        assert rec.snoop_table_counter_bits == 16
+        assert rec.log_buffer_lines == 8
+
+    def test_traq_entry_size_near_paper(self):
+        # Section 5.1: each TRAQ entry is 14.5B in RelaxReplay_Opt.
+        opt = RecorderConfig(mode=RecorderMode.OPT)
+        assert opt.traq_entry_bytes() == pytest.approx(14.5, abs=4.0)
+        base = RecorderConfig(mode=RecorderMode.BASE)
+        assert base.traq_entry_bytes() < opt.traq_entry_bytes()
+
+    def test_mrr_sizes_near_paper(self):
+        # Section 5.1: MRR is 2.3KB for Base and 3.3KB for Opt.
+        base = MachineConfig(recorder=RecorderConfig(mode=RecorderMode.BASE))
+        opt = MachineConfig(recorder=RecorderConfig(mode=RecorderMode.OPT))
+        assert base.mrr_size_bytes() == pytest.approx(2.3 * 1024, rel=0.35)
+        assert opt.mrr_size_bytes() == pytest.approx(3.3 * 1024, rel=0.35)
+        assert opt.mrr_size_bytes() > base.mrr_size_bytes()
+
+    def test_max_nmi(self):
+        assert RecorderConfig().max_nmi == 15
+
+
+class TestValidation:
+    def test_bad_core(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(issue_width=0).validate()
+
+    def test_bad_l1_line(self):
+        with pytest.raises(ConfigError):
+            L1Config(line_bytes=24).validate()
+
+    def test_line_size_mismatch(self):
+        config = MachineConfig(l2=L2Config(line_bytes=64))
+        with pytest.raises(ConfigError):
+            config.validate()
+
+    def test_bad_interval_cap(self):
+        with pytest.raises(ConfigError):
+            RecorderConfig(max_interval_instructions=0).validate()
+
+    def test_bad_signature_bits(self):
+        with pytest.raises(ConfigError):
+            RecorderConfig(signature_bits_per_bank=100).validate()
+
+    def test_bad_snoop_entries(self):
+        with pytest.raises(ConfigError):
+            RecorderConfig(snoop_table_entries=63).validate()
+
+    def test_bad_num_cores(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(num_cores=0).validate()
+
+    def test_bad_replay_cost(self):
+        with pytest.raises(ConfigError):
+            ReplayCostConfig(user_cpi=0).validate()
+        with pytest.raises(ConfigError):
+            ReplayCostConfig(reordered_load_cycles=-1).validate()
+
+
+class TestDerivation:
+    def test_with_recorder(self):
+        config = MachineConfig()
+        derived = config.with_recorder(mode=RecorderMode.BASE,
+                                       max_interval_instructions=4096)
+        assert derived.recorder.mode is RecorderMode.BASE
+        assert derived.recorder.max_interval_instructions == 4096
+        assert config.recorder.max_interval_instructions is None  # unchanged
+
+    def test_with_cores(self):
+        assert MachineConfig().with_cores(16).num_cores == 16
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            MachineConfig().num_cores = 4

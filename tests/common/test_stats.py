@@ -1,0 +1,116 @@
+"""Tests for the statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.stats import Histogram, OnlineStats, geometric_mean, ratio
+
+finite_floats = st.floats(min_value=-1e9, max_value=1e9,
+                          allow_nan=False, allow_infinity=False)
+
+
+class TestOnlineStats:
+    def test_empty(self):
+        stats = OnlineStats()
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.variance == 0.0
+
+    def test_known_values(self):
+        stats = OnlineStats()
+        for value in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+            stats.add(value)
+        assert stats.mean == pytest.approx(5.0)
+        assert stats.variance == pytest.approx(4.0)
+        assert stats.stddev == pytest.approx(2.0)
+        assert stats.minimum == 2.0
+        assert stats.maximum == 9.0
+        assert stats.total == pytest.approx(40.0)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=100))
+    def test_matches_direct_computation(self, values):
+        stats = OnlineStats()
+        for value in values:
+            stats.add(value)
+        mean = sum(values) / len(values)
+        variance = sum((v - mean) ** 2 for v in values) / len(values)
+        scale = max(1.0, abs(mean))
+        assert stats.mean == pytest.approx(mean, rel=1e-9, abs=1e-6 * scale)
+        assert stats.variance == pytest.approx(variance, rel=1e-6,
+                                               abs=1e-3 * scale * scale)
+
+    @given(st.lists(finite_floats, min_size=0, max_size=50),
+           st.lists(finite_floats, min_size=0, max_size=50))
+    def test_merge_equals_concatenation(self, left, right):
+        merged = OnlineStats()
+        for value in left:
+            merged.add(value)
+        other = OnlineStats()
+        for value in right:
+            other.add(value)
+        merged.merge(other)
+
+        direct = OnlineStats()
+        for value in left + right:
+            direct.add(value)
+        assert merged.count == direct.count
+        if direct.count:
+            scale = max(1.0, abs(direct.mean))
+            assert merged.mean == pytest.approx(direct.mean, rel=1e-9,
+                                                abs=1e-6 * scale)
+            assert merged.minimum == direct.minimum
+            assert merged.maximum == direct.maximum
+
+
+class TestHistogram:
+    def test_binning(self):
+        hist = Histogram(bin_width=10)
+        for value in (0, 5, 9, 10, 25, 25):
+            hist.add(value)
+        assert hist.counts == {0: 3, 1: 1, 2: 2}
+        assert hist.samples == 6
+        assert hist.fraction(0) == pytest.approx(0.5)
+        assert hist.fraction(5) == 0.0
+
+    def test_fractions_sum_to_one(self):
+        hist = Histogram(bin_width=10)
+        for value in range(100):
+            hist.add(value)
+        assert sum(hist.fractions().values()) == pytest.approx(1.0)
+
+    def test_cumulative(self):
+        hist = Histogram(bin_width=10)
+        for value in (5, 15, 25, 35):
+            hist.add(value)
+        assert hist.cumulative_fraction(20) == pytest.approx(0.5)
+        assert hist.cumulative_fraction(0) == 0.0
+        assert hist.cumulative_fraction(1000) == pytest.approx(1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram().add(-1)
+
+    def test_empty(self):
+        hist = Histogram()
+        assert hist.fractions() == {}
+        assert hist.fraction(0) == 0.0
+        assert hist.cumulative_fraction(100) == 0.0
+
+
+class TestHelpers:
+    def test_geometric_mean(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+        assert geometric_mean([3]) == pytest.approx(3.0)
+
+    def test_geometric_mean_clamps_zero(self):
+        assert geometric_mean([0.0, 1.0]) > 0.0
+
+    def test_geometric_mean_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_ratio(self):
+        assert ratio(6, 3) == 2.0
+        assert ratio(1, 0) == 0.0

@@ -1,0 +1,51 @@
+"""Shared helpers for core-level tests: a minimal machine driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import ConsistencyModel, MachineConfig
+from repro.cpu.core import Core
+from repro.isa.program import Program
+from repro.mem.memsys import MemorySystem
+from repro.recorder.traq import TrackingQueue
+
+
+class MiniMachine:
+    """Bare cores + memory system, no recorders — for pipeline tests."""
+
+    def __init__(self, program: Program,
+                 consistency: ConsistencyModel = ConsistencyModel.RC,
+                 config: MachineConfig | None = None):
+        from dataclasses import replace
+
+        program.validate()
+        base = config or MachineConfig()
+        self.config = replace(base.with_cores(program.num_threads),
+                              consistency=consistency).validate()
+        self.memsys = MemorySystem(self.config, program.initial_memory)
+        self.traqs = [TrackingQueue(self.config.recorder.traq_entries,
+                                    self.config.recorder.nmi_bits)
+                      for _ in range(self.config.num_cores)]
+        self.cores = [Core(core_id, program.threads[core_id], self.config,
+                           self.memsys, self.traqs[core_id])
+                      for core_id in range(self.config.num_cores)]
+        self.cycles = 0
+
+    def run(self, max_cycles: int = 2_000_000) -> "MiniMachine":
+        cycle = 0
+        while not all(core.done for core in self.cores):
+            assert cycle < max_cycles, "mini machine did not finish"
+            self.memsys.tick(cycle)
+            for core in self.cores:
+                core.step(cycle)
+            cycle += 1
+        self.cycles = cycle
+        return self
+
+
+@pytest.fixture
+def run_program():
+    def runner(program, consistency=ConsistencyModel.RC, config=None):
+        return MiniMachine(program, consistency, config).run()
+    return runner

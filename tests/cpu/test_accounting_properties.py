@@ -1,0 +1,131 @@
+"""Property tests on the core's instruction-accounting invariants.
+
+The replayer's correctness depends on exact bookkeeping: every dispatched
+instruction is counted exactly once (through NMI fields, fillers or memory
+entries), forwarding returns the right values, and per-core statistics add
+up.  These properties are checked over randomized single- and multi-thread
+programs.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.common.config import ConsistencyModel
+from repro.isa.builder import ThreadBuilder
+from repro.isa.instructions import WORD_BYTES
+from repro.isa.program import Program
+from tests.cpu.conftest import MiniMachine
+
+
+class CountSink:
+    def __init__(self):
+        self.instructions = 0
+        self.mem = 0
+        self.fillers = 0
+
+    def on_perform(self, dyn, cycle, ooo):
+        pass
+
+    def on_count(self, entry, cycle):
+        self.instructions += entry.instruction_count()
+        if entry.is_filler:
+            self.fillers += 1
+        else:
+            self.mem += 1
+
+
+def random_mixed_thread(seed: int, length: int) -> Program:
+    """Random interleaving of memory ops and non-memory runs (including
+    runs longer than the 15-instruction NMI field)."""
+    rng = random.Random(seed)
+    builder = ThreadBuilder()
+    builder.movi(1, 1)
+    while len(builder) < length:
+        if rng.random() < 0.4:
+            builder.nop(rng.choice([1, 2, 7, 14, 15, 16, 17, 31, 40]))
+        elif rng.random() < 0.6:
+            builder.load(2, offset=0x1000 + rng.randrange(16) * WORD_BYTES)
+        else:
+            builder.store(1, offset=0x1000 + rng.randrange(16) * WORD_BYTES)
+    return Program([builder.build()])
+
+
+class TestCountingInvariants:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_every_instruction_counted_once(self, seed):
+        program = random_mixed_thread(seed, 120)
+        machine = MiniMachine(program, ConsistencyModel.RC)
+        sink = CountSink()
+        machine.cores[0].sinks.append(sink)
+        machine.run()
+        core = machine.cores[0]
+        assert sink.instructions == core.instructions_retired
+        assert sink.mem == core.mem_retired
+
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           consistency=st.sampled_from(list(ConsistencyModel)))
+    def test_counting_property(self, seed, consistency):
+        program = random_mixed_thread(seed, 80)
+        machine = MiniMachine(program, consistency)
+        sink = CountSink()
+        machine.cores[0].sinks.append(sink)
+        machine.run()
+        assert sink.instructions == machine.cores[0].instructions_retired
+
+    def test_nmi_overflow_produces_fillers(self):
+        builder = ThreadBuilder()
+        builder.nop(45)
+        builder.load(1, offset=0x1000)
+        program = Program([builder.build()])
+        machine = MiniMachine(program, ConsistencyModel.RC)
+        sink = CountSink()
+        machine.cores[0].sinks.append(sink)
+        machine.run()
+        assert sink.fillers >= 45 // 15
+        assert sink.instructions == machine.cores[0].instructions_retired
+
+
+class TestStatisticsConsistency:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_perform_counts_add_up(self, seed):
+        from repro.workloads import random_program
+        program = random_program(2, 40, seed=seed, sharing=0.5)
+        machine = MiniMachine(program, ConsistencyModel.RC)
+        machine.run()
+        for core in machine.cores:
+            performed = core.loads_performed + core.stores_performed \
+                + core.rmws_performed
+            assert performed == core.mem_retired
+            assert core.ooo_loads <= core.loads_performed + core.rmws_performed
+            assert core.ooo_stores <= core.stores_performed
+
+    def test_forwarded_loads_see_pending_store_values(self):
+        builder = ThreadBuilder()
+        builder.movi(1, 0x1111)
+        builder.store(1, offset=0x4000)       # cold miss: slow
+        builder.load(2, offset=0x4000)        # must forward 0x1111
+        builder.movi(3, 0x2222)
+        builder.store(3, offset=0x4000)
+        builder.load(4, offset=0x4000)        # must forward 0x2222
+        program = Program([builder.build()])
+        machine = MiniMachine(program, ConsistencyModel.RC)
+        machine.run()
+        core = machine.cores[0]
+        assert core.arch_regs[2] == 0x1111
+        assert core.arch_regs[4] == 0x2222
+        assert core.forwarded_loads >= 1
+
+    def test_done_implies_everything_drained(self):
+        program = random_mixed_thread(3, 100)
+        machine = MiniMachine(program, ConsistencyModel.RC)
+        machine.run()
+        core = machine.cores[0]
+        assert core.done
+        assert not core.rob
+        assert core.traq.is_empty
+        assert not core.write_buffer
+        assert core.lsq_occupancy == 0

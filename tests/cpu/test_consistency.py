@@ -1,0 +1,230 @@
+"""Consistency-model ordering tests.
+
+These construct small multi-core scenarios with forced cache misses and
+check the *ordering guarantees* each model promises — SC's total program
+order of performs, TSO's load-load and store-store order, and RC's
+acquire/release/fence semantics.
+"""
+
+import pytest
+
+from repro.common.config import ConsistencyModel
+from repro.cpu.dynops import DynInstr
+from repro.isa.builder import ThreadBuilder
+from repro.isa.instructions import Opcode, WORD_BYTES
+from repro.isa.program import Program
+
+
+class PerformOrderSink:
+    """Records (seq, perform_cycle, opcode) per core via the sink API."""
+
+    def __init__(self):
+        self.performs: list[DynInstr] = []
+
+    def on_perform(self, dyn, cycle, out_of_order):
+        self.performs.append(dyn)
+
+    def on_count(self, entry, cycle):
+        pass
+
+
+def run_with_sinks(run_program, program, consistency):
+    """Run and harvest perform events; relies on MiniMachine internals."""
+    from tests.cpu.conftest import MiniMachine
+
+    machine = MiniMachine(program, consistency)
+    sinks = []
+    for core in machine.cores:
+        sink = PerformOrderSink()
+        core.sinks.append(sink)
+        sinks.append(sink)
+    machine.run()
+    return machine, sinks
+
+
+def spread_loads_thread(count=8, stride_lines=4):
+    """Independent loads to distinct cold lines: misses with OoO potential."""
+    builder = ThreadBuilder()
+    for index in range(count):
+        builder.load(1 + index % 8,
+                     offset=0x4000 + index * stride_lines * 32)
+    return Program([builder.build()])
+
+
+class TestSC:
+    def test_performs_in_program_order(self, run_program):
+        program = spread_loads_thread()
+        _, sinks = run_with_sinks(run_program, program, ConsistencyModel.SC)
+        seqs = [dyn.seq for dyn in sinks[0].performs]
+        assert seqs == sorted(seqs)
+
+    def test_no_ooo_recorded(self, run_program):
+        result = run_program(spread_loads_thread(), ConsistencyModel.SC)
+        assert result.cores[0].ooo_loads == 0
+        assert result.cores[0].ooo_stores == 0
+
+    def test_no_forwarding(self, run_program):
+        builder = ThreadBuilder()
+        builder.movi(1, 5)
+        builder.store(1, offset=0x4000)
+        builder.load(2, offset=0x4000)
+        result = run_program(Program([builder.build()]), ConsistencyModel.SC)
+        assert result.cores[0].forwarded_loads == 0
+        assert result.cores[0].arch_regs[2] == 5
+
+
+class TestTSO:
+    def test_loads_perform_in_order(self, run_program):
+        program = spread_loads_thread()
+        _, sinks = run_with_sinks(run_program, program, ConsistencyModel.TSO)
+        load_seqs = [dyn.seq for dyn in sinks[0].performs
+                     if dyn.opcode is Opcode.LOAD]
+        assert load_seqs == sorted(load_seqs)
+
+    def test_stores_perform_in_order(self, run_program):
+        builder = ThreadBuilder()
+        builder.movi(1, 1)
+        for index in range(6):
+            builder.store(1, offset=0x4000 + index * 4 * 32)
+        program = Program([builder.build()])
+        _, sinks = run_with_sinks(run_program, program, ConsistencyModel.TSO)
+        store_seqs = [dyn.seq for dyn in sinks[0].performs
+                      if dyn.opcode is Opcode.STORE]
+        assert store_seqs == sorted(store_seqs)
+
+    def test_load_bypasses_pending_store(self, run_program):
+        """The TSO signature: a load may perform before an older store whose
+        data is stuck behind a slow producer."""
+        builder = ThreadBuilder()
+        builder.load(1, offset=0x4000)     # cold miss: store data arrives late
+        builder.store(1, offset=0x8000)    # waits for r1, then retirement
+        builder.load(2, offset=0xC000)     # bypasses the pending store
+        program = Program([builder.build()])
+        _, sinks = run_with_sinks(run_program, program, ConsistencyModel.TSO)
+        performs = {dyn.addr: dyn.perform_cycle for dyn in sinks[0].performs}
+        assert performs[0xC000] < performs[0x8000]
+
+    def test_forwarding_from_pending_store(self, run_program):
+        builder = ThreadBuilder()
+        builder.movi(1, 0x77)
+        builder.store(1, offset=0x4000)
+        builder.load(2, offset=0x4000)
+        result = run_program(Program([builder.build()]), ConsistencyModel.TSO)
+        assert result.cores[0].arch_regs[2] == 0x77
+
+
+class TestRC:
+    def test_loads_reorder_freely(self, run_program):
+        """A hit-under-miss performs while an older access is pending — the
+        canonical RC reordering (Figure 1's metric)."""
+        builder = ThreadBuilder()
+        builder.load(1, offset=0x8000)     # warm the line
+        builder.nop(10)
+        builder.load(2, offset=0x4000)     # cold miss, slow
+        builder.load(3, offset=0x8008)     # hit: performs under the miss
+        result = run_program(Program([builder.build()]), ConsistencyModel.RC)
+        assert result.cores[0].ooo_loads >= 1
+
+    def test_acquire_blocks_younger_accesses(self, run_program):
+        builder = ThreadBuilder()
+        builder.load(1, offset=0x4000, acquire=True)   # cold miss
+        builder.load(2, offset=0x8000)                  # must wait
+        program = Program([builder.build()])
+        _, sinks = run_with_sinks(run_program, program, ConsistencyModel.RC)
+        performs = {dyn.addr: dyn.perform_cycle for dyn in sinks[0].performs}
+        assert performs[0x8000] > performs[0x4000]
+
+    def test_plain_load_does_not_block(self, run_program):
+        builder = ThreadBuilder()
+        builder.load(1, offset=0x4000)                  # cold miss, plain
+        builder.load(2, offset=0x8000)                  # free to go
+        program = Program([builder.build()])
+        _, sinks = run_with_sinks(run_program, program, ConsistencyModel.RC)
+        # Both are cold misses serialized by the bus, but neither *waits* for
+        # the other: they perform on consecutive commits.
+        cycles = sorted(dyn.perform_cycle for dyn in sinks[0].performs)
+        assert cycles[1] - cycles[0] <= 2
+
+    def test_release_store_waits_for_older_accesses(self, run_program):
+        builder = ThreadBuilder()
+        builder.movi(1, 1)
+        builder.load(2, offset=0x4000)                  # cold miss
+        builder.store(1, offset=0x8000, release=True)   # must wait for load
+        program = Program([builder.build()])
+        _, sinks = run_with_sinks(run_program, program, ConsistencyModel.RC)
+        performs = {dyn.addr: dyn.perform_cycle for dyn in sinks[0].performs}
+        assert performs[0x8000] > performs[0x4000]
+
+    def test_fence_orders_both_sides(self, run_program):
+        builder = ThreadBuilder()
+        builder.movi(1, 1)
+        builder.store(1, offset=0x4000)
+        builder.fence()
+        builder.load(2, offset=0x8000)
+        program = Program([builder.build()])
+        _, sinks = run_with_sinks(run_program, program, ConsistencyModel.RC)
+        performs = {dyn.addr: dyn.perform_cycle for dyn in sinks[0].performs}
+        assert performs[0x8000] > performs[0x4000]
+
+    def test_rmw_acts_as_full_barrier(self, run_program):
+        builder = ThreadBuilder()
+        builder.load(1, offset=0x4000)                  # cold miss
+        builder.atomic_add(0x8000, 1, 3)
+        builder.load(2, offset=0xC000)
+        program = Program([builder.build()])
+        _, sinks = run_with_sinks(run_program, program, ConsistencyModel.RC)
+        performs = {dyn.addr: dyn.perform_cycle for dyn in sinks[0].performs}
+        assert performs[0x8000] > performs[0x4000]
+        assert performs[0xC000] > performs[0x8000]
+
+    def test_same_word_program_order(self, run_program):
+        """Same-address accesses never reorder (uniprocessor contract)."""
+        builder = ThreadBuilder()
+        builder.movi(1, 9)
+        builder.store(1, offset=0x4000)
+        builder.load(2, offset=0x4000)
+        builder.movi(3, 11)
+        builder.store(3, offset=0x4000)
+        builder.load(4, offset=0x4000)
+        result = run_program(Program([builder.build()]), ConsistencyModel.RC)
+        assert result.cores[0].arch_regs[2] == 9
+        assert result.cores[0].arch_regs[4] == 11
+
+
+class TestCrossCoreSynchronization:
+    @pytest.mark.parametrize("consistency", list(ConsistencyModel))
+    def test_lock_protects_counter(self, run_program, consistency):
+        def thread():
+            builder = ThreadBuilder()
+            for _ in range(5):
+                builder.spin_lock(0x100, 4)
+                builder.load(5, offset=0x120)
+                builder.addi(5, 5, 1)
+                builder.store(5, offset=0x120)
+                builder.spin_unlock(0x100, 4)
+            return builder.build()
+
+        program = Program([thread() for _ in range(4)])
+        result = run_program(program, consistency)
+        assert result.memsys.read_word(0x120) == 20
+
+    @pytest.mark.parametrize("consistency", list(ConsistencyModel))
+    def test_message_passing_with_release_acquire(self, run_program,
+                                                  consistency):
+        producer = ThreadBuilder()
+        producer.movi(1, 0xCAFE)
+        producer.store(1, offset=0x200)
+        producer.movi(2, 1)
+        producer.store(2, offset=0x240, release=True)
+
+        consumer = ThreadBuilder()
+        spin = consumer.label()
+        consumer.load(3, offset=0x240, acquire=True)
+        consumer.beqz(3, spin)
+        consumer.load(4, offset=0x200)
+        consumer.store(4, offset=0x280)
+
+        program = Program([producer.build(), consumer.build()])
+        result = run_program(program, consistency)
+        # Release/acquire makes this data transfer sound under every model.
+        assert result.memsys.read_word(0x280) == 0xCAFE

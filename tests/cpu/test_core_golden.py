@@ -1,0 +1,142 @@
+"""Golden-model cross-checks: the out-of-order core must be architecturally
+equivalent to the in-order interpreter for single-threaded programs.
+
+Whatever reordering the pipeline performs, a single thread's final
+registers and memory must match a simple sequential interpretation — this
+is the uniprocessor-correctness contract RelaxReplay relies on (it records
+*inter*-processor nondeterminism only).
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.common.config import ConsistencyModel
+from repro.isa.builder import ThreadBuilder
+from repro.isa.instructions import NUM_REGS, WORD_BYTES, AluOp, RmwOp
+from repro.isa.program import Program
+from repro.replay.interpreter import ThreadContext
+
+
+def golden_run(program: Program):
+    """Run every thread sequentially on the interpreter (single-thread use)."""
+    memory = dict(program.initial_memory)
+    contexts = []
+    for core_id, thread in enumerate(program.threads):
+        context = ThreadContext(core_id, thread)
+        while not context.halted:
+            context.step(memory)
+        contexts.append(context)
+    return memory, contexts
+
+
+def assert_matches_golden(run_program, program, consistency):
+    result = run_program(program, consistency)
+    memory, contexts = golden_run(program)
+    for core, context in zip(result.cores, contexts):
+        assert core.arch_regs == context.regs, (
+            f"register divergence under {consistency}")
+    image = result.memsys.memory_image()
+    expected = {addr: value for addr, value in memory.items() if value}
+    assert image == expected
+
+
+def build_random_thread(seed: int, length: int) -> Program:
+    rng = random.Random(seed)
+    builder = ThreadBuilder(f"rand{seed}")
+    base = 0x1000
+    words = 24
+    for reg in range(1, 6):
+        builder.movi(reg, rng.getrandbits(16))
+    for _ in range(length):
+        choice = rng.random()
+        dst = rng.randrange(1, 12)
+        a = rng.randrange(1, 12)
+        if choice < 0.25:
+            builder.load(dst, offset=base + rng.randrange(words) * WORD_BYTES)
+        elif choice < 0.45:
+            builder.store(a, offset=base + rng.randrange(words) * WORD_BYTES)
+        elif choice < 0.55:
+            builder.rmw(rng.choice([RmwOp.TAS, RmwOp.FETCH_ADD, RmwOp.SWAP]),
+                        dst, offset=base + rng.randrange(words) * WORD_BYTES,
+                        src=a)
+        elif choice < 0.85:
+            op = rng.choice(list(AluOp))
+            if rng.random() < 0.5:
+                builder.alu(op, dst, a, imm=rng.getrandbits(8))
+            else:
+                builder.alu(op, dst, a, src2=rng.randrange(1, 12))
+        elif choice < 0.9:
+            builder.fence()
+        else:
+            # A small forward skip: branch over a couple of instructions.
+            skip = builder.fresh_label()
+            builder.cmplti(12, a, rng.getrandbits(8))
+            builder.beqz(12, skip)
+            builder.addi(dst, a, 1)
+            builder.store(dst, offset=base + rng.randrange(words) * WORD_BYTES)
+            builder.place_label(skip)
+    return Program([builder.build()], name=f"rand{seed}")
+
+
+class TestGoldenEquivalence:
+    @pytest.mark.parametrize("consistency", list(ConsistencyModel))
+    def test_alu_dataflow_chain(self, run_program, consistency):
+        builder = ThreadBuilder()
+        builder.movi(1, 10)
+        builder.addi(2, 1, 5)       # r2 = 15
+        builder.mul(3, 2, 2)        # r3 = 225
+        builder.sub(4, 3, 1)        # r4 = 215
+        builder.xori(5, 4, 0xFF)
+        program = Program([builder.build()])
+        assert_matches_golden(run_program, program, consistency)
+
+    @pytest.mark.parametrize("consistency", list(ConsistencyModel))
+    def test_loop_with_memory(self, run_program, consistency):
+        builder = ThreadBuilder()
+        builder.movi(1, 0)          # i
+        builder.movi(2, 0)          # sum
+        top = builder.label()
+        builder.shli(3, 1, 3)
+        builder.addi(3, 3, 0x1000)  # &a[i]
+        builder.store(1, base=3)
+        builder.load(4, base=3)
+        builder.add(2, 2, 4)
+        builder.addi(1, 1, 1)
+        builder.cmplti(5, 1, 10)
+        builder.bnez(5, top)
+        program = Program([builder.build()])
+        result = run_program(program, consistency)
+        assert result.cores[0].arch_regs[2] == sum(range(10))
+        assert_matches_golden(run_program, program, consistency)
+
+    @pytest.mark.parametrize("consistency", list(ConsistencyModel))
+    def test_store_load_forwarding_value(self, run_program, consistency):
+        builder = ThreadBuilder()
+        builder.movi(1, 0xABCD)
+        builder.store(1, offset=0x2000)
+        builder.load(2, offset=0x2000)   # must see 0xABCD (maybe forwarded)
+        program = Program([builder.build()])
+        result = run_program(program, consistency)
+        assert result.cores[0].arch_regs[2] == 0xABCD
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_single_thread_rc(self, run_program, seed):
+        program = build_random_thread(seed, length=120)
+        assert_matches_golden(run_program, program, ConsistencyModel.RC)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_single_thread_tso_sc(self, run_program, seed):
+        program = build_random_thread(seed + 100, length=80)
+        assert_matches_golden(run_program, program, ConsistencyModel.TSO)
+        assert_matches_golden(run_program, program, ConsistencyModel.SC)
+
+    # run_program builds a fresh machine per call, so reusing the fixture
+    # across hypothesis examples is safe.
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_random_single_thread_property(self, run_program, seed):
+        program = build_random_thread(seed, length=60)
+        assert_matches_golden(run_program, program, ConsistencyModel.RC)

@@ -1,0 +1,168 @@
+"""Tests for the analysis/debug tooling package."""
+
+import pytest
+
+from repro.analysis import (
+    analyze_contention,
+    ascii_histogram,
+    diff_variants,
+    interval_spans,
+    merge_profiles,
+    profile_log,
+    render_contention,
+    render_diff,
+    render_profile,
+    render_timeline,
+)
+from repro.common.config import MachineConfig, RecorderConfig, RecorderMode
+from repro.recorder.logfmt import (
+    InorderBlock,
+    IntervalFrame,
+    ReorderedLoad,
+    ReorderedRmw,
+    ReorderedStore,
+)
+from repro.sim import Machine
+from repro.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def recording():
+    program = build_workload("radiosity", num_threads=4, scale=0.3, seed=5)
+    machine = Machine(MachineConfig(num_cores=4), {
+        "base": RecorderConfig(mode=RecorderMode.BASE),
+        "opt": RecorderConfig(mode=RecorderMode.OPT),
+    })
+    return machine.run(program, collect_dependence_edges=True)
+
+
+SAMPLE_LOG = [
+    InorderBlock(10),
+    ReorderedLoad(0xAA),
+    InorderBlock(5),
+    IntervalFrame(0, 100),
+    ReorderedStore(0x40, 7, 1),
+    InorderBlock(3),
+    ReorderedRmw(1, 2, 0x80, 2),
+    IntervalFrame(1, 250),
+]
+
+
+class TestProfile:
+    def test_counts(self):
+        profile = profile_log(SAMPLE_LOG)
+        assert profile.intervals == 2
+        assert profile.entries == len(SAMPLE_LOG)
+        assert profile.reordered_loads == 1
+        assert profile.reordered_stores == 1
+        assert profile.reordered_rmws == 1
+        # interval 0: 10 + 1 + 5 = 16; interval 1: 1 + 3 + 1 = 5
+        assert profile.instructions == 21
+        assert profile.interval_instructions.maximum == 16
+        assert profile.store_offsets.mean == pytest.approx(1.5)
+
+    def test_bits_match_entry_sizes(self):
+        from repro.recorder.logfmt import entry_bit_size
+        config = RecorderConfig()
+        profile = profile_log(SAMPLE_LOG, config)
+        assert profile.bits == sum(entry_bit_size(e, config)
+                                   for e in SAMPLE_LOG)
+        assert sum(profile.bits_by_type.values()) == profile.bits
+
+    def test_merge(self):
+        merged = merge_profiles([profile_log(SAMPLE_LOG),
+                                 profile_log(SAMPLE_LOG)])
+        single = profile_log(SAMPLE_LOG)
+        assert merged.intervals == 2 * single.intervals
+        assert merged.bits == 2 * single.bits
+        assert merged.instructions == 2 * single.instructions
+
+    def test_render(self):
+        text = render_profile(profile_log(SAMPLE_LOG), name="sample")
+        assert "sample" in text
+        assert "reordered entries    : 1 loads, 1 stores, 1 RMWs" in text
+        assert "InorderBlock" in text
+
+    def test_empty(self):
+        profile = profile_log([])
+        assert profile.bits_per_kilo_instruction() == 0.0
+        render_profile(profile)  # must not crash
+
+    def test_on_real_recording(self, recording):
+        per_core = [o.entries for o in recording.recordings["base"]]
+        merged = merge_profiles(profile_log(core) for core in per_core)
+        assert merged.instructions == recording.total_instructions
+        stats = recording.recording_stats("base")
+        assert merged.bits == stats.log_bits
+        assert merged.reordered_total == stats.reordered_total
+
+
+class TestHistogram:
+    def test_bars_scale(self):
+        text = ascii_histogram({0: 10, 1: 5}, width=10, label="demo")
+        lines = text.strip().splitlines()
+        assert lines[0] == "demo"
+        assert lines[1].count("#") == 10
+        assert lines[2].count("#") == 5
+
+    def test_empty(self):
+        assert "(empty)" in ascii_histogram({}, label="x")
+
+
+class TestTimeline:
+    def test_spans(self):
+        spans = interval_spans(SAMPLE_LOG)
+        assert spans == [(0, 0, 100), (1, 100, 250)]
+
+    def test_render(self):
+        text = render_timeline([SAMPLE_LOG, SAMPLE_LOG])
+        assert "core 0" in text and "core 1" in text
+        assert "(2 intervals)" in text
+
+    def test_render_empty(self):
+        assert "(no intervals)" in render_timeline([[]])
+
+
+class TestContention:
+    def test_hot_lines_sorted(self, recording):
+        report = analyze_contention(recording, "opt")
+        assert report.total_terminations > 0
+        counts = [hot.terminations for hot in report.hot_lines]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_region_attribution(self, recording):
+        regions = {"everything": (0, 1 << 24)}
+        report = analyze_contention(recording, "opt", regions=regions)
+        assert all(hot.region == "everything" for hot in report.hot_lines)
+
+    def test_communication_matrix_from_edges(self, recording):
+        report = analyze_contention(recording, "opt")
+        total_edges = sum(count for row in report.communication.values()
+                          for count in row.values())
+        assert total_edges == len(recording.dependence_edges["opt"])
+
+    def test_render(self, recording):
+        text = render_contention(analyze_contention(recording, "opt"))
+        assert "hottest lines" in text
+        assert "dependence edges" in text
+
+
+class TestDiff:
+    def test_base_vs_opt(self, recording):
+        diff = diff_variants(recording, "base", "opt")
+        assert diff.rescued_accesses >= 0
+        assert diff.bits_saved == diff.left_bits - diff.right_bits
+        stats_base = recording.recording_stats("base")
+        stats_opt = recording.recording_stats("opt")
+        assert diff.rescued_accesses == (stats_base.reordered_total
+                                         - stats_opt.reordered_total)
+
+    def test_render(self, recording):
+        text = render_diff(diff_variants(recording, "base", "opt"))
+        assert "rescued" in text
+        assert "log bits" in text
+
+    def test_self_diff_is_zero(self, recording):
+        diff = diff_variants(recording, "base", "base")
+        assert diff.rescued_accesses == 0
+        assert diff.bits_saved == 0

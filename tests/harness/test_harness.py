@@ -1,0 +1,131 @@
+"""Tests for the experiment harness (on a reduced workload set/scale)."""
+
+import pytest
+
+from repro.harness import (
+    ExperimentRunner,
+    VARIANT_ORDER,
+    VARIANTS,
+    baseline_log_comparison,
+    fig1_ooo_fractions,
+    fig9_reordered_fractions,
+    fig10_inorder_blocks,
+    fig11_log_sizes,
+    fig12_traq_utilization,
+    fig13_replay_times,
+    fig14_scalability,
+    recording_overhead,
+    table1_parameters,
+)
+from repro.harness.report import render_all
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(seed=1, scale=0.15,
+                            workloads=("fft", "radix"))
+
+
+class TestRunner:
+    def test_caching(self, runner):
+        first = runner.record("fft")
+        second = runner.record("fft")
+        assert first is second
+
+    def test_distinct_core_counts_not_shared(self, runner):
+        assert runner.record("fft", cores=2) is not runner.record("fft",
+                                                                  cores=4)
+
+    def test_all_variants_attached(self, runner):
+        result = runner.record("fft")
+        assert set(result.recordings) == set(VARIANTS)
+
+    def test_workload_filter(self, runner):
+        assert runner.workloads == ("fft", "radix")
+
+
+class TestFigures:
+    def test_fig1(self, runner):
+        data = fig1_ooo_fractions(runner)
+        assert set(data) == {"fft", "radix", "average"}
+        for row in data.values():
+            assert 0 <= row["loads"] <= 1
+            assert 0 <= row["stores"] <= 1
+
+    def test_fig9(self, runner):
+        data = fig9_reordered_fractions(runner)
+        for name in ("fft", "radix"):
+            for variant in VARIANT_ORDER:
+                assert 0 <= data[name][variant]["fraction"] <= 1
+
+    def test_fig10(self, runner):
+        data = fig10_inorder_blocks(runner)
+        for name in ("fft", "radix"):
+            for cap in ("4k", "inf", "512"):
+                row = data[name][cap]
+                assert row["opt_blocks"] <= row["base_blocks"] * 1.05 + 5
+
+    def test_fig11(self, runner):
+        data = fig11_log_sizes(runner)
+        for name in ("fft", "radix"):
+            for variant in VARIANT_ORDER:
+                assert data[name][variant]["bits_per_ki"] > 0
+                assert data[name][variant]["mb_per_s"] > 0
+
+    def test_fig12(self, runner):
+        data = fig12_traq_utilization(runner, histogram_apps=("fft",))
+        assert 0 < data["average_occupancy"]["fft"] < 176
+        assert "fft" in data["histograms"]
+        assert sum(data["histograms"]["fft"].values()) == pytest.approx(1.0)
+
+    def test_fig13_replays_verify(self, runner):
+        data = fig13_replay_times(runner)
+        for name in ("fft", "radix"):
+            for variant in VARIANT_ORDER:
+                row = data[name][variant]
+                assert row["total"] == pytest.approx(row["user"] + row["os"])
+                assert row["total"] > 0
+
+    def test_fig14(self, runner):
+        data = fig14_scalability(runner, core_counts=(2, 4))
+        assert set(data) == {2, 4}
+        for cores in (2, 4):
+            for variant in VARIANT_ORDER:
+                assert data[cores][variant]["reordered_fraction"] >= 0
+
+    def test_table1(self):
+        data = table1_parameters()
+        assert "8 cores" in data["multicore"]
+        assert data["mrr_bytes_base"] == pytest.approx(2.3 * 1024, rel=0.05)
+        assert data["mrr_bytes_opt"] == pytest.approx(3.3 * 1024, rel=0.05)
+
+    def test_baseline_comparison(self, runner):
+        data = baseline_log_comparison(runner)
+        for name in ("fft", "radix"):
+            assert data[name]["relaxreplay_opt_rc"] > 0
+            assert data[name]["sc_chunk_sc"] > 0
+            assert data[name]["fdr_sc"] > data[name]["sc_chunk_sc"]
+
+    def test_overhead(self, runner):
+        data = recording_overhead(runner)
+        assert 0 <= data["average"]["traq_stall_fraction"] < 0.05
+
+
+class TestReport:
+    def test_render_all_produces_every_section(self, runner):
+        results = {
+            "table1": table1_parameters(),
+            "fig1": fig1_ooo_fractions(runner),
+            "fig9": fig9_reordered_fractions(runner),
+        }
+        text = render_all(results)
+        assert "Table 1" in text
+        assert "Figure 1" in text
+        assert "Figure 9" in text
+        assert "fft" in text and "radix" in text
+
+    def test_tables_are_aligned(self, runner):
+        from repro.harness import format_table
+        text = format_table("T", ["a", "bb"], [[1, 2.5], [10, 0.125]])
+        lines = text.strip().splitlines()
+        assert len({len(line) for line in lines[2:]}) == 1

@@ -1,0 +1,120 @@
+"""Tests for the ThreadBuilder DSL."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.isa.builder import ThreadBuilder
+from repro.isa.instructions import Opcode, RmwOp
+
+
+class TestLabels:
+    def test_backward_branch(self):
+        builder = ThreadBuilder()
+        top = builder.label()
+        builder.nop()
+        builder.bnez(1, top)
+        thread = builder.build()
+        assert thread[1].target == 0
+
+    def test_forward_branch(self):
+        builder = ThreadBuilder()
+        done = builder.fresh_label()
+        builder.beqz(1, done)
+        builder.nop(3)
+        builder.place_label(done)
+        builder.movi(2, 1)
+        thread = builder.build()
+        assert thread[0].target == 4
+
+    def test_undefined_label(self):
+        builder = ThreadBuilder()
+        builder.jump("nowhere")
+        with pytest.raises(WorkloadError):
+            builder.build()
+
+    def test_duplicate_label(self):
+        builder = ThreadBuilder()
+        builder.label("x")
+        with pytest.raises(WorkloadError):
+            builder.label("x")
+
+    def test_auto_label_names_unique(self):
+        builder = ThreadBuilder()
+        assert builder.label() != builder.label()
+
+
+class TestEmission:
+    def test_auto_halt(self):
+        thread = ThreadBuilder().nop().build()
+        assert thread[-1].opcode is Opcode.HALT
+
+    def test_explicit_halt_not_duplicated(self):
+        thread = ThreadBuilder().nop().halt().build()
+        assert len(thread) == 2
+
+    def test_alu_needs_exactly_one_of_src2_imm(self):
+        builder = ThreadBuilder()
+        with pytest.raises(WorkloadError):
+            builder.alu(None, 1, 2)  # neither
+        with pytest.raises(WorkloadError):
+            builder.alu(None, 1, 2, src2=3, imm=4)  # both
+
+    def test_load_store_flags(self):
+        builder = ThreadBuilder()
+        builder.load(1, offset=8, acquire=True)
+        builder.store(1, offset=16, release=True)
+        thread = builder.build()
+        assert thread[0].acquire
+        assert thread[1].release
+
+    def test_convenience_ops_map_correctly(self):
+        builder = ThreadBuilder()
+        builder.movi(1, 7)
+        builder.addi(2, 1, 3)
+        builder.muli(3, 2, 2)
+        builder.xori(4, 3, 0xFF)
+        builder.shli(5, 4, 1)
+        builder.shri(6, 5, 1)
+        builder.andi(7, 6, 0xF)
+        builder.cmplti(8, 7, 100)
+        builder.cmpeqi(9, 8, 1)
+        thread = builder.build()
+        assert len(thread) == 10  # 9 ops + HALT
+
+
+class TestMacros:
+    def test_spin_lock_shape(self):
+        thread = ThreadBuilder().spin_lock(0x100, scratch=3).build()
+        assert thread[0].opcode is Opcode.RMW
+        assert thread[0].rmw_op is RmwOp.TAS
+        assert thread[1].opcode is Opcode.BNEZ
+        assert thread[1].target == 0  # retries the TAS
+
+    def test_spin_unlock_release(self):
+        thread = ThreadBuilder().spin_unlock(0x100, scratch=3).build()
+        store = thread[1]
+        assert store.opcode is Opcode.STORE
+        assert store.release
+
+    def test_indirect_lock(self):
+        builder = ThreadBuilder()
+        builder.movi(4, 0x200)
+        builder.spin_lock_indirect(4, scratch=3)
+        builder.spin_unlock_indirect(4, scratch=3)
+        thread = builder.build()
+        assert thread[1].addr_base == 4
+        assert thread[-2].release
+
+    def test_barrier_shape(self):
+        thread = ThreadBuilder().barrier(0x300, 4, 1, 2).build()
+        opcodes = [instr.opcode for instr in thread.instructions]
+        assert Opcode.RMW in opcodes          # the atomic increment
+        loads = [instr for instr in thread.instructions
+                 if instr.opcode is Opcode.LOAD]
+        assert loads and all(instr.acquire for instr in loads)
+
+    def test_atomic_add(self):
+        thread = ThreadBuilder().atomic_add(0x400, operand=2, old_dst=3).build()
+        rmw = thread[0]
+        assert rmw.rmw_op is RmwOp.FETCH_ADD
+        assert rmw.src1 == 2 and rmw.dst == 3

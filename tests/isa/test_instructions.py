@@ -1,0 +1,94 @@
+"""Tests for the instruction definitions."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.isa.instructions import AluOp, Instruction, Opcode, RmwOp
+
+
+def load(dst=1, base=None, offset=0, acquire=False):
+    return Instruction(Opcode.LOAD, dst=dst, addr_base=base,
+                       addr_offset=offset, acquire=acquire)
+
+
+class TestClassification:
+    def test_memory_classes(self):
+        assert load().is_memory and load().is_load_like
+        assert not load().is_store_like
+        store = Instruction(Opcode.STORE, src1=1, addr_offset=8)
+        assert store.is_memory and store.is_store_like
+        assert not store.is_load_like
+        rmw = Instruction(Opcode.RMW, rmw_op=RmwOp.TAS, dst=1, addr_offset=8)
+        assert rmw.is_memory and rmw.is_load_like and rmw.is_store_like
+
+    def test_non_memory(self):
+        for opcode in (Opcode.FENCE, Opcode.NOP, Opcode.HALT, Opcode.JUMP):
+            assert not Instruction(opcode, target=0).is_memory
+
+    def test_branches(self):
+        assert Instruction(Opcode.BEQZ, src1=1, target=0).is_branch
+        assert Instruction(Opcode.JUMP, target=0).is_branch
+        assert not load().is_branch
+
+
+class TestRegisterSets:
+    def test_alu_sources(self):
+        instr = Instruction(Opcode.ALU, alu_op=AluOp.ADD, dst=3, src1=1, src2=2)
+        assert set(instr.source_registers()) == {1, 2}
+        assert instr.destination_register() == 3
+
+    def test_alu_immediate(self):
+        instr = Instruction(Opcode.ALU, alu_op=AluOp.ADD, dst=3, src1=1, imm=5)
+        assert instr.source_registers() == (1,)
+
+    def test_store_sources(self):
+        instr = Instruction(Opcode.STORE, src1=4, addr_base=5, addr_offset=0)
+        assert set(instr.source_registers()) == {4, 5}
+        assert instr.destination_register() is None
+
+    def test_load_with_base(self):
+        instr = load(dst=2, base=7)
+        assert instr.source_registers() == (7,)
+        assert instr.destination_register() == 2
+
+    def test_rmw(self):
+        instr = Instruction(Opcode.RMW, rmw_op=RmwOp.FETCH_ADD, dst=1, src1=2,
+                            addr_base=3)
+        assert set(instr.source_registers()) == {2, 3}
+        assert instr.destination_register() == 1
+
+    def test_branch_sources(self):
+        instr = Instruction(Opcode.BNEZ, src1=9, target=4)
+        assert instr.source_registers() == (9,)
+        assert instr.destination_register() is None
+
+    def test_movi(self):
+        instr = Instruction(Opcode.MOVI, dst=6, imm=1)
+        assert instr.source_registers() == ()
+        assert instr.destination_register() == 6
+
+
+class TestValidation:
+    def test_register_out_of_range(self):
+        with pytest.raises(WorkloadError):
+            load(dst=32).validate(10)
+
+    def test_branch_target_out_of_range(self):
+        with pytest.raises(WorkloadError):
+            Instruction(Opcode.BEQZ, src1=1, target=11).validate(10)
+        Instruction(Opcode.BEQZ, src1=1, target=10).validate(10)  # end OK
+
+    def test_unaligned_absolute_address(self):
+        with pytest.raises(WorkloadError):
+            load(offset=12).validate(10)
+
+    def test_alu_requires_op(self):
+        with pytest.raises(WorkloadError):
+            Instruction(Opcode.ALU, dst=1, src1=2, imm=0).validate(10)
+
+    def test_rmw_requires_op(self):
+        with pytest.raises(WorkloadError):
+            Instruction(Opcode.RMW, dst=1, addr_offset=8).validate(10)
+
+    def test_note_not_compared(self):
+        assert load() == Instruction(Opcode.LOAD, dst=1, note="different")

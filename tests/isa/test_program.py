@@ -1,0 +1,50 @@
+"""Tests for program containers."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.isa.builder import ThreadBuilder
+from repro.isa.program import Program, ThreadProgram
+
+
+def simple_thread(n=3):
+    builder = ThreadBuilder()
+    builder.nop(n)
+    return builder.build()
+
+
+class TestThreadProgram:
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            ThreadProgram([]).validate()
+
+    def test_len_and_indexing(self):
+        thread = simple_thread(3)
+        assert len(thread) == 4  # + HALT
+        assert thread[0].opcode.value == "nop"
+
+
+class TestProgram:
+    def test_counts(self):
+        program = Program([simple_thread(2), simple_thread(5)])
+        assert program.num_threads == 2
+        assert program.total_instructions() == 3 + 6
+
+    def test_no_threads(self):
+        with pytest.raises(WorkloadError):
+            Program([]).validate()
+
+    def test_unaligned_initial_memory(self):
+        program = Program([simple_thread()], initial_memory={12: 1})
+        with pytest.raises(WorkloadError):
+            program.validate()
+
+    def test_negative_initial_address(self):
+        program = Program([simple_thread()], initial_memory={-8: 1})
+        with pytest.raises(WorkloadError):
+            program.validate()
+
+    def test_valid(self):
+        program = Program([simple_thread()], initial_memory={0x100: 7},
+                          name="ok")
+        assert program.validate() is program

@@ -1,0 +1,180 @@
+"""Tests for the snoopy ring bus: serialization, atomic commit, latencies."""
+
+import pytest
+
+from repro.common.config import MachineConfig
+from repro.mem.bus import SnoopyRingBus
+from repro.mem.cache import L1Cache
+from repro.mem.coherence import BusTransaction, MesiState, TransactionKind
+
+
+class Listener:
+    def __init__(self):
+        self.transactions = []
+        self.dirty_evictions = []
+
+    def on_transaction(self, event):
+        self.transactions.append(event)
+
+    def on_dirty_eviction(self, cycle, core_id, line_addr):
+        self.dirty_evictions.append((cycle, core_id, line_addr))
+
+
+@pytest.fixture
+def setup():
+    config = MachineConfig(num_cores=4).validate()
+    caches = [L1Cache(config.l1, core_id) for core_id in range(4)]
+    bus = SnoopyRingBus(config, caches)
+    listener = Listener()
+    bus.add_listener(listener)
+    return config, caches, bus, listener
+
+
+def run_until_commit(bus, start=0, limit=100):
+    for cycle in range(start, start + limit):
+        if bus.tick(cycle):
+            return cycle
+    raise AssertionError("nothing committed")
+
+
+class TestCommitOrdering:
+    def test_fifo_one_per_cycle(self, setup):
+        _, _, bus, listener = setup
+        for core in range(3):
+            bus.enqueue(BusTransaction(core, TransactionKind.GETS, 10 + core, 0))
+        for cycle in range(20):
+            bus.tick(cycle)
+        assert [e.line_addr for e in listener.transactions] == [10, 11, 12]
+        cycles = [e.cycle for e in listener.transactions]
+        assert cycles == sorted(cycles)
+        assert len(set(cycles)) == 3  # one commit per cycle
+
+    def test_arbitration_delay(self, setup):
+        _, _, bus, _ = setup
+        bus.enqueue(BusTransaction(0, TransactionKind.GETS, 5, enqueue_cycle=10))
+        assert not bus.tick(10)
+        assert not bus.tick(12)
+        assert bus.tick(13)
+
+    def test_next_commit_cycle(self, setup):
+        _, _, bus, _ = setup
+        assert bus.next_commit_cycle() is None
+        bus.enqueue(BusTransaction(0, TransactionKind.GETS, 5, enqueue_cycle=7))
+        assert bus.next_commit_cycle() == 10
+
+
+class TestAtomicSnoop:
+    def test_gets_downgrades_owner_and_fills_shared(self, setup):
+        _, caches, bus, _ = setup
+        caches[1].fill(20, MesiState.MODIFIED)
+        bus.enqueue(BusTransaction(0, TransactionKind.GETS, 20, 0))
+        run_until_commit(bus)
+        assert caches[1].lookup(20) is MesiState.SHARED
+        assert caches[0].lookup(20) is MesiState.SHARED
+
+    def test_gets_fills_exclusive_when_alone(self, setup):
+        _, caches, bus, _ = setup
+        bus.enqueue(BusTransaction(0, TransactionKind.GETS, 20, 0))
+        run_until_commit(bus)
+        assert caches[0].lookup(20) is MesiState.EXCLUSIVE
+
+    def test_getm_invalidates_everyone(self, setup):
+        _, caches, bus, _ = setup
+        caches[1].fill(20, MesiState.SHARED)
+        caches[2].fill(20, MesiState.SHARED)
+        bus.enqueue(BusTransaction(0, TransactionKind.GETM, 20, 0))
+        run_until_commit(bus)
+        assert caches[1].lookup(20) is MesiState.INVALID
+        assert caches[2].lookup(20) is MesiState.INVALID
+        assert caches[0].lookup(20) is MesiState.MODIFIED
+
+    def test_upgrade_grants_m(self, setup):
+        _, caches, bus, _ = setup
+        caches[0].fill(20, MesiState.SHARED)
+        caches[3].fill(20, MesiState.SHARED)
+        bus.enqueue(BusTransaction(0, TransactionKind.UPGRADE, 20, 0))
+        run_until_commit(bus)
+        assert caches[0].lookup(20) is MesiState.MODIFIED
+        assert caches[3].lookup(20) is MesiState.INVALID
+
+    def test_upgrade_race_becomes_getm(self, setup):
+        """An upgrade whose copy was invalidated while queued must re-fetch."""
+        _, caches, bus, _ = setup
+        caches[0].fill(20, MesiState.SHARED)
+        caches[1].fill(20, MesiState.SHARED)
+        bus.enqueue(BusTransaction(1, TransactionKind.GETM, 20, 0))
+        bus.enqueue(BusTransaction(0, TransactionKind.UPGRADE, 20, 0))
+        run_until_commit(bus)           # core 1's GETM invalidates core 0
+        assert caches[0].lookup(20) is MesiState.INVALID
+        latencies = []
+        bus._queue[0].waiters.append(
+            lambda commit, ready: latencies.append(ready - commit))
+        run_until_commit(bus, start=4)
+        assert caches[0].lookup(20) is MesiState.MODIFIED
+        # Converted to GETM: data latency, not the 2-cycle upgrade ack.
+        assert latencies[0] > 2
+
+    def test_listener_sees_every_commit(self, setup):
+        _, _, bus, listener = setup
+        bus.enqueue(BusTransaction(2, TransactionKind.GETM, 9, 0))
+        cycle = run_until_commit(bus)
+        event = listener.transactions[0]
+        assert event.requester == 2
+        assert event.line_addr == 9
+        assert event.is_write
+        assert event.cycle == cycle
+
+
+class TestDataLatency:
+    def _latency(self, bus, transaction):
+        out = []
+        transaction.waiters.append(lambda commit, ready: out.append(ready - commit))
+        bus.enqueue(transaction)
+        run_until_commit(bus, limit=200)
+        return out[0]
+
+    def test_cold_miss_goes_to_memory(self, setup):
+        config, _, bus, _ = setup
+        latency = self._latency(bus, BusTransaction(0, TransactionKind.GETS, 7, 0))
+        assert latency == config.memory.roundtrip_cycles
+
+    def test_warm_line_served_by_l2(self, setup):
+        config, _, bus, _ = setup
+        self._latency(bus, BusTransaction(0, TransactionKind.GETS, 7, 0))
+        # Drop core 0's copy so the second access is a real miss again.
+        bus.caches[0].set_state(7, MesiState.INVALID)
+        latency = self._latency(bus, BusTransaction(0, TransactionKind.GETS, 7, 4))
+        assert latency == config.l2.roundtrip_cycles
+
+    def test_cache_to_cache_uses_ring_distance(self, setup):
+        config, caches, bus, _ = setup
+        caches[1].fill(7, MesiState.MODIFIED)
+        latency = self._latency(bus, BusTransaction(0, TransactionKind.GETS, 7, 0))
+        assert latency < config.l2.roundtrip_cycles + 4
+        # distance(1, 0) on a 4-ring is 1 hop
+        caches[2].fill(8, MesiState.MODIFIED)
+        latency2 = self._latency(bus, BusTransaction(0, TransactionKind.GETS, 8, 4))
+        assert latency2 == latency + config.ring.hop_cycles  # 2 hops
+
+    def test_ring_distance_wraps(self, setup):
+        _, _, bus, _ = setup
+        assert bus._ring_distance(0, 3) == 1
+        assert bus._ring_distance(3, 0) == 1
+        assert bus._ring_distance(0, 2) == 2
+
+
+class TestDirtyEviction:
+    def test_eviction_notifies_listener(self, setup):
+        config, caches, bus, listener = setup
+        # Fill one set of core 0 with dirty lines, then force an eviction.
+        sets = caches[0].num_sets
+        victims = [line * sets for line in range(config.l1.assoc)]
+        for line in victims:
+            caches[0].fill(line, MesiState.MODIFIED)
+        bus.enqueue(BusTransaction(0, TransactionKind.GETS,
+                                   config.l1.assoc * sets, 0))
+        run_until_commit(bus)
+        assert listener.dirty_evictions
+        cycle, core_id, line = listener.dirty_evictions[0]
+        assert core_id == 0
+        assert line in victims

@@ -1,0 +1,112 @@
+"""Tests for the L1 tag/MESI model."""
+
+import pytest
+
+from repro.common.config import L1Config
+from repro.common.errors import SimulationError
+from repro.mem.cache import L1Cache
+from repro.mem.coherence import MesiState
+
+
+def tiny_cache(assoc=2, sets_kb=None):
+    # 2 sets x 2 ways of 32B lines = 128 bytes.
+    config = L1Config(size_kb=64, assoc=assoc, line_bytes=32)
+    cache = L1Cache(config, core_id=0)
+    cache.num_sets = 2
+    cache._sets = [dict() for _ in range(2)]
+    return cache
+
+
+class TestLookupFill:
+    def test_miss_then_hit(self):
+        cache = tiny_cache()
+        assert cache.lookup(4) is MesiState.INVALID
+        cache.fill(4, MesiState.SHARED)
+        assert cache.lookup(4) is MesiState.SHARED
+
+    def test_fill_updates_state(self):
+        cache = tiny_cache()
+        cache.fill(4, MesiState.SHARED)
+        cache.fill(4, MesiState.MODIFIED)
+        assert cache.lookup(4) is MesiState.MODIFIED
+        assert cache.occupancy() == 1
+
+    def test_set_state_invalid_removes(self):
+        cache = tiny_cache()
+        cache.fill(4, MesiState.EXCLUSIVE)
+        cache.set_state(4, MesiState.INVALID)
+        assert cache.lookup(4) is MesiState.INVALID
+
+    def test_set_state_on_absent_line_fails(self):
+        with pytest.raises(SimulationError):
+            tiny_cache().set_state(4, MesiState.SHARED)
+
+
+class TestEviction:
+    def test_lru_victim(self):
+        cache = tiny_cache()
+        cache.fill(0, MesiState.SHARED)   # set 0
+        cache.fill(2, MesiState.SHARED)   # set 0 (line 2 % 2 == 0)
+        cache.touch(0)                    # line 0 is now MRU
+        cache.fill(4, MesiState.SHARED)   # set 0: evicts LRU = line 2
+        assert cache.lookup(2) is MesiState.INVALID
+        assert cache.lookup(0) is MesiState.SHARED
+        assert cache.evictions == 1
+
+    def test_dirty_eviction_reported(self):
+        cache = tiny_cache()
+        cache.fill(0, MesiState.MODIFIED)
+        cache.fill(2, MesiState.SHARED)
+        victim = cache.fill(4, MesiState.SHARED)
+        assert victim.line_addr == 0  # the dirty line was LRU
+        assert victim.state is MesiState.MODIFIED
+        assert cache.dirty_evictions == 1
+
+    def test_clean_eviction_silent(self):
+        cache = tiny_cache()
+        cache.fill(0, MesiState.SHARED)
+        cache.fill(2, MesiState.SHARED)
+        assert cache.fill(4, MesiState.SHARED) is None
+
+    def test_exclusive_eviction_reported(self):
+        """E victims matter to a directory (ownership release)."""
+        cache = tiny_cache()
+        cache.fill(0, MesiState.EXCLUSIVE)
+        cache.fill(2, MesiState.SHARED)
+        victim = cache.fill(4, MesiState.SHARED)
+        assert victim.line_addr == 0
+        assert victim.state is MesiState.EXCLUSIVE
+        assert cache.dirty_evictions == 0
+
+
+class TestSnoop:
+    def test_remote_read_downgrades_owner(self):
+        cache = tiny_cache()
+        cache.fill(4, MesiState.MODIFIED)
+        assert cache.snoop(4, is_write=False) is True
+        assert cache.lookup(4) is MesiState.SHARED
+
+    def test_remote_read_keeps_shared(self):
+        cache = tiny_cache()
+        cache.fill(4, MesiState.SHARED)
+        cache.snoop(4, is_write=False)
+        assert cache.lookup(4) is MesiState.SHARED
+
+    def test_remote_write_invalidates(self):
+        cache = tiny_cache()
+        for state in (MesiState.MODIFIED, MesiState.EXCLUSIVE,
+                      MesiState.SHARED):
+            cache.fill(4, state)
+            assert cache.snoop(4, is_write=True) is True
+            assert cache.lookup(4) is MesiState.INVALID
+
+    def test_snoop_absent_line(self):
+        assert tiny_cache().snoop(4, is_write=True) is False
+
+
+class TestMesiStateProperties:
+    def test_permissions(self):
+        assert MesiState.MODIFIED.can_read and MesiState.MODIFIED.can_write
+        assert MesiState.EXCLUSIVE.can_write
+        assert MesiState.SHARED.can_read and not MesiState.SHARED.can_write
+        assert not MesiState.INVALID.can_read

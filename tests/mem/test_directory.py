@@ -1,0 +1,155 @@
+"""Tests for the directory-based MESI protocol (Section 4.3 substrate)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.common.config import CoherenceProtocol, MachineConfig
+from repro.mem.coherence import BusTransaction, MesiState, TransactionKind
+from repro.mem.directory import DirectoryRingBus
+from repro.mem.memsys import MemOp, MemOpKind, MemorySystem
+
+
+def directory_config(cores=4, **kwargs):
+    return replace(MachineConfig(num_cores=cores, **kwargs),
+                   protocol=CoherenceProtocol.DIRECTORY).validate()
+
+
+class Listener:
+    def __init__(self, core_id):
+        self.core_id = core_id
+        self.transactions = []
+        self.evictions = []
+
+    def on_transaction(self, event):
+        self.transactions.append(event)
+
+    def on_dirty_eviction(self, cycle, core_id, line_addr):
+        if core_id == self.core_id:
+            self.evictions.append(line_addr)
+
+
+@pytest.fixture
+def memsys():
+    return MemorySystem(directory_config(), initial_memory={0x100: 7})
+
+
+def drive(memsys, cycles=400, start=0):
+    for cycle in range(start, start + cycles):
+        memsys.tick(cycle)
+
+
+class TestSelection:
+    def test_directory_bus_selected(self, memsys):
+        assert isinstance(memsys.bus, DirectoryRingBus)
+
+
+class TestFiltering:
+    def test_uninvolved_cores_see_nothing(self, memsys):
+        """The observable difference from snoopy: only owner/sharers are
+        notified (Section 5.5's scalability argument)."""
+        listeners = [Listener(core) for core in range(4)]
+        for listener in listeners:
+            memsys.add_listener(listener)
+        # Core 0 takes the line exclusively; core 1 then writes it.
+        load = MemOp(0, MemOpKind.LOAD, 0x100)
+        memsys.issue(load, 0)
+        drive(memsys)
+        store = MemOp(1, MemOpKind.STORE, 0x100, store_value=1)
+        memsys.issue(store, 500)
+        drive(memsys, start=500)
+        assert store.performed
+        # Core 0 (owner) was notified of core 1's write...
+        assert any(event.requester == 1 and event.is_write
+                   for event in listeners[0].transactions)
+        # ...but cores 2 and 3 never saw anything.
+        assert not listeners[2].transactions
+        assert not listeners[3].transactions
+
+    def test_stale_sharers_still_notified(self, memsys):
+        """Silent S-evictions leave sharer bits; invalidations still reach
+        such cores (so signature conflict detection stays sound)."""
+        listeners = [Listener(core) for core in range(4)]
+        for listener in listeners:
+            memsys.add_listener(listener)
+        for core in (0, 1):
+            op = MemOp(core, MemOpKind.LOAD, 0x100)
+            memsys.issue(op, core)
+        drive(memsys)
+        # Drop core 1's copy silently (as a capacity eviction of an S line
+        # would).
+        memsys.caches[1].set_state(memsys.line_of(0x100), MesiState.INVALID)
+        store = MemOp(2, MemOpKind.STORE, 0x100, store_value=9)
+        memsys.issue(store, 600)
+        drive(memsys, start=600)
+        assert any(event.is_write for event in listeners[1].transactions)
+
+
+class TestCoherence:
+    def test_write_atomicity_preserved(self, memsys):
+        """Same invariant tests as snoopy: single writer, serialized RMWs."""
+        from repro.isa.instructions import RmwOp
+        ops = [MemOp(core, MemOpKind.RMW, 0x500, rmw_op=RmwOp.FETCH_ADD,
+                     rmw_operand=1) for core in range(4)]
+        for op in ops:
+            memsys.issue(op, 0)
+        drive(memsys)
+        assert sorted(op.value for op in ops) == [0, 1, 2, 3]
+        assert memsys.read_word(0x500) == 4
+        memsys.check_coherence_invariants()
+
+    def test_upgrade_race(self, memsys):
+        for core in (0, 1):
+            memsys.issue(MemOp(core, MemOpKind.LOAD, 0x100), core)
+        drive(memsys)
+        fast = MemOp(1, MemOpKind.STORE, 0x100, store_value=1)
+        slow = MemOp(0, MemOpKind.STORE, 0x100, store_value=2)
+        memsys.issue(fast, 500)
+        memsys.issue(slow, 501)
+        drive(memsys, start=500)
+        assert fast.performed and slow.performed
+        assert memsys.read_word(0x100) == 2  # slow committed second
+        memsys.check_coherence_invariants()
+
+    def test_owner_supplies_data_faster_than_memory(self, memsys):
+        config = memsys.config
+        first = MemOp(0, MemOpKind.STORE, 0x9000, store_value=5)
+        memsys.issue(first, 0)
+        drive(memsys)
+        second = MemOp(2, MemOpKind.LOAD, 0x9000)
+        memsys.issue(second, 600)
+        drive(memsys, start=600)
+        assert second.value == 5
+        latency = second.value_ready_cycle - second.perform_cycle
+        assert latency < config.memory.roundtrip_cycles
+
+    def test_ownership_released_on_eviction(self):
+        from repro.common.config import L1Config
+        config = replace(directory_config(),
+                         l1=L1Config(size_kb=1, assoc=2)).validate()
+        memsys = MemorySystem(config)
+        listeners = [Listener(core) for core in range(4)]
+        for listener in listeners:
+            memsys.add_listener(listener)
+        cycle = 0
+        # Stream enough dirty lines through core 0 to force M evictions.
+        for index in range(40):
+            op = MemOp(0, MemOpKind.STORE, 0x10000 + index * 32 * 16,
+                       store_value=index)
+            while not memsys.issue(op, cycle):
+                memsys.tick(cycle)
+                cycle += 1
+            memsys.tick(cycle)
+            cycle += 1
+        drive(memsys, start=cycle)
+        assert listeners[0].evictions, "no ownership releases reported"
+        for line in listeners[0].evictions:
+            assert memsys.bus.entry(line).owner != 0
+
+
+class TestHomeNodes:
+    def test_home_mapping(self):
+        config = directory_config()
+        memsys = MemorySystem(config)
+        for line in range(16):
+            assert memsys.bus.home_of(line) == line % 4

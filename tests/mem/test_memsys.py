@@ -1,0 +1,180 @@
+"""Tests for the memory-system facade: hits, misses, MSHRs, atomic RMWs."""
+
+import pytest
+
+from repro.common.config import MachineConfig
+from repro.common.errors import SimulationError
+from repro.isa.instructions import RmwOp
+from repro.mem.coherence import MesiState, TransactionKind
+from repro.mem.memsys import MemOp, MemOpKind, MemorySystem
+
+
+@pytest.fixture
+def memsys():
+    return MemorySystem(MachineConfig(num_cores=4).validate(),
+                        initial_memory={0x100: 7})
+
+
+def drive(memsys, cycles=300, start=0):
+    for cycle in range(start, start + cycles):
+        memsys.tick(cycle)
+
+
+class TestFunctionalImage:
+    def test_initial_memory(self, memsys):
+        assert memsys.read_word(0x100) == 7
+        assert memsys.read_word(0x108) == 0
+
+    def test_write_masks_to_64_bits(self, memsys):
+        memsys.write_word(0x200, (1 << 70) + 5)
+        assert memsys.read_word(0x200) == 5 + ((1 << 70) & ((1 << 64) - 1))
+
+    def test_image_snapshot_drops_zeros(self, memsys):
+        memsys.write_word(0x300, 0)
+        assert 0x300 not in memsys.memory_image()
+
+
+class TestLoadStore:
+    def test_cold_load(self, memsys):
+        op = MemOp(0, MemOpKind.LOAD, 0x100)
+        assert memsys.issue(op, 0)
+        assert not op.performed
+        drive(memsys)
+        assert op.performed
+        assert op.value == 7
+        assert op.value_ready_cycle > op.perform_cycle  # memory latency
+
+    def test_hit_after_fill(self, memsys):
+        first = MemOp(0, MemOpKind.LOAD, 0x100)
+        memsys.issue(first, 0)
+        drive(memsys)
+        second = MemOp(0, MemOpKind.LOAD, 0x100)
+        memsys.issue(second, 500)
+        assert second.performed  # L1 hit performs at issue
+        assert second.perform_cycle == 500
+        assert second.value_ready_cycle == 500 + memsys.config.l1.hit_cycles
+
+    def test_store_updates_image_at_perform(self, memsys):
+        op = MemOp(1, MemOpKind.STORE, 0x100, store_value=42)
+        memsys.issue(op, 0)
+        assert memsys.read_word(0x100) == 7  # not yet performed
+        drive(memsys)
+        assert op.performed
+        assert memsys.read_word(0x100) == 42
+
+    def test_store_without_value_rejected(self, memsys):
+        op = MemOp(1, MemOpKind.STORE, 0x100)
+        memsys.issue(op, 0)
+        with pytest.raises(SimulationError):
+            drive(memsys)
+
+    def test_unaligned_address_rejected(self):
+        with pytest.raises(SimulationError):
+            MemOp(0, MemOpKind.LOAD, 0x101)
+
+    def test_write_hit_in_shared_needs_upgrade(self, memsys):
+        load = MemOp(0, MemOpKind.LOAD, 0x100)
+        load2 = MemOp(1, MemOpKind.LOAD, 0x100)
+        memsys.issue(load, 0)
+        memsys.issue(load2, 0)
+        drive(memsys)
+        assert memsys.caches[0].lookup(memsys.line_of(0x100)) is MesiState.SHARED
+        store = MemOp(0, MemOpKind.STORE, 0x100, store_value=1)
+        memsys.issue(store, 400)
+        assert not store.performed  # needs the bus (upgrade)
+        drive(memsys, start=400)
+        assert store.performed
+        assert memsys.caches[1].lookup(memsys.line_of(0x100)) is MesiState.INVALID
+
+
+class TestRmw:
+    def test_rmw_returns_old_and_writes_new(self, memsys):
+        op = MemOp(0, MemOpKind.RMW, 0x100, rmw_op=RmwOp.FETCH_ADD,
+                   rmw_operand=3)
+        memsys.issue(op, 0)
+        drive(memsys)
+        assert op.value == 7
+        assert memsys.read_word(0x100) == 10
+
+    def test_contended_tas_is_atomic(self, memsys):
+        """Exactly one of N concurrent TAS operations observes 0."""
+        ops = [MemOp(core, MemOpKind.RMW, 0x500, rmw_op=RmwOp.TAS)
+               for core in range(4)]
+        for op in ops:
+            memsys.issue(op, 0)
+        drive(memsys)
+        winners = [op for op in ops if op.value == 0]
+        assert len(winners) == 1
+        assert memsys.read_word(0x500) == 1
+
+
+class TestMshr:
+    def test_same_line_requests_merge(self, memsys):
+        a = MemOp(0, MemOpKind.LOAD, 0x100)
+        b = MemOp(0, MemOpKind.LOAD, 0x108)  # same 32B line
+        memsys.issue(a, 0)
+        memsys.issue(b, 1)
+        assert memsys.bus.pending_count(0) == 1
+        drive(memsys)
+        assert a.performed and b.performed
+        assert a.perform_cycle == b.perform_cycle  # same commit
+
+    def test_read_then_write_escalates(self, memsys):
+        load = MemOp(0, MemOpKind.LOAD, 0x100)
+        store = MemOp(0, MemOpKind.STORE, 0x110, store_value=9)  # same line
+        memsys.issue(load, 0)
+        pending = memsys.bus.pending_for(0, memsys.line_of(0x100))
+        assert pending.kind is TransactionKind.GETS
+        memsys.issue(store, 1)
+        assert pending.kind is TransactionKind.GETM
+        drive(memsys)
+        assert load.performed and store.performed
+        assert memsys.caches[0].lookup(memsys.line_of(0x100)) is MesiState.MODIFIED
+
+    def test_mshr_capacity(self):
+        from dataclasses import replace
+        from repro.common.config import L1Config
+        config = MachineConfig(num_cores=2,
+                               l1=L1Config(mshr_entries=2)).validate()
+        memsys = MemorySystem(config)
+        assert memsys.issue(MemOp(0, MemOpKind.LOAD, 0x1000), 0)
+        assert memsys.issue(MemOp(0, MemOpKind.LOAD, 0x2000), 0)
+        assert not memsys.issue(MemOp(0, MemOpKind.LOAD, 0x3000), 0)
+        drive(memsys)
+        assert memsys.issue(MemOp(0, MemOpKind.LOAD, 0x3000), 400)
+
+
+class TestInvariants:
+    def test_invariant_checker_detects_double_owner(self, memsys):
+        memsys.caches[0].fill(5, MesiState.MODIFIED)
+        memsys.caches[1].fill(5, MesiState.EXCLUSIVE)
+        with pytest.raises(SimulationError):
+            memsys.check_coherence_invariants()
+
+    def test_invariant_checker_detects_owner_plus_sharer(self, memsys):
+        memsys.caches[0].fill(5, MesiState.MODIFIED)
+        memsys.caches[1].fill(5, MesiState.SHARED)
+        with pytest.raises(SimulationError):
+            memsys.check_coherence_invariants()
+
+    def test_invariants_hold_after_traffic(self, memsys):
+        ops = []
+        for index in range(40):
+            core = index % 4
+            addr = 0x100 + (index % 6) * 32
+            if index % 3:
+                ops.append(MemOp(core, MemOpKind.LOAD, addr))
+            else:
+                ops.append(MemOp(core, MemOpKind.STORE, addr,
+                                 store_value=index))
+        cycle = 0
+        for op in ops:
+            while not memsys.issue(op, cycle):
+                memsys.tick(cycle)
+                cycle += 1
+            memsys.tick(cycle)
+            cycle += 1
+            memsys.check_coherence_invariants()
+        drive(memsys, start=cycle)
+        memsys.check_coherence_invariants()
+        assert all(op.performed for op in ops)

@@ -1,0 +1,184 @@
+"""Integration-level recorder tests on real machine runs.
+
+The unit tests in ``test_mrr.py`` drive the recorder with synthetic events;
+these check recorder-level invariants on full executions, including the
+directory-mode conservative behaviours and the patch-target clamp.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.common.config import (
+    CoherenceProtocol,
+    ConsistencyModel,
+    L1Config,
+    MachineConfig,
+    RecorderConfig,
+    RecorderMode,
+)
+from repro.recorder.logfmt import (
+    InorderBlock,
+    IntervalFrame,
+    ReorderedLoad,
+    ReorderedRmw,
+    ReorderedStore,
+)
+from repro.replay import replay_recording
+from repro.sim import Machine
+from repro.workloads import build_workload, random_program
+
+
+@pytest.fixture(scope="module")
+def recording():
+    program = build_workload("water_nsquared", num_threads=4, scale=0.3,
+                             seed=2)
+    machine = Machine(MachineConfig(num_cores=4), {
+        "base": RecorderConfig(mode=RecorderMode.BASE),
+        "opt": RecorderConfig(mode=RecorderMode.OPT),
+        "base_256": RecorderConfig(mode=RecorderMode.BASE,
+                                   max_interval_instructions=256),
+    })
+    return machine.run(program)
+
+
+class TestLogWellFormedness:
+    @pytest.mark.parametrize("variant", ["base", "opt", "base_256"])
+    def test_streams_end_with_frames(self, recording, variant):
+        for output in recording.recordings[variant]:
+            assert isinstance(output.entries[-1], IntervalFrame)
+
+    @pytest.mark.parametrize("variant", ["base", "opt", "base_256"])
+    def test_frame_cisns_consecutive(self, recording, variant):
+        for output in recording.recordings[variant]:
+            frames = [e for e in output.entries
+                      if isinstance(e, IntervalFrame)]
+            assert [f.cisn for f in frames] == list(range(len(frames)))
+
+    @pytest.mark.parametrize("variant", ["base", "opt", "base_256"])
+    def test_frame_timestamps_monotone(self, recording, variant):
+        for output in recording.recordings[variant]:
+            stamps = [e.timestamp for e in output.entries
+                      if isinstance(e, IntervalFrame)]
+            assert stamps == sorted(stamps)
+
+    @pytest.mark.parametrize("variant", ["base", "opt"])
+    def test_block_sizes_positive(self, recording, variant):
+        for output in recording.recordings[variant]:
+            for entry in output.entries:
+                if isinstance(entry, InorderBlock):
+                    assert entry.size > 0
+
+    @pytest.mark.parametrize("variant", ["base", "opt"])
+    def test_offsets_stay_within_log(self, recording, variant):
+        for output in recording.recordings[variant]:
+            frames_seen = 0
+            for entry in output.entries:
+                if isinstance(entry, IntervalFrame):
+                    frames_seen += 1
+                elif isinstance(entry, (ReorderedStore, ReorderedRmw)):
+                    assert entry.offset <= frames_seen
+
+    @pytest.mark.parametrize("variant", ["base", "opt"])
+    def test_entries_cover_exact_instruction_count(self, recording, variant):
+        for output, core in zip(recording.recordings[variant],
+                                recording.cores):
+            covered = 0
+            for entry in output.entries:
+                if isinstance(entry, InorderBlock):
+                    covered += entry.size
+                elif isinstance(entry, (ReorderedLoad, ReorderedStore,
+                                        ReorderedRmw)):
+                    covered += 1
+            assert covered == core.instructions
+
+    def test_size_cap_respected(self, recording):
+        """No counted run between frames exceeds the cap by more than one
+        entry's worth of instructions (the entry that crosses the line)."""
+        for output in recording.recordings["base_256"]:
+            run = 0
+            for entry in output.entries:
+                if isinstance(entry, IntervalFrame):
+                    run = 0
+                elif isinstance(entry, InorderBlock):
+                    run += entry.size
+                elif isinstance(entry, (ReorderedLoad, ReorderedStore,
+                                        ReorderedRmw)):
+                    run += 1
+                assert run <= 256 + 16  # cap + one entry's NMI slack
+
+
+class TestStatsConsistency:
+    @pytest.mark.parametrize("variant", ["base", "opt"])
+    def test_stats_match_entries(self, recording, variant):
+        for output in recording.recordings[variant]:
+            entries = output.entries
+            assert output.stats.frames == sum(
+                isinstance(e, IntervalFrame) for e in entries)
+            assert output.stats.inorder_blocks == sum(
+                isinstance(e, InorderBlock) for e in entries)
+            assert output.stats.reordered_loads == sum(
+                isinstance(e, ReorderedLoad) for e in entries)
+            assert output.stats.reordered_stores == sum(
+                isinstance(e, ReorderedStore) for e in entries)
+            assert output.stats.reordered_rmws == sum(
+                isinstance(e, ReorderedRmw) for e in entries)
+
+    def test_opt_rescues_subset(self, recording):
+        base = recording.recording_stats("base")
+        opt = recording.recording_stats("opt")
+        assert opt.reordered_total <= base.reordered_total
+        assert opt.moved_across_intervals > 0
+
+
+class TestDirectoryModeRecorder:
+    def test_eviction_terminations_fire_on_conflict_misses(self):
+        """A dirty line evicted while still in the current signatures must
+        close the interval (we stop observing transactions on it).  LRU
+        victims are normally cold, so force it with a direct-mapped L1 and
+        two dirty lines in one set."""
+        from repro.isa.builder import ThreadBuilder
+        from repro.isa.program import Program
+
+        builder = ThreadBuilder()
+        builder.movi(1, 5)
+        # 1KB direct-mapped L1 with 32B lines -> 32 sets; these two
+        # addresses are 32 lines apart, i.e. the same set.
+        builder.store(1, offset=0x1000)   # set 0, becomes M
+        builder.store(1, offset=0x1400)   # same set: evicts dirty 0x1000
+        builder.store(1, offset=0x1000)   # and again the other way
+        program = Program([builder.build()])
+
+        config = replace(MachineConfig(num_cores=1),
+                         protocol=CoherenceProtocol.DIRECTORY,
+                         l1=L1Config(size_kb=1, assoc=1))
+        machine = Machine(config, {
+            "opt": RecorderConfig(mode=RecorderMode.OPT)})
+        recording = machine.run(program, capture_load_trace=True)
+        stats = recording.recording_stats("opt")
+        assert stats.eviction_terminations > 0
+        replay_recording(recording, "opt")  # still bit-exact
+
+    def test_directory_recorder_configs_auto_hardened(self):
+        program = random_program(2, 20, seed=1)
+        config = replace(MachineConfig(num_cores=2),
+                         protocol=CoherenceProtocol.DIRECTORY)
+        machine = Machine(config, {
+            "opt": RecorderConfig(mode=RecorderMode.OPT)})
+        recording = machine.run(program)
+        output = recording.recordings["opt"][0]
+        assert output.config.dirty_eviction_snoop_increment
+        assert output.config.dirty_eviction_terminates
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_directory_determinism_random(self, seed):
+        program = random_program(3, 40, seed=seed + 500, sharing=0.6,
+                                 lock_probability=0.2)
+        config = replace(MachineConfig(num_cores=3),
+                         protocol=CoherenceProtocol.DIRECTORY)
+        machine = Machine(config, {
+            "base": RecorderConfig(mode=RecorderMode.BASE),
+            "opt": RecorderConfig(mode=RecorderMode.OPT)})
+        recording = machine.run(program, capture_load_trace=True)
+        for variant in ("base", "opt"):
+            replay_recording(recording, variant)

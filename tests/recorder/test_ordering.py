@@ -1,0 +1,101 @@
+"""Tests for the Cyrus-style pairwise interval-ordering tracker."""
+
+from repro.common.config import MachineConfig, RecorderConfig, RecorderMode
+from repro.recorder.ordering import DependenceTracker, IntervalEdge
+from repro.sim import Machine
+from repro.workloads import random_program
+
+
+class FakeRecorder:
+    def __init__(self, cisn):
+        self.cisn = cisn
+
+
+class TestTracker:
+    def test_conflict_edge_targets_requester_current_interval(self):
+        tracker = DependenceTracker()
+        tracker.register(0, FakeRecorder(cisn=5))
+        tracker.register(1, FakeRecorder(cisn=9))
+        tracker.record_conflict(0, 5, dst_core=1)
+        assert tracker.edges == [IntervalEdge(0, 5, 1, 9)]
+
+    def test_weak_edge_uses_last_terminated(self):
+        tracker = DependenceTracker()
+        tracker.register(0, FakeRecorder(cisn=2))
+        tracker.register(1, FakeRecorder(cisn=7))
+        tracker.record_observation(0, 1, dst_core=1)
+        assert tracker.edges == [IntervalEdge(0, 1, 1, 7)]
+
+    def test_negative_source_skipped(self):
+        """No interval has terminated yet: nothing to order against."""
+        tracker = DependenceTracker()
+        tracker.register(0, FakeRecorder(cisn=0))
+        tracker.register(1, FakeRecorder(cisn=0))
+        tracker.record_observation(0, -1, dst_core=1)
+        assert tracker.edges == []
+
+    def test_self_edges_skipped(self):
+        tracker = DependenceTracker()
+        tracker.register(0, FakeRecorder(cisn=3))
+        tracker.record_conflict(0, 3, dst_core=0)
+        assert tracker.edges == []
+
+    def test_duplicates_coalesced(self):
+        tracker = DependenceTracker()
+        tracker.register(0, FakeRecorder(cisn=4))
+        tracker.register(1, FakeRecorder(cisn=1))
+        for _ in range(5):
+            tracker.record_observation(0, 3, dst_core=1)
+        assert len(tracker.edges) == 1
+
+    def test_unknown_destination_ignored(self):
+        tracker = DependenceTracker()
+        tracker.register(0, FakeRecorder(cisn=4))
+        tracker.record_conflict(0, 4, dst_core=9)
+        assert tracker.edges == []
+
+
+class TestMachineIntegration:
+    def test_edges_collected_per_variant(self):
+        program = random_program(3, 40, seed=4, sharing=0.8)
+        machine = Machine(MachineConfig(num_cores=3), {
+            "opt": RecorderConfig(mode=RecorderMode.OPT),
+            "base": RecorderConfig(mode=RecorderMode.BASE),
+        })
+        result = machine.run(program, collect_dependence_edges=True)
+        assert set(result.dependence_edges) == {"opt", "base"}
+        assert result.dependence_edges["opt"], "no edges on a racy program?"
+
+    def test_edges_absent_by_default(self):
+        program = random_program(2, 20, seed=4)
+        result = Machine(MachineConfig(num_cores=2)).run(program)
+        assert result.dependence_edges == {}
+
+    def test_edges_reference_logged_intervals(self):
+        program = random_program(3, 50, seed=11, sharing=0.8)
+        machine = Machine(MachineConfig(num_cores=3), {
+            "opt": RecorderConfig(mode=RecorderMode.OPT)})
+        result = machine.run(program, collect_dependence_edges=True)
+        from repro.replay.patcher import group_intervals
+        counts = [len(group_intervals(o.core_id, o.entries))
+                  for o in result.recordings["opt"]]
+        for edge in result.dependence_edges["opt"]:
+            assert edge.src_cisn < counts[edge.src_core], edge
+            assert edge.dst_cisn < counts[edge.dst_core], edge
+
+    def test_edges_increase_timestamps(self):
+        """Every edge goes forward in (recorded) time — the DAG is acyclic
+        by construction."""
+        program = random_program(3, 50, seed=13, sharing=0.8)
+        machine = Machine(MachineConfig(num_cores=3), {
+            "opt": RecorderConfig(mode=RecorderMode.OPT)})
+        result = machine.run(program, collect_dependence_edges=True)
+        from repro.replay.patcher import group_intervals
+        timestamps = {}
+        for output in result.recordings["opt"]:
+            for interval in group_intervals(output.core_id, output.entries):
+                timestamps[(output.core_id, interval.cisn)] = \
+                    interval.timestamp
+        for edge in result.dependence_edges["opt"]:
+            assert timestamps[(edge.src_core, edge.src_cisn)] <= \
+                timestamps[(edge.dst_core, edge.dst_cisn)], edge

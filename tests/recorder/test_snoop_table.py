@@ -1,0 +1,100 @@
+"""Unit tests for the RelaxReplay_Opt Snoop Table."""
+
+from repro.common.config import RecorderConfig, RecorderMode
+from repro.recorder.snoop_table import SnoopTable
+
+
+def make_table(**overrides):
+    config = RecorderConfig(mode=RecorderMode.OPT, **overrides)
+    return SnoopTable(config, seed=1)
+
+
+class TestBasicOperation:
+    def test_no_observation_means_no_conflict(self):
+        table = make_table()
+        snapshot = table.sample(0x100)
+        assert not table.conflicts_since(0x100, snapshot)
+
+    def test_same_address_observation_conflicts(self):
+        table = make_table()
+        snapshot = table.sample(0x100)
+        table.observe(0x100)
+        assert table.conflicts_since(0x100, snapshot)
+
+    def test_unrelated_address_usually_no_conflict(self):
+        table = make_table()
+        snapshot = table.sample(0x100)
+        table.observe(0x999)  # different line; may alias at most one array
+        # Either no counters changed or (rarely) one did — both are in-order.
+        conflicts = table.conflicts_since(0x100, snapshot)
+        # With two independent hashes a single observation of a different
+        # address conflicting in BOTH arrays is possible but rare; assert
+        # the typical behaviour across many fresh addresses.
+        misfires = 0
+        for addr in range(0x1000, 0x1100):
+            snap = table.sample(addr)
+            table.observe(addr + 0x5000)
+            if table.conflicts_since(addr, snap):
+                misfires += 1
+        assert misfires < 16  # << 256 double-alias worst case
+        del conflicts
+
+    def test_single_array_change_is_aliasing_not_conflict(self):
+        """The paper: 'If none of the counters has changed or only one has
+        (this case is due to aliasing), the instruction is declared in
+        order'."""
+        table = make_table()
+        snapshot = table.sample(0x100)
+        # Manually bump exactly one array's counter for this address.
+        slot = table._hashes[0](0x100)
+        table._counters[0][slot] += 1
+        assert not table.conflicts_since(0x100, snapshot)
+
+    def test_observed_counter(self):
+        table = make_table()
+        table.observe(1)
+        table.observe(2)
+        assert table.observed == 2
+
+
+class TestWraparound:
+    def test_counters_wrap(self):
+        table = make_table(snoop_table_counter_bits=2)  # counters mod 4
+        snapshot = table.sample(0x100)
+        for _ in range(4):
+            table.observe(0x100)
+        # Wrapped all the way around: indistinguishable from unchanged.
+        # (The paper sizes counters at 16 bits precisely to make this
+        # astronomically unlikely.)
+        assert not table.conflicts_since(0x100, snapshot)
+
+    def test_partial_wrap_detected(self):
+        table = make_table(snoop_table_counter_bits=2)
+        snapshot = table.sample(0x100)
+        for _ in range(3):
+            table.observe(0x100)
+        assert table.conflicts_since(0x100, snapshot)
+
+
+class TestSizing:
+    def test_paper_size(self):
+        # Table 1: 2 arrays x 64 entries x 16 bits = 256 bytes.
+        assert make_table().size_bits == 2 * 64 * 16
+
+    def test_more_arrays_reduce_false_positives(self):
+        two = make_table()
+        four = make_table(snoop_table_arrays=4)
+
+        def false_positive_rate(table):
+            fp = 0
+            probes = 200
+            for index in range(probes):
+                addr = 0x9000 + index * 32
+                snap = table.sample(addr)
+                for noise in range(6):
+                    table.observe(0x50_0000 + (index * 7 + noise) * 32)
+                if table.conflicts_since(addr, snap):
+                    fp += 1
+            return fp / probes
+
+        assert false_positive_rate(four) <= false_positive_rate(two)

@@ -1,0 +1,132 @@
+"""Unit tests for the Tracking Queue."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.cpu.dynops import DynInstr
+from repro.isa.instructions import Instruction, Opcode
+from repro.recorder.traq import TrackingQueue
+
+
+def mem_dyn(seq, performed=False, retired=False):
+    dyn = DynInstr(0, seq, Instruction(Opcode.LOAD, dst=1, addr_offset=8),
+                   pc=seq, dispatch_cycle=0)
+    dyn.performed = performed
+    dyn.retired = retired
+    return dyn
+
+
+def make_traq(capacity=8, nmi_bits=4, bandwidth=2):
+    return TrackingQueue(capacity, nmi_bits, count_bandwidth=bandwidth)
+
+
+class TestAllocation:
+    def test_push_mem_single(self):
+        traq = make_traq()
+        entries = traq.push_mem(mem_dyn(5), pending_nmi=3)
+        assert len(entries) == 1
+        assert entries[0].nmi == 3
+        assert entries[0].instruction_count() == 4
+
+    def test_push_mem_splits_fillers(self):
+        traq = make_traq()
+        entries = traq.push_mem(mem_dyn(40), pending_nmi=31)
+        assert len(entries) == 3
+        assert [entry.nmi for entry in entries] == [15, 15, 1]
+        assert entries[0].is_filler and entries[1].is_filler
+        assert not entries[2].is_filler
+
+    def test_space_needed_matches_allocation(self):
+        traq = make_traq(capacity=64)
+        for pending in (0, 1, 14, 15, 16, 30, 31, 45, 46):
+            probe = make_traq(capacity=64)
+            entries = probe.push_mem(mem_dyn(100), pending_nmi=pending)
+            assert len(entries) == traq.space_needed(pending), pending
+
+    def test_push_filler_chunks(self):
+        traq = make_traq()
+        entries = traq.push_filler(20, last_seq=19)
+        assert [entry.nmi for entry in entries] == [15, 5]
+        assert entries[-1].last_seq == 19
+
+    def test_overflow_raises(self):
+        traq = make_traq(capacity=1)
+        traq.push_mem(mem_dyn(0), 0)
+        with pytest.raises(SimulationError):
+            traq.push_mem(mem_dyn(1), 0)
+
+    def test_has_space(self):
+        traq = make_traq(capacity=2)
+        assert traq.has_space(2)
+        traq.push_mem(mem_dyn(0), 0)
+        assert traq.has_space(1)
+        assert not traq.has_space(2)
+
+    def test_peak_occupancy(self):
+        traq = make_traq()
+        traq.push_mem(mem_dyn(0), 0)
+        traq.push_mem(mem_dyn(1), 0)
+        assert traq.peak_occupancy == 2
+
+
+class TestCounting:
+    def test_head_counts_when_performed_and_retired(self):
+        traq = make_traq()
+        dyn = mem_dyn(0)
+        traq.push_mem(dyn, 0)
+        counted = []
+        assert traq.count_ready(retired_seq=-1, on_count=counted.append) == 0
+        dyn.performed = True
+        assert traq.count_ready(retired_seq=0, on_count=counted.append) == 0
+        dyn.retired = True
+        assert traq.count_ready(retired_seq=0, on_count=counted.append) == 1
+        assert counted[0].dyn is dyn
+        assert traq.is_empty
+
+    def test_fifo_blocking(self):
+        """A non-countable head blocks younger countable entries (in-order
+        counting is the whole point)."""
+        traq = make_traq()
+        head = mem_dyn(0)
+        tail = mem_dyn(1, performed=True, retired=True)
+        traq.push_mem(head, 0)
+        traq.push_mem(tail, 0)
+        assert traq.count_ready(retired_seq=1, on_count=lambda e: None) == 0
+
+    def test_bandwidth_limit(self):
+        traq = make_traq(bandwidth=2)
+        for seq in range(5):
+            traq.push_mem(mem_dyn(seq, performed=True, retired=True), 0)
+        counted = []
+        assert traq.count_ready(4, counted.append) == 2
+        assert traq.count_ready(4, counted.append) == 2
+        assert traq.count_ready(4, counted.append) == 1
+
+    def test_filler_counts_after_covered_retirement(self):
+        traq = make_traq()
+        entries = traq.push_filler(10, last_seq=9)
+        assert not entries[0].countable(retired_seq=8)
+        assert entries[0].countable(retired_seq=9)
+
+    def test_entries_counted_stat(self):
+        traq = make_traq()
+        traq.push_mem(mem_dyn(0, performed=True, retired=True), 0)
+        traq.count_ready(0, lambda e: None)
+        assert traq.entries_counted == 1
+
+
+class TestFlush:
+    def test_flush_younger_than(self):
+        traq = make_traq()
+        for seq in range(4):
+            traq.push_mem(mem_dyn(seq), 0)
+        dropped = traq.flush_younger_than(1)
+        assert dropped == 2
+        assert len(traq) == 2
+
+    def test_flush_everything(self):
+        traq = make_traq()
+        for seq in range(3):
+            traq.push_mem(mem_dyn(seq), 0)
+        assert traq.flush_younger_than(-1) == 3
+        assert traq.is_empty

@@ -1,0 +1,46 @@
+"""Tests for the replay-time cost model."""
+
+import pytest
+
+from repro.common.config import ReplayCostConfig
+from repro.replay.costmodel import ReplayCounts, estimate_replay_time
+
+
+class TestEstimate:
+    def test_arithmetic(self):
+        cost = ReplayCostConfig(user_cpi=2.0, relative_user_cpi=False,
+                                interval_dispatch_cycles=100,
+                                inorder_block_interrupt_cycles=50,
+                                block_flush_user_cycles=5,
+                                reordered_load_cycles=10,
+                                reordered_store_cycles=20,
+                                dummy_entry_cycles=3)
+        counts = ReplayCounts(instructions=1000, injected_loads=4, dummies=2,
+                              patched_writes=3, inorder_blocks=6, intervals=5)
+        time = estimate_replay_time(counts, cost)
+        assert time.user_cycles == 1000 * 2.0 + 6 * 5
+        assert time.os_cycles == 5 * 100 + 6 * 50 + 4 * 10 + 3 * 20 + 2 * 3
+        assert time.total_cycles == time.user_cycles + time.os_cycles
+
+    def test_relative_user_cpi_scales_with_recording(self):
+        cost = ReplayCostConfig(user_cpi=0.5, relative_user_cpi=True)
+        counts = ReplayCounts(instructions=1000)
+        slow = estimate_replay_time(counts, cost, recorded_cpi=4.0)
+        fast = estimate_replay_time(counts, cost, recorded_cpi=1.0)
+        assert slow.user_cycles == pytest.approx(4 * fast.user_cycles)
+
+    def test_normalization(self):
+        cost = ReplayCostConfig()
+        counts = ReplayCounts(instructions=100, inorder_blocks=1, intervals=1)
+        time = estimate_replay_time(counts, cost)
+        norm = time.normalized_to(50)
+        assert norm["total"] == pytest.approx(time.total_cycles / 50)
+        assert norm["user"] + norm["os"] == pytest.approx(norm["total"])
+
+    def test_zero_recording_cycles(self):
+        time = estimate_replay_time(ReplayCounts(), ReplayCostConfig())
+        assert time.normalized_to(0) == {"user": 0.0, "os": 0.0, "total": 0.0}
+
+    def test_empty_counts(self):
+        time = estimate_replay_time(ReplayCounts(), ReplayCostConfig())
+        assert time.total_cycles == 0

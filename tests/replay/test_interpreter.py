@@ -1,0 +1,113 @@
+"""Tests for the in-order replay interpreter."""
+
+import pytest
+
+from repro.common.errors import ReplayDivergenceError
+from repro.isa.builder import ThreadBuilder
+from repro.isa.instructions import RmwOp
+from repro.replay.interpreter import ThreadContext
+
+
+def make_context(build):
+    builder = ThreadBuilder()
+    build(builder)
+    return ThreadContext(0, builder.build())
+
+
+def run_to_halt(context, memory):
+    while not context.halted:
+        context.step(memory)
+
+
+class TestExecution:
+    def test_load_store(self):
+        context = make_context(lambda b: (b.movi(1, 5),
+                                          b.store(1, offset=0x10),
+                                          b.load(2, offset=0x10)))
+        memory = {}
+        run_to_halt(context, memory)
+        assert memory[0x10] == 5
+        assert context.regs[2] == 5
+        assert context.load_values == [5]
+
+    def test_rmw(self):
+        context = make_context(
+            lambda b: (b.movi(1, 3),
+                       b.rmw(RmwOp.FETCH_ADD, 2, offset=0x20, src=1)))
+        memory = {0x20: 10}
+        run_to_halt(context, memory)
+        assert context.regs[2] == 10
+        assert memory[0x20] == 13
+
+    def test_branching_loop(self):
+        def build(b):
+            b.movi(1, 0)
+            top = b.label()
+            b.addi(1, 1, 1)
+            b.cmplti(2, 1, 5)
+            b.bnez(2, top)
+        context = make_context(build)
+        run_to_halt(context, {})
+        assert context.regs[1] == 5
+
+    def test_jump(self):
+        def build(b):
+            skip = b.fresh_label()
+            b.jump(skip)
+            b.movi(1, 99)   # skipped
+            b.place_label(skip)
+            b.movi(2, 7)
+        context = make_context(build)
+        run_to_halt(context, {})
+        assert context.regs[1] == 0
+        assert context.regs[2] == 7
+
+    def test_fence_and_nop_are_noops(self):
+        context = make_context(lambda b: (b.fence(), b.nop(2)))
+        run_to_halt(context, {})
+        assert context.instructions_executed == 4  # fence + 2 nops + halt
+
+    def test_instruction_count(self):
+        context = make_context(lambda b: b.movi(1, 1))
+        run_to_halt(context, {})
+        assert context.instructions_executed == 2
+
+
+class TestInjection:
+    def test_inject_load_value(self):
+        context = make_context(lambda b: b.load(3, offset=0x30))
+        context.inject_load_value(0x77)
+        assert context.regs[3] == 0x77
+        assert context.pc == 1
+        assert context.load_values == [0x77]
+
+    def test_inject_on_rmw_allowed(self):
+        context = make_context(
+            lambda b: b.rmw(RmwOp.TAS, 4, offset=0x40))
+        context.inject_load_value(0)
+        assert context.regs[4] == 0
+
+    def test_inject_on_non_load_rejected(self):
+        context = make_context(lambda b: b.movi(1, 1))
+        with pytest.raises(ReplayDivergenceError):
+            context.inject_load_value(1)
+
+    def test_skip_store(self):
+        context = make_context(lambda b: (b.movi(1, 5),
+                                          b.store(1, offset=0x10)))
+        memory = {}
+        context.step(memory)
+        context.skip_store()
+        assert memory == {}  # the store's effect was patched elsewhere
+        assert context.pc == 2
+
+    def test_skip_non_store_rejected(self):
+        context = make_context(lambda b: b.load(1, offset=0x10))
+        with pytest.raises(ReplayDivergenceError):
+            context.skip_store()
+
+    def test_run_past_end(self):
+        context = make_context(lambda b: b.nop())
+        run_to_halt(context, {})
+        with pytest.raises(ReplayDivergenceError):
+            context.step({})

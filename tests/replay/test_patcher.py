@@ -1,0 +1,128 @@
+"""Tests for interval grouping and the store-patching pass."""
+
+import pytest
+
+from repro.common.errors import LogFormatError
+from repro.recorder.logfmt import (
+    Dummy,
+    InorderBlock,
+    IntervalFrame,
+    ReorderedLoad,
+    ReorderedRmw,
+    ReorderedStore,
+)
+from repro.replay.patcher import (
+    PatchedWrite,
+    group_intervals,
+    patch_intervals,
+)
+
+
+class TestGrouping:
+    def test_splits_on_frames(self):
+        entries = [InorderBlock(3), IntervalFrame(0, 10),
+                   ReorderedLoad(1), InorderBlock(2), IntervalFrame(1, 20)]
+        intervals = group_intervals(0, entries)
+        assert len(intervals) == 2
+        assert intervals[0].entries == [InorderBlock(3)]
+        assert intervals[0].timestamp == 10
+        assert intervals[1].entries == [ReorderedLoad(1), InorderBlock(2)]
+
+    def test_frame_only_interval(self):
+        intervals = group_intervals(0, [IntervalFrame(0, 5)])
+        assert intervals[0].entries == []
+
+    def test_cisn_must_be_consecutive(self):
+        entries = [IntervalFrame(0, 5), IntervalFrame(2, 9)]
+        with pytest.raises(LogFormatError):
+            group_intervals(0, entries)
+
+    def test_cisn_wraps(self):
+        entries = []
+        # Simulate frames 65534, 65535, 0 (wrapped) by pre-unwinding.
+        intervals = [IntervalFrame(index & 0xFFFF, index)
+                     for index in range(3)]
+        del entries
+        assert len(group_intervals(0, intervals)) == 3
+
+    def test_trailing_entries_rejected(self):
+        with pytest.raises(LogFormatError):
+            group_intervals(0, [IntervalFrame(0, 1), InorderBlock(5)])
+
+    def test_sort_key_orders_by_timestamp_then_core(self):
+        a = group_intervals(0, [IntervalFrame(0, 10)])[0]
+        b = group_intervals(1, [IntervalFrame(0, 10)])[0]
+        c = group_intervals(1, [IntervalFrame(0, 9)])[0]
+        assert sorted([b, a, c], key=lambda i: i.sort_key()) == [c, a, b]
+
+
+class TestPatching:
+    def _intervals(self, *bodies):
+        entries = []
+        for index, body in enumerate(bodies):
+            entries.extend(body)
+            entries.append(IntervalFrame(index, 10 * (index + 1)))
+        return group_intervals(0, entries)
+
+    def test_store_moves_back(self):
+        intervals = self._intervals(
+            [InorderBlock(2)],
+            [ReorderedStore(0x100, 7, offset=1), InorderBlock(1)],
+        )
+        patch_intervals(intervals)
+        assert intervals[0].entries == [InorderBlock(2),
+                                        PatchedWrite(0x100, 7)]
+        assert intervals[1].entries == [Dummy(), InorderBlock(1)]
+
+    def test_patched_write_goes_to_end_of_target(self):
+        intervals = self._intervals(
+            [InorderBlock(4)],
+            [],
+            [ReorderedStore(0x200, 9, offset=2)],
+        )
+        patch_intervals(intervals)
+        assert intervals[0].entries[-1] == PatchedWrite(0x200, 9)
+
+    def test_rmw_splits_into_load_and_write(self):
+        intervals = self._intervals(
+            [InorderBlock(1)],
+            [ReorderedRmw(old_value=3, new_value=4, addr=0x80, offset=1)],
+        )
+        patch_intervals(intervals)
+        assert intervals[1].entries == [ReorderedLoad(3)]
+        assert intervals[0].entries[-1] == PatchedWrite(0x80, 4)
+
+    def test_offset_zero_stays_in_place(self):
+        intervals = self._intervals(
+            [ReorderedStore(0x100, 7, offset=0), InorderBlock(1)],
+        )
+        patch_intervals(intervals)
+        assert intervals[0].entries == [Dummy(), PatchedWrite(0x100, 7),
+                                        InorderBlock(1)]
+
+    def test_offset_before_log_start_rejected(self):
+        intervals = self._intervals([ReorderedStore(0x100, 7, offset=1)])
+        with pytest.raises(LogFormatError):
+            patch_intervals(intervals)
+
+    def test_loads_and_blocks_pass_through(self):
+        intervals = self._intervals([InorderBlock(3), ReorderedLoad(5)])
+        patch_intervals(intervals)
+        assert intervals[0].entries == [InorderBlock(3), ReorderedLoad(5)]
+
+    def test_unknown_entry_rejected(self):
+        intervals = self._intervals([InorderBlock(1)])
+        intervals[0].entries.append(object())
+        with pytest.raises(LogFormatError):
+            patch_intervals(intervals)
+
+    def test_multiple_stores_keep_counting_order(self):
+        intervals = self._intervals(
+            [InorderBlock(1)],
+            [ReorderedStore(0x100, 1, offset=1),
+             ReorderedStore(0x100, 2, offset=1)],
+        )
+        patch_intervals(intervals)
+        writes = [e for e in intervals[0].entries
+                  if isinstance(e, PatchedWrite)]
+        assert [w.value for w in writes] == [1, 2]

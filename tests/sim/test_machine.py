@@ -1,0 +1,148 @@
+"""Tests for machine orchestration and RunResult accounting."""
+
+import pytest
+
+from repro.common.config import (
+    ConsistencyModel,
+    MachineConfig,
+    RecorderConfig,
+    RecorderMode,
+)
+from repro.common.errors import ConfigError, SimulationError
+from repro.isa.builder import ThreadBuilder
+from repro.isa.program import Program
+from repro.sim.machine import Machine
+from repro.workloads import random_program
+
+
+def small_program(threads=2, n=30):
+    def thread(tid):
+        builder = ThreadBuilder(f"t{tid}")
+        for index in range(n):
+            builder.load(1, offset=0x1000 + ((index + tid) % 8) * 8)
+            builder.xor(2, 2, 1)
+            builder.store(2, offset=0x2000 + tid * 64 + (index % 8) * 8)
+        return builder.build()
+    return Program([thread(t) for t in range(threads)], name="small")
+
+
+class TestConfiguration:
+    def test_requires_a_variant(self):
+        with pytest.raises(ConfigError):
+            Machine(MachineConfig(), {})
+
+    def test_default_variant_from_config(self):
+        machine = Machine(MachineConfig())
+        assert "default" in machine.recorder_configs
+
+    def test_core_count_adapts_to_program(self):
+        machine = Machine(MachineConfig(num_cores=8))
+        result = machine.run(small_program(threads=2))
+        assert len(result.cores) == 2
+        assert result.config.num_cores == 2
+
+
+class TestExecution:
+    def test_deterministic_across_runs(self):
+        machine = Machine(MachineConfig(num_cores=2))
+        a = machine.run(small_program())
+        b = machine.run(small_program())
+        assert a.cycles == b.cycles
+        assert a.final_memory == b.final_memory
+        assert [c.final_regs for c in a.cores] == \
+               [c.final_regs for c in b.cores]
+
+    def test_recording_is_passive(self):
+        """Attaching different variant sets must not change the execution."""
+        program = random_program(2, 40, seed=3)
+        one = Machine(MachineConfig(num_cores=2), {
+            "opt": RecorderConfig(mode=RecorderMode.OPT)}).run(program)
+        many = Machine(MachineConfig(num_cores=2), {
+            "opt": RecorderConfig(mode=RecorderMode.OPT),
+            "base": RecorderConfig(mode=RecorderMode.BASE),
+            "base_64": RecorderConfig(mode=RecorderMode.BASE,
+                                      max_interval_instructions=64),
+        }).run(program)
+        assert one.cycles == many.cycles
+        assert one.final_memory == many.final_memory
+        stats_one = one.recording_stats("opt")
+        stats_many = many.recording_stats("opt")
+        assert stats_one.log_bits == stats_many.log_bits
+        assert stats_one.reordered_total == stats_many.reordered_total
+
+    def test_max_cycles_guard(self):
+        builder = ThreadBuilder()
+        spin = builder.label()
+        builder.load(1, offset=0x100)   # flag never set: spins forever
+        builder.beqz(1, spin)
+        program = Program([builder.build()])
+        machine = Machine(MachineConfig(num_cores=1))
+        with pytest.raises(SimulationError):
+            machine.run(program, max_cycles=5_000)
+
+    def test_invariant_checking_option(self):
+        machine = Machine(MachineConfig(num_cores=2))
+        machine.run(small_program(), check_invariants_every=200)
+
+    def test_load_trace_capture(self):
+        machine = Machine(MachineConfig(num_cores=2))
+        result = machine.run(small_program(), capture_load_trace=True)
+        assert len(result.load_trace) == 2
+        total_loads = sum(core.loads + core.rmws for core in result.cores)
+        assert sum(len(trace) for trace in result.load_trace) == total_loads
+
+
+class TestRunResultAccounting:
+    @pytest.fixture(scope="class")
+    def result(self):
+        machine = Machine(MachineConfig(num_cores=2), {
+            "opt": RecorderConfig(mode=RecorderMode.OPT)})
+        return machine.run(small_program())
+
+    def test_totals(self, result):
+        assert result.total_instructions == \
+            sum(core.instructions for core in result.cores)
+        assert result.total_mem_instructions > 0
+
+    def test_ooo_fraction_bounds(self, result):
+        ooo = result.ooo_fraction()
+        assert 0.0 <= ooo["loads"] <= 1.0
+        assert 0.0 <= ooo["stores"] <= 1.0
+        assert ooo["total"] == pytest.approx(ooo["loads"] + ooo["stores"])
+
+    def test_recording_stats_aggregates_cores(self, result):
+        total = result.recording_stats("opt")
+        per_core = result.recordings["opt"]
+        assert total.log_bits == sum(o.stats.log_bits for o in per_core)
+        assert total.frames == sum(o.stats.frames for o in per_core)
+
+    def test_log_rate_positive(self, result):
+        assert result.log_rate_mb_per_s("opt") > 0
+
+    def test_traq_occupancy_sampled(self, result):
+        assert all(core.traq_occupancy.count > 0 for core in result.cores)
+
+    def test_counted_equals_retired(self, result):
+        stats = result.recording_stats("opt")
+        assert stats.instructions_counted == result.total_instructions
+
+
+class TestConsistencyIntegration:
+    @pytest.mark.parametrize("model", list(ConsistencyModel))
+    def test_same_final_state_for_race_free_program(self, model):
+        """A fully synchronized program must reach the same final memory
+        under every consistency model."""
+        def thread(tid):
+            builder = ThreadBuilder()
+            builder.spin_lock(0x100, 3)
+            builder.load(4, offset=0x140)
+            builder.addi(4, 4, tid + 1)
+            builder.store(4, offset=0x140)
+            builder.spin_unlock(0x100, 3)
+            return builder.build()
+
+        from dataclasses import replace
+        program = Program([thread(t) for t in range(3)])
+        config = replace(MachineConfig(num_cores=3), consistency=model)
+        result = Machine(config).run(program)
+        assert result.final_memory[0x140] == 1 + 2 + 3

@@ -1,0 +1,61 @@
+"""Smoke tests: the shipped examples must run and print what they promise.
+
+Only the fast examples run here (the full set is exercised manually /
+in benchmarks); each is executed in-process with its ``main()``.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(f"example_{name}",
+                                                  EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_directory_contents():
+    names = {path.stem for path in EXAMPLES.glob("*.py")}
+    assert {"quickstart", "debug_data_race", "consistency_models",
+            "log_anatomy", "scalability_sweep", "litmus_explorer",
+            "performance_debugging"} <= names
+
+
+def test_debug_data_race(capsys):
+    load_example("debug_data_race").main()
+    out = capsys.readouterr().out
+    assert "verified bit-exact" in out
+    # The race must actually be visible across the perturbed runs.
+    assert "data=0xdead" in out and "data=0x0" in out
+
+
+def test_log_anatomy(capsys):
+    load_example("log_anatomy").main()
+    out = capsys.readouterr().out
+    assert "decode round-trip OK" in out
+    assert "replay VERIFIED" in out
+
+
+def test_performance_debugging(capsys):
+    load_example("performance_debugging").main()
+    out = capsys.readouterr().out
+    assert "false" in out and "sharing" in out
+    assert "[counters]" in out        # the hot line was attributed
+    assert "down 100%" in out         # padding eliminated the conflicts
+
+
+@pytest.mark.parametrize("name", ["quickstart", "consistency_models",
+                                  "scalability_sweep", "litmus_explorer"])
+def test_heavier_examples_importable(name):
+    """The heavier examples are at least syntactically sound and expose a
+    main() (full runs live in the benchmark/manual tier)."""
+    module = load_example(name)
+    assert callable(module.main)

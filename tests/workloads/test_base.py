@@ -1,0 +1,134 @@
+"""Tests for the workload-construction infrastructure."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.isa.instructions import Opcode, WORD_BYTES
+from repro.workloads.base import (
+    CHECKSUM_REG,
+    Allocator,
+    KernelThread,
+    WorkloadSpec,
+    make_program,
+)
+
+
+class TestAllocator:
+    def test_sequential_non_overlapping(self):
+        alloc = Allocator()
+        a = alloc.array("a", 10)
+        b = alloc.array("b", 10)
+        assert b >= a + 10 * WORD_BYTES
+
+    def test_line_alignment(self):
+        alloc = Allocator()
+        alloc.array("pad", 1, line_aligned=False)
+        aligned = alloc.array("x", 4)
+        assert aligned % 32 == 0
+
+    def test_word_gets_own_line(self):
+        alloc = Allocator()
+        lock = alloc.word("lock")
+        follower = alloc.array("data", 2)
+        assert follower // 32 != lock // 32
+
+    def test_duplicate_name(self):
+        alloc = Allocator()
+        alloc.array("x", 1)
+        with pytest.raises(WorkloadError):
+            alloc.array("x", 1)
+
+    def test_zero_size(self):
+        with pytest.raises(WorkloadError):
+            Allocator().array("x", 0)
+
+    def test_regions_recorded(self):
+        alloc = Allocator()
+        base = alloc.array("x", 7)
+        assert alloc.regions["x"] == (base, 7)
+
+
+class TestWorkloadSpec:
+    def test_scaled(self):
+        spec = WorkloadSpec(scale=0.5)
+        assert spec.scaled(100) == 50
+        assert spec.scaled(1, minimum=3) == 3
+
+    def test_scaled_rounds(self):
+        assert WorkloadSpec(scale=0.25).scaled(10) == 2
+
+
+class TestKernelThread:
+    def make(self, thread_id=0, threads=2):
+        return KernelThread(thread_id, WorkloadSpec(num_threads=threads,
+                                                    seed=5), "test")
+
+    def test_checksum_initialized(self):
+        kernel = self.make()
+        thread = kernel.builder.build()
+        first = thread[0]
+        assert first.opcode is Opcode.MOVI and first.dst == CHECKSUM_REG
+
+    def test_rng_deterministic_per_thread(self):
+        a = KernelThread(1, WorkloadSpec(seed=9), "x")
+        b = KernelThread(1, WorkloadSpec(seed=9), "x")
+        assert [a.rng.random() for _ in range(5)] == \
+               [b.rng.random() for _ in range(5)]
+
+    def test_rng_differs_across_threads(self):
+        a = KernelThread(0, WorkloadSpec(seed=9), "x")
+        b = KernelThread(1, WorkloadSpec(seed=9), "x")
+        assert a.rng.random() != b.rng.random()
+
+    def test_private_mix_stays_in_region(self):
+        kernel = self.make()
+        base, words = 0x2000, 16
+        kernel.private_mix(base, words, 50)
+        thread = kernel.builder.build()
+        for instr in thread.instructions:
+            if instr.is_memory:
+                assert base <= instr.addr_offset < base + words * WORD_BYTES
+
+    def test_chase_requires_power_of_two(self):
+        kernel = self.make()
+        with pytest.raises(WorkloadError):
+            kernel.chase(0x2000, 100, 5)
+
+    def test_chase_emits_dependent_loads(self):
+        kernel = self.make()
+        kernel.chase(0x2000, 64, 5)
+        thread = kernel.builder.build()
+        loads = [i for i in thread.instructions if i.opcode is Opcode.LOAD]
+        assert len(loads) == 5
+        assert all(load.addr_base is not None for load in loads)
+
+    def test_chase_store_interleave(self):
+        kernel = self.make()
+        kernel.chase(0x2000, 64, 6, store_base=0x8000, store_words=8,
+                     store_every=2)
+        thread = kernel.builder.build()
+        stores = [i for i in thread.instructions if i.opcode is Opcode.STORE]
+        assert len(stores) == 3
+
+    def test_finalize_targets_thread_slot(self):
+        kernel = self.make(thread_id=1)
+        kernel.finalize(0x9000)
+        store = kernel.builder.build().instructions[-2]
+        assert store.opcode is Opcode.STORE
+        assert store.addr_offset == 0x9000 + 8
+
+
+class TestMakeProgram:
+    def test_builds_per_thread(self):
+        spec = WorkloadSpec(num_threads=3, seed=2)
+
+        def build(kernel):
+            kernel.load_checksum(0x1000)
+
+        program = make_program("demo", spec, build,
+                               initial_memory={0x1000: 5},
+                               metadata={"extra": 1})
+        assert program.num_threads == 3
+        assert program.initial_memory == {0x1000: 5}
+        assert program.metadata["extra"] == 1
+        assert program.metadata["num_threads"] == 3

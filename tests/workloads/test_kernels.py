@@ -1,0 +1,106 @@
+"""Tests for the twelve SPLASH-2 analog generators."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.isa.instructions import Opcode
+from repro.workloads import WORKLOAD_NAMES, WORKLOADS, build_workload
+
+
+class TestRegistry:
+    def test_twelve_apps(self):
+        assert len(WORKLOAD_NAMES) == 12
+        expected = {"barnes", "cholesky", "fft", "fmm", "lu", "ocean",
+                    "radiosity", "radix", "raytrace", "volrend",
+                    "water_nsquared", "water_spatial"}
+        assert set(WORKLOAD_NAMES) == expected
+
+    def test_unknown_name(self):
+        with pytest.raises(WorkloadError):
+            build_workload("nonesuch")
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+class TestEveryKernel:
+    def test_builds_and_validates(self, name):
+        program = build_workload(name, num_threads=4, scale=0.2, seed=1)
+        assert program.num_threads == 4
+        assert program.name == name
+        assert program.total_instructions() > 0
+
+    def test_deterministic(self, name):
+        a = build_workload(name, num_threads=4, scale=0.2, seed=7)
+        b = build_workload(name, num_threads=4, scale=0.2, seed=7)
+        for thread_a, thread_b in zip(a.threads, b.threads):
+            assert thread_a.instructions == thread_b.instructions
+        assert a.initial_memory == b.initial_memory
+
+    def test_seed_changes_program(self, name):
+        a = build_workload(name, num_threads=4, scale=0.2, seed=1)
+        b = build_workload(name, num_threads=4, scale=0.2, seed=2)
+        assert any(thread_a.instructions != thread_b.instructions
+                   for thread_a, thread_b in zip(a.threads, b.threads))
+
+    def test_scale_changes_size(self, name):
+        small = build_workload(name, num_threads=4, scale=0.2, seed=1)
+        large = build_workload(name, num_threads=4, scale=0.6, seed=1)
+        assert large.total_instructions() > small.total_instructions()
+
+    def test_has_shared_memory_traffic(self, name):
+        """Every kernel must contain some cross-thread communication —
+        otherwise it cannot exercise the recorder."""
+        program = build_workload(name, num_threads=2, scale=0.2, seed=1)
+
+        def static_addresses(thread, store_like):
+            out = set()
+            for instr in thread.instructions:
+                if not instr.is_memory or instr.addr_base is not None:
+                    continue
+                if store_like and instr.is_store_like:
+                    out.add(instr.addr_offset // 32)
+                if not store_like and instr.is_load_like:
+                    out.add(instr.addr_offset // 32)
+            return out
+
+        t0_writes = static_addresses(program.threads[0], True)
+        t1_reads = static_addresses(program.threads[1], False)
+        t1_writes = static_addresses(program.threads[1], True)
+        shared = (t0_writes & t1_reads) | (t0_writes & t1_writes)
+        dynamic = any(instr.addr_base is not None
+                      for thread in program.threads
+                      for instr in thread.instructions if instr.is_memory)
+        assert shared or dynamic, f"{name} shows no sharing"
+
+    def test_threads_mostly_private(self, name):
+        """...but the bulk of static accesses must be thread-local, matching
+        the paper's workload character (low reordered fractions)."""
+        program = build_workload(name, num_threads=4, scale=0.3, seed=1)
+        total = sum(1 for thread in program.threads
+                    for instr in thread.instructions if instr.is_memory)
+        assert total > 100
+
+
+@pytest.mark.parametrize("threads", [2, 4, 8])
+def test_thread_count_parameter(threads):
+    program = build_workload("fft", num_threads=threads, scale=0.2, seed=1)
+    assert program.num_threads == threads
+
+
+class TestSynchronizationStructure:
+    def test_barrier_apps_use_rmw(self):
+        for name in ("fft", "lu", "ocean"):
+            program = build_workload(name, num_threads=2, scale=0.2, seed=1)
+            opcodes = {instr.opcode for thread in program.threads
+                       for instr in thread.instructions}
+            assert Opcode.RMW in opcodes
+
+    def test_lock_apps_use_release_stores(self):
+        for name in ("barnes", "water_nsquared", "radiosity"):
+            program = build_workload(name, num_threads=2, scale=0.2, seed=1)
+            assert any(instr.release for thread in program.threads
+                       for instr in thread.instructions)
+
+    def test_read_only_kernels_ship_initial_memory(self):
+        for name in ("barnes", "raytrace", "volrend"):
+            program = build_workload(name, num_threads=2, scale=0.2, seed=1)
+            assert program.initial_memory

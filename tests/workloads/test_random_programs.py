@@ -1,0 +1,45 @@
+"""Tests for the random-program generator used by property tests."""
+
+import pytest
+
+from repro.workloads import random_program
+
+
+class TestRandomPrograms:
+    def test_deterministic(self):
+        a = random_program(3, 40, seed=5)
+        b = random_program(3, 40, seed=5)
+        for thread_a, thread_b in zip(a.threads, b.threads):
+            assert thread_a.instructions == thread_b.instructions
+
+    def test_seed_variation(self):
+        a = random_program(3, 40, seed=5)
+        b = random_program(3, 40, seed=6)
+        assert any(x.instructions != y.instructions
+                   for x, y in zip(a.threads, b.threads))
+
+    def test_validates(self):
+        random_program(4, 30, seed=1).validate()
+
+    def test_single_thread(self):
+        program = random_program(1, 20, seed=2)
+        assert program.num_threads == 1
+
+    @pytest.mark.parametrize("sharing", [0.0, 0.5, 1.0])
+    def test_sharing_parameter(self, sharing):
+        program = random_program(2, 30, seed=3, sharing=sharing)
+        program.validate()
+
+    def test_lock_probability_zero_means_no_tas_loops(self):
+        program = random_program(2, 40, seed=4, lock_probability=0.0,
+                                 fence_probability=0.0)
+        notes = {instr.note for thread in program.threads
+                 for instr in thread.instructions}
+        assert "lock" not in notes
+
+    def test_terminates_when_run(self):
+        from repro.common.config import MachineConfig
+        from repro.sim import Machine
+        program = random_program(2, 25, seed=9, lock_probability=0.3)
+        result = Machine(MachineConfig(num_cores=2)).run(program)
+        assert result.total_instructions > 0
