@@ -45,6 +45,14 @@ from .common.errors import (
     WorkloadError,
 )
 from .isa import Program, ThreadBuilder, ThreadProgram
+from .obs import (
+    DivergenceReport,
+    MetricsRegistry,
+    MetricsSnapshot,
+    Tracer,
+    export_chrome_trace,
+    export_jsonl,
+)
 from .replay import (
     ParallelReplayResult,
     ReplayResult,
@@ -78,6 +86,12 @@ __all__ = [
     "Program",
     "ThreadBuilder",
     "ThreadProgram",
+    "Tracer",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "DivergenceReport",
+    "export_jsonl",
+    "export_chrome_trace",
     "ParallelReplayResult",
     "ReplayResult",
     "parallel_replay_recording",

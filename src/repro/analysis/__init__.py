@@ -14,7 +14,12 @@ from .logstats import (
     profile_log,
     render_profile,
 )
-from .timeline import interval_spans, render_timeline
+from .timeline import (
+    interval_spans,
+    render_timeline,
+    render_timeline_from_trace,
+    spans_from_trace,
+)
 
 __all__ = [
     "ContentionReport",
@@ -30,5 +35,7 @@ __all__ = [
     "profile_log",
     "render_profile",
     "interval_spans",
+    "spans_from_trace",
     "render_timeline",
+    "render_timeline_from_trace",
 ]

@@ -5,13 +5,21 @@ time axis (interval *i* spans from the previous frame's timestamp to its
 own), optionally annotating the conflict edges that ordered them.  Useful
 for eyeballing why replay parallelism is high or low: long intervals with
 few cross-core edges parallelize; fine-grained ping-ponging serializes.
+
+Spans can come from two equivalent sources: the recorded log itself
+(:func:`interval_spans`, from the ``IntervalFrame`` entries) or the trace
+bus (:func:`spans_from_trace`, from the recorder's ``ChunkCut`` events) —
+the regression suite asserts both agree for the same run.
 """
 
 from __future__ import annotations
 
+from ..obs.events import Category
+from ..obs.tracer import Tracer
 from ..recorder.logfmt import IntervalFrame, LogEntry
 
-__all__ = ["interval_spans", "render_timeline"]
+__all__ = ["interval_spans", "spans_from_trace", "render_timeline",
+           "render_timeline_from_trace"]
 
 
 def interval_spans(entries: list[LogEntry]) -> list[tuple[int, int, int]]:
@@ -31,10 +39,44 @@ def interval_spans(entries: list[LogEntry]) -> list[tuple[int, int, int]]:
     return spans
 
 
+def spans_from_trace(tracer: Tracer, *, num_cores: int,
+                     variant: str | None = None) -> list[list[tuple[int, int, int]]]:
+    """Per-core ``(cisn, start, end)`` spans from retained ``ChunkCut``
+    events (same shape as mapping :func:`interval_spans` over the logs).
+
+    ``variant`` selects one recorder when several traced the same run;
+    ``None`` accepts any (fine for single-variant machines).
+    """
+    spans: list[list[tuple[int, int, int]]] = [[] for _ in range(num_cores)]
+    previous_end = [0] * num_cores
+    for event in tracer.events(category=Category.RECORDER):
+        if event.name != "ChunkCut":
+            continue
+        if variant is not None and event.variant != variant:
+            continue
+        core = event.core_id
+        spans[core].append((event.cisn, previous_end[core], event.cycle))
+        previous_end[core] = event.cycle
+    return spans
+
+
 def render_timeline(per_core_entries: list[list[LogEntry]], *,
                     width: int = 72) -> str:
     """Render all cores' interval spans on one scaled axis."""
     all_spans = [interval_spans(entries) for entries in per_core_entries]
+    return _render_spans(all_spans, width=width)
+
+
+def render_timeline_from_trace(tracer: Tracer, *, num_cores: int,
+                               variant: str | None = None,
+                               width: int = 72) -> str:
+    """Render the same timeline straight from the trace bus."""
+    return _render_spans(spans_from_trace(tracer, num_cores=num_cores,
+                                          variant=variant), width=width)
+
+
+def _render_spans(all_spans: list[list[tuple[int, int, int]]], *,
+                  width: int = 72) -> str:
     horizon = max((span[2] for spans in all_spans for span in spans),
                   default=0)
     if horizon == 0:

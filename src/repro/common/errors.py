@@ -40,7 +40,15 @@ class ReplayDivergenceError(ReproError):
     replay; the replayer in this reproduction verifies that claim and raises
     this error with a precise description of the first divergence if it ever
     fails to hold.
+
+    ``report`` optionally carries a
+    :class:`~repro.obs.forensics.DivergenceReport` with the full forensics
+    (culprit core, chunk, address, recent trace events).
     """
+
+    def __init__(self, *args, report=None):
+        super().__init__(*args)
+        self.report = report
 
 
 class WorkloadError(ReproError):

@@ -45,7 +45,11 @@ class OnlineStats:
         return math.sqrt(self.variance)
 
     def merge(self, other: "OnlineStats") -> None:
-        """Fold ``other`` into ``self`` (parallel Welford merge)."""
+        """Fold ``other`` into ``self`` (parallel Welford merge).
+
+        Merging an empty accumulator — on either side, or both — is a
+        no-op / copy and never raises or corrupts the min/max sentinels.
+        """
         if not other.count:
             return
         if not self.count:
@@ -78,12 +82,55 @@ class Histogram:
     counts: dict[int, int] = field(default_factory=dict)
     samples: int = 0
 
+    def __post_init__(self) -> None:
+        if self.bin_width <= 0:
+            raise ValueError(
+                f"Histogram bin_width must be positive, got {self.bin_width}")
+
     def add(self, value: float) -> None:
         if value < 0:
             raise ValueError(f"Histogram values must be non-negative, got {value}")
         bin_index = int(value) // self.bin_width
         self.counts[bin_index] = self.counts.get(bin_index, 0) + 1
         self.samples += 1
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other``'s bins into ``self``.
+
+        Merging an empty histogram (either side) is safe; merging
+        histograms with different bin widths is rejected because the bins
+        would not describe the same value ranges.
+        """
+        if other.samples == 0 and not other.counts:
+            return
+        if other.bin_width != self.bin_width:
+            raise ValueError(
+                f"cannot merge histograms with bin widths "
+                f"{self.bin_width} and {other.bin_width}")
+        for bin_index, count in other.counts.items():
+            self.counts[bin_index] = self.counts.get(bin_index, 0) + count
+        self.samples += other.samples
+
+    def percentile(self, q: float) -> float:
+        """Value below which ``q`` percent of samples fall (bin-resolution).
+
+        Returns the upper edge of the bin containing the q-th sample.  An
+        empty histogram yields 0.0 rather than raising — callers snapshot
+        metrics unconditionally, including distributions never observed.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self.samples:
+            return 0.0
+        target = q / 100.0 * self.samples
+        running = 0
+        last_index = 0
+        for bin_index, count in sorted(self.counts.items()):
+            running += count
+            last_index = bin_index
+            if running >= target:
+                return float((bin_index + 1) * self.bin_width)
+        return float((last_index + 1) * self.bin_width)
 
     def fraction(self, bin_index: int) -> float:
         """Fraction of samples falling in ``[bin*width, (bin+1)*width)``."""

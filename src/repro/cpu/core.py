@@ -24,6 +24,8 @@ from ..isa.instructions import NUM_REGS, Opcode
 from ..isa.program import ThreadProgram
 from ..isa.semantics import eval_alu
 from ..mem.memsys import MemOp, MemOpKind, MemorySystem
+from ..obs.events import (InstrCountEvent, InstrPerformEvent,
+                          WriteBufferDrainEvent)
 from ..recorder.traq import TraqEntry, TrackingQueue
 from .consistency import IssuePolicy
 from .dynops import DynInstr
@@ -56,6 +58,9 @@ class Core:
         self.traq = traq
         self.policy = IssuePolicy(config.consistency, self)
         self.sinks: list[CoreEventSink] = []
+        # Optional structured trace bus (repro.obs); None keeps every hook
+        # down to a single attribute load + identity check.
+        self.tracer = None
         # Set by the machine: schedules a future cycle at which this core may
         # make progress (used to fast-forward globally idle stretches).
         self.schedule_wake = lambda cycle: None
@@ -231,7 +236,13 @@ class Core:
         def notify(entry: TraqEntry) -> None:
             for sink in self.sinks:
                 sink.on_count(entry, cycle)
-        return self.traq.count_ready(self.retired_seq, notify)
+            if self.tracer is not None:
+                dyn = entry.dyn
+                self.tracer.emit(InstrCountEvent(
+                    cycle=cycle, core_id=self.core_id,
+                    seq=-1 if dyn is None else dyn.seq, nmi=entry.nmi,
+                    opcode="filler" if dyn is None else dyn.opcode.value))
+        return self.traq.count_ready(self.retired_seq, notify, cycle=cycle)
 
     # -------------------------------------------------------------- issue
 
@@ -262,6 +273,10 @@ class Core:
                 break  # MSHRs exhausted
             dyn.issued = True
             issued += 1
+            if self.tracer is not None:
+                self.tracer.emit(WriteBufferDrainEvent(
+                    cycle=cycle, core_id=self.core_id, seq=dyn.seq,
+                    addr=dyn.addr, occupancy=len(self.write_buffer)))
         return issued
 
     def _issue_pending(self, cycle: int, units: int) -> int:
@@ -354,6 +369,11 @@ class Core:
                 self.ooo_stores += 1
         for sink in self.sinks:
             sink.on_perform(dyn, perform_cycle, out_of_order)
+        if self.tracer is not None:
+            self.tracer.emit(InstrPerformEvent(
+                cycle=perform_cycle, core_id=self.core_id, seq=dyn.seq,
+                opcode=dyn.opcode.value, addr=dyn.addr,
+                out_of_order=out_of_order))
         if dyn.is_load_like:
             self._complete_result(dyn, value, value_ready_cycle)
 
@@ -382,7 +402,8 @@ class Core:
                     self.dispatch_stall_traq += 1
                     self.traq.stall_cycles += 1
                     break
-                self.traq.push_filler(self.traq.max_nmi, self.next_seq - 1)
+                self.traq.push_filler(self.traq.max_nmi, self.next_seq - 1,
+                                      cycle=cycle)
                 self.pending_nmi -= self.traq.max_nmi
             instr = self.program[self.pc]
             if instr.is_memory:
@@ -428,7 +449,7 @@ class Core:
         if opcode is Opcode.HALT:
             self.halted = True
             self.pending_nmi += 1
-            self.traq.push_filler(self.pending_nmi, dyn.seq)
+            self.traq.push_filler(self.pending_nmi, dyn.seq, cycle=cycle)
             self.pending_nmi = 0
             self.pc += 1
             return
@@ -436,7 +457,7 @@ class Core:
         self.pc += 1
         if instr.is_memory:
             self.lsq_occupancy += 1
-            self.traq.push_mem(dyn, self.pending_nmi)
+            self.traq.push_mem(dyn, self.pending_nmi, cycle=cycle)
             self.pending_nmi = 0
             self._register_memory(dyn)
             if dyn.pending_sources == 0:

@@ -4,14 +4,21 @@ Usage::
 
     python -m repro.harness [--scale S] [--seed N] [--cores N]
                             [--experiments fig1,fig9,...] [--out FILE]
+    python -m repro.harness run --workload fft --cores 4 \\
+        --trace --trace-out trace.json --metrics-out metrics.json
 
-Runs the selected experiments (default: all) and prints the paper-style
-tables; ``--out`` additionally writes them to a file.
+The first form runs the selected experiments (default: all) and prints the
+paper-style tables; ``--out`` additionally writes them to a file.  The
+``run`` subcommand records a single workload with the observability layer
+attached: ``--trace-out`` writes a Chrome trace-event JSON (open it in
+Perfetto / chrome://tracing, one track per core plus bus and TRAQ tracks)
+and ``--metrics-out`` a flat ``{name: value}`` metrics snapshot.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -39,6 +46,8 @@ _EXPERIMENTS = {
     "overhead": lambda runner, cores: figures.recording_overhead(
         runner, cores=cores),
     "litmus": lambda runner, cores: _litmus_matrix(),
+    "metrics": lambda runner, cores: figures.metrics_snapshot_table(
+        runner, cores=cores),
 }
 
 
@@ -58,7 +67,61 @@ def _litmus_matrix() -> dict:
     return out
 
 
+def _run_command(argv: list[str]) -> int:
+    """``run`` subcommand: one traced/metered recording of one workload."""
+    from repro.common.config import (ConsistencyModel, MachineConfig)
+    from repro.obs import Tracer, export_chrome_trace
+    from repro.sim import Machine
+    from repro.workloads import WORKLOAD_NAMES, build_workload
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness run",
+        description="Record one workload with tracing/metrics attached.")
+    parser.add_argument("--workload", choices=WORKLOAD_NAMES, default="fft")
+    parser.add_argument("--cores", type=int, default=4)
+    parser.add_argument("--scale", type=float, default=0.5)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--consistency", default="RC",
+                        choices=[m.value for m in ConsistencyModel])
+    parser.add_argument("--trace", action="store_true",
+                        help="attach the structured trace bus")
+    parser.add_argument("--trace-out", default=None,
+                        help="write retained events as Chrome trace-event "
+                             "JSON (implies --trace)")
+    parser.add_argument("--metrics-out", default=None,
+                        help="write the flat metrics snapshot as JSON")
+    args = parser.parse_args(argv)
+
+    program = build_workload(args.workload, num_threads=args.cores,
+                             scale=args.scale, seed=args.seed)
+    from dataclasses import replace as _replace
+    config = _replace(MachineConfig(num_cores=args.cores, seed=args.seed),
+                      consistency=ConsistencyModel(args.consistency))
+    tracer = Tracer() if (args.trace or args.trace_out) else None
+    result = Machine(config).run(program, tracer=tracer)
+
+    print(f"[{args.workload}] {result.total_instructions} instructions, "
+          f"{result.cycles} cycles, {len(result.cores)} cores, "
+          f"{result.bus_transactions} bus transactions", file=sys.stderr)
+    if tracer is not None:
+        print(f"  trace: {len(tracer)} events retained "
+              f"({tracer.emitted} emitted)", file=sys.stderr)
+    if args.trace_out:
+        export_chrome_trace(tracer.events(), args.trace_out)
+        print(f"  trace -> {args.trace_out}", file=sys.stderr)
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as handle:
+            json.dump(result.metrics.to_dict(), handle, indent=1,
+                      sort_keys=True)
+        print(f"  metrics -> {args.metrics_out}", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "run":
+        return _run_command(argv[1:])
     parser = argparse.ArgumentParser(prog="python -m repro.harness",
                                      description=__doc__)
     parser.add_argument("--scale", type=float, default=None,

@@ -27,6 +27,7 @@ __all__ = [
     "table1_parameters",
     "baseline_log_comparison",
     "recording_overhead",
+    "metrics_snapshot_table",
 ]
 
 
@@ -301,4 +302,31 @@ def recording_overhead(runner: ExperimentRunner, *, cores: int = 8) -> dict:
     rows["average"] = {key: _average(rows[name][key]
                                      for name in runner.workloads)
                        for key in next(iter(rows.values()))}
+    return rows
+
+
+# ----------------------------------------------------- metrics snapshot
+
+def metrics_snapshot_table(runner: ExperimentRunner, *, cores: int = 8,
+                           variants=VARIANT_ORDER) -> dict:
+    """Headline quantities straight from the run's metrics registry
+    (EXPERIMENTS.md "metrics" table): log bits per variant, mean/p95 TRAQ
+    occupancy, and the out-of-order fraction, one row per workload."""
+    rows = {}
+    for name in runner.workloads:
+        snapshot = runner.record(name, cores=cores).metrics
+        num_cores = 1 + max(
+            int(key[4:].split(".")[0]) for key in snapshot.to_dict()
+            if key.startswith("traq") and key.endswith(".occupancy.mean"))
+        rows[name] = {
+            "ooo_fraction": snapshot["machine.ooo_fraction.total"],
+            "traq_occupancy_mean": _average(
+                snapshot[f"traq{c}.occupancy.mean"]
+                for c in range(num_cores)),
+            "traq_occupancy_p95": max(
+                snapshot[f"traq{c}.occupancy.p95"]
+                for c in range(num_cores)),
+            "log_bits": {variant: snapshot[f"recorder.{variant}.log_bits"]
+                         for variant in variants},
+        }
     return rows

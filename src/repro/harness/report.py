@@ -159,6 +159,21 @@ def render_litmus(data: dict) -> str:
                         rows)
 
 
+def render_metrics(data: dict) -> str:
+    variants = sorted(next(iter(data.values()))["log_bits"]) if data else []
+    rows = []
+    for name, row in data.items():
+        rows.append([name, 100 * row["ooo_fraction"],
+                     row["traq_occupancy_mean"], row["traq_occupancy_p95"]]
+                    + [row["log_bits"][variant] / 1024
+                       for variant in variants])
+    return format_table(
+        "Metrics snapshot: OoO fraction, TRAQ occupancy and log sizes "
+        "(from the obs registry)",
+        ["workload", "ooo %", "traq mean", "traq p95"]
+        + [f"{v} Kbits" for v in variants], rows, floatfmt="{:.2f}")
+
+
 def render_all(results: dict) -> str:
     """Render every computed experiment present in ``results``."""
     renderers = {
@@ -173,6 +188,7 @@ def render_all(results: dict) -> str:
         "baselines": render_baselines,
         "overhead": render_overhead,
         "litmus": render_litmus,
+        "metrics": render_metrics,
     }
     parts = [renderers[key](value) for key, value in results.items()
              if key in renderers]

@@ -52,6 +52,8 @@ class SnoopyRingBus:
         self._queue: deque[BusTransaction] = deque()
         self._pending_by_line: dict[tuple[int, int], BusTransaction] = {}
         self._listeners: list[CoherenceListener] = []
+        # Optional structured trace bus (set via MemorySystem.attach_tracer).
+        self.tracer = None
         # Lines resident in the shared L2 (warm after first transaction).
         self._l2_present: set[int] = set()
         # Statistics.
@@ -129,7 +131,7 @@ class SnoopyRingBus:
                 new_state = MesiState.MODIFIED
             else:
                 new_state = MesiState.SHARED if other_sharer else MesiState.EXCLUSIVE
-            victim = requester_cache.fill(line_addr, new_state)
+            victim = requester_cache.fill(line_addr, new_state, cycle=cycle)
             if victim is not None and victim.state is MesiState.MODIFIED:
                 self._l2_present.add(victim.line_addr)
                 for listener in self._listeners:
@@ -143,6 +145,8 @@ class SnoopyRingBus:
         # Everyone observes the committed transaction at this cycle.
         event = SnoopEvent(cycle=cycle, requester=transaction.requester,
                            line_addr=line_addr, is_write=kind.is_write)
+        if self.tracer is not None:
+            self.tracer.emit(event.to_trace_event(kind))
         for listener in self._listeners:
             listener.on_transaction(event)
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from ..common.config import L1Config
 from ..common.errors import SimulationError
+from ..obs.events import CacheEvictEvent, CacheMissEvent
 from .coherence import MesiState
 
 __all__ = ["CacheLine", "L1Cache"]
@@ -43,6 +44,8 @@ class L1Cache:
         # set index -> {line_addr: CacheLine}
         self._sets: list[dict[int, CacheLine]] = [dict() for _ in range(self.num_sets)]
         self._use_clock = 0
+        # Optional structured trace bus (set by the machine when enabled).
+        self.tracer = None
         # Statistics.
         self.hits = 0
         self.misses = 0
@@ -76,7 +79,17 @@ class L1Cache:
                 f"core {self.core_id}: set_state on non-resident line {line_addr:#x}")
         line.state = state
 
-    def fill(self, line_addr: int, state: MesiState) -> CacheLine | None:
+    def note_miss(self, cycle: int, line_addr: int, is_write: bool,
+                  state: MesiState) -> None:
+        """Account an L1 miss (or permission miss) at ``cycle``."""
+        self.misses += 1
+        if self.tracer is not None:
+            self.tracer.emit(CacheMissEvent(
+                cycle=cycle, core_id=self.core_id, line_addr=line_addr,
+                is_write=is_write, state=state.value))
+
+    def fill(self, line_addr: int, state: MesiState, *,
+             cycle: int = 0) -> CacheLine | None:
         """Allocate (or update) a line in ``state``.
 
         Returns the evicted :class:`CacheLine` when an *owned* (M or E)
@@ -102,6 +115,10 @@ class L1Cache:
                 owned_victim = victim
             elif victim.state is MesiState.EXCLUSIVE:
                 owned_victim = victim
+            if self.tracer is not None:
+                self.tracer.emit(CacheEvictEvent(
+                    cycle=cycle, core_id=self.core_id, line_addr=victim_addr,
+                    dirty=victim.state is MesiState.MODIFIED))
         entries[line_addr] = CacheLine(line_addr, state, self._use_clock)
         return owned_victim
 

@@ -90,3 +90,14 @@ class SnoopEvent:
     requester: int
     line_addr: int
     is_write: bool
+
+    def to_trace_event(self, kind: "TransactionKind"):
+        """Bridge to the observability bus: the same committed transaction
+        as a :class:`~repro.obs.events.CoherenceEvent` on the bus track
+        (``kind`` is the committed transaction kind, which the snoop-facing
+        record deliberately elides down to ``is_write``)."""
+        from ..obs.events import BUS_TRACK, CoherenceEvent
+        return CoherenceEvent(cycle=self.cycle, core_id=BUS_TRACK,
+                              requester=self.requester, kind=kind.value,
+                              line_addr=self.line_addr,
+                              is_write=self.is_write)

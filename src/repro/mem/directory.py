@@ -131,7 +131,7 @@ class DirectoryRingBus(SnoopyRingBus):
                     entry.owner = requester
                 else:
                     entry.sharers.add(requester)
-            victim = requester_cache.fill(line_addr, new_state)
+            victim = requester_cache.fill(line_addr, new_state, cycle=cycle)
             if victim is not None:
                 self._release_ownership(cycle, requester, victim)
 
@@ -143,6 +143,8 @@ class DirectoryRingBus(SnoopyRingBus):
         # difference from snoopy broadcast, Sections 4.3 / 5.5).
         event = SnoopEvent(cycle=cycle, requester=requester,
                            line_addr=line_addr, is_write=kind.is_write)
+        if self.tracer is not None:
+            self.tracer.emit(event.to_trace_event(kind))
         for listener in self._listeners:
             core_id = getattr(listener, "core_id", None)
             if core_id is None or core_id in notified:

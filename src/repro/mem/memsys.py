@@ -116,6 +116,12 @@ class MemorySystem:
     def add_listener(self, listener: CoherenceListener) -> None:
         self.bus.add_listener(listener)
 
+    def attach_tracer(self, tracer) -> None:
+        """Thread the trace bus through the caches and the coherence bus."""
+        self.bus.tracer = tracer
+        for cache in self.caches:
+            cache.tracer = tracer
+
     def line_of(self, byte_addr: int) -> int:
         return byte_addr // self.line_bytes
 
@@ -155,7 +161,7 @@ class MemorySystem:
         if self.bus.pending_count(op.core_id) >= self.config.l1.mshr_entries:
             return False
 
-        cache.misses += 1
+        cache.note_miss(cycle, op.line_addr, needs_write, state)
         if needs_write:
             kind = (TransactionKind.UPGRADE if state is MesiState.SHARED
                     else TransactionKind.GETM)

@@ -1,0 +1,78 @@
+"""``repro.obs`` — the unified observability layer.
+
+Three pillars, all zero-cost when disabled:
+
+* **Trace bus** (:mod:`.tracer`, :mod:`.events`): a bounded ring buffer of
+  typed event records emitted from hook points in the core, the caches,
+  the coherence bus, the TRAQ, the recorder and the replayer, with
+  category/severity filtering and exporters (:mod:`.exporters`) to JSONL
+  and the Chrome trace-event format (Perfetto-loadable).
+* **Metrics registry** (:mod:`.metrics`): named counters, gauges and
+  distribution metrics collected into flat :class:`MetricsSnapshot`
+  dicts with before/after ``diff`` support.
+* **Divergence forensics** (:mod:`.forensics`): when replay verification
+  fails, a :class:`DivergenceReport` names the culprit core, chunk and
+  address and quotes the trace bus's recent history.
+"""
+
+from .events import (
+    CacheEvictEvent,
+    CacheMissEvent,
+    Category,
+    ChunkCutEvent,
+    CoherenceEvent,
+    DivergenceEvent,
+    InstrCountEvent,
+    InstrPerformEvent,
+    ReplayStepEvent,
+    Severity,
+    TraceEvent,
+    TraqDequeueEvent,
+    TraqEnqueueEvent,
+    WriteBufferDrainEvent,
+)
+from .exporters import (
+    chrome_trace_events,
+    event_to_dict,
+    export_chrome_trace,
+    export_jsonl,
+)
+from .forensics import DivergenceReport, build_report, raise_divergence
+from .metrics import (
+    Counter,
+    DistributionMetric,
+    Gauge,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from .tracer import Tracer
+
+__all__ = [
+    "Category",
+    "Severity",
+    "TraceEvent",
+    "InstrPerformEvent",
+    "InstrCountEvent",
+    "CacheMissEvent",
+    "CacheEvictEvent",
+    "CoherenceEvent",
+    "WriteBufferDrainEvent",
+    "TraqEnqueueEvent",
+    "TraqDequeueEvent",
+    "ChunkCutEvent",
+    "ReplayStepEvent",
+    "DivergenceEvent",
+    "Tracer",
+    "Counter",
+    "Gauge",
+    "DistributionMetric",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "event_to_dict",
+    "export_jsonl",
+    "chrome_trace_events",
+    "export_chrome_trace",
+    "DivergenceReport",
+    "build_report",
+    "raise_divergence",
+]

@@ -1,0 +1,220 @@
+"""Typed trace-event records for the observability bus.
+
+Every event the simulator can emit is a small frozen-ish dataclass with a
+class-level :class:`Category`, a default :class:`Severity` and a stable
+``name``.  Events carry the global cycle and the core they belong to
+(``core_id = -1`` for machine-global sources such as the bus), plus
+event-specific payload fields exposed through :meth:`TraceEvent.args` for
+the exporters.
+
+The design goal is *zero cost when disabled*: events are only constructed
+behind an ``if tracer is not None`` guard at each hook point, so the
+dataclasses here can afford to be descriptive rather than minimal.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, fields
+
+__all__ = [
+    "Category",
+    "Severity",
+    "TraceEvent",
+    "InstrPerformEvent",
+    "InstrCountEvent",
+    "CacheMissEvent",
+    "CacheEvictEvent",
+    "CoherenceEvent",
+    "WriteBufferDrainEvent",
+    "TraqEnqueueEvent",
+    "TraqDequeueEvent",
+    "ChunkCutEvent",
+    "ReplayStepEvent",
+    "DivergenceEvent",
+]
+
+
+class Category(enum.Enum):
+    """Coarse event families, used for filtering and for exporter tracks."""
+
+    CORE = "core"
+    CACHE = "cache"
+    COHERENCE = "coherence"
+    WRITE_BUFFER = "wbuf"
+    TRAQ = "traq"
+    RECORDER = "recorder"
+    REPLAY = "replay"
+
+
+class Severity(enum.IntEnum):
+    """Syslog-style severity; the tracer drops events below its floor."""
+
+    DEBUG = 10
+    INFO = 20
+    WARNING = 30
+    ERROR = 40
+
+
+#: Identity of the machine-global bus track (events with no owning core).
+BUS_TRACK = -1
+
+
+@dataclass(slots=True)
+class TraceEvent:
+    """Base trace record: where (core), when (cycle), what (subclass)."""
+
+    cycle: int
+    core_id: int
+
+    category: "Category" = Category.CORE  # overridden per subclass
+    severity: "Severity" = Severity.DEBUG
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__.removesuffix("Event")
+
+    def args(self) -> dict:
+        """Event payload as a flat JSON-safe dict (exporter format)."""
+        out = {}
+        for f in fields(self):
+            if f.name in ("cycle", "core_id", "category", "severity"):
+                continue
+            value = getattr(self, f.name)
+            if isinstance(value, enum.Enum):
+                value = value.value
+            out[f.name] = value
+        return out
+
+    def track(self) -> str:
+        """Display track key: one per core, plus bus and per-core TRAQ
+        tracks (Perfetto renders each as its own thread row)."""
+        if self.category is Category.COHERENCE:
+            return "bus"
+        if self.category is Category.TRAQ:
+            return f"traq{self.core_id}"
+        return f"core{self.core_id}"
+
+
+def _event(category: Category, severity: Severity = Severity.DEBUG):
+    """Decorator: a slotted dataclass pinned to a category/severity."""
+
+    def wrap(cls):
+        cls = dataclass(slots=True)(cls)
+        original_init = cls.__init__
+
+        def __init__(self, *args, **kwargs):  # noqa: N807
+            kwargs.setdefault("category", category)
+            kwargs.setdefault("severity", severity)
+            original_init(self, *args, **kwargs)
+
+        cls.__init__ = __init__
+        return cls
+
+    return wrap
+
+
+@_event(Category.CORE)
+class InstrPerformEvent(TraceEvent):
+    """A memory access reached its coherence-order point."""
+
+    seq: int = 0
+    opcode: str = ""
+    addr: int = 0
+    out_of_order: bool = False
+
+
+@_event(Category.CORE)
+class InstrCountEvent(TraceEvent):
+    """A TRAQ entry passed the in-order counting step."""
+
+    seq: int = -1          # -1 for NMI filler groups
+    nmi: int = 0
+    opcode: str = "filler"
+
+
+@_event(Category.CACHE)
+class CacheMissEvent(TraceEvent):
+    """An access missed (or lacked write permission) in the local L1."""
+
+    line_addr: int = 0
+    is_write: bool = False
+    state: str = "I"
+
+
+@_event(Category.CACHE)
+class CacheEvictEvent(TraceEvent):
+    """An owned line was victimized by an allocation."""
+
+    line_addr: int = 0
+    dirty: bool = False
+
+
+@_event(Category.COHERENCE)
+class CoherenceEvent(TraceEvent):
+    """A coherence transaction committed on the bus (global track)."""
+
+    requester: int = 0
+    kind: str = ""
+    line_addr: int = 0
+    is_write: bool = False
+
+
+@_event(Category.WRITE_BUFFER)
+class WriteBufferDrainEvent(TraceEvent):
+    """A retired store left the write buffer toward the memory system."""
+
+    seq: int = 0
+    addr: int = 0
+    occupancy: int = 0
+
+
+@_event(Category.TRAQ)
+class TraqEnqueueEvent(TraceEvent):
+    """A TRAQ slot was allocated at dispatch."""
+
+    entry_id: int = 0
+    is_filler: bool = False
+    occupancy: int = 0
+
+
+@_event(Category.TRAQ)
+class TraqDequeueEvent(TraceEvent):
+    """A TRAQ head entry was counted and released."""
+
+    entry_id: int = 0
+    occupancy: int = 0
+
+
+@_event(Category.RECORDER, Severity.INFO)
+class ChunkCutEvent(TraceEvent):
+    """A recorder terminated an interval (chunk) and emitted its frame."""
+
+    variant: str = ""
+    cisn: int = 0
+    reason: str = ""
+    entries: int = 0
+    instructions: int = 0
+
+
+@_event(Category.REPLAY)
+class ReplayStepEvent(TraceEvent):
+    """The replayer finished one interval of one core."""
+
+    variant: str = ""
+    cisn: int = 0
+    timestamp: int = 0
+    instructions: int = 0
+    injected_loads: int = 0
+    patched_writes: int = 0
+
+
+@_event(Category.REPLAY, Severity.ERROR)
+class DivergenceEvent(TraceEvent):
+    """Replay verification observed a mismatch."""
+
+    variant: str = ""
+    kind: str = ""
+    addr: int = -1
+    expected: int = 0
+    observed: int = 0

@@ -1,0 +1,127 @@
+"""Replay-divergence forensics.
+
+When deterministic replay fails to reproduce the recorded execution, a bare
+"memory diverged at 0x1000" is the start of a debugging session, not the
+end of one.  This module assembles a :class:`DivergenceReport` naming the
+*culprit* — which core, which chunk (interval), which address — from the
+replayer's write-attribution map and the recent history retained by the
+trace bus: the expected vs. observed values, the interval's cycle
+boundaries from the recording, the last events of the involved core, and
+the last coherence transactions in flight when tracing spanned the
+recording too.
+
+The report rides on :class:`~repro.common.errors.ReplayDivergenceError`
+(its ``report`` attribute), so existing ``except ReplayDivergenceError``
+call sites keep working and gain the forensics for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..common.errors import ReplayDivergenceError
+from .events import Category, TraceEvent
+from .exporters import event_to_dict
+from .tracer import Tracer
+
+__all__ = ["DivergenceReport", "build_report", "raise_divergence"]
+
+#: How many trailing events of the involved core the report quotes.
+RECENT_EVENTS = 12
+#: How many trailing coherence transactions the report quotes.
+RECENT_COHERENCE = 8
+
+
+@dataclass
+class DivergenceReport:
+    """Everything known about the first observed replay mismatch."""
+
+    variant: str
+    kind: str                      # memory | registers | instruction-count | load-trace
+    detail: str                    # one-line human description
+    core_id: int | None = None     # culprit core (write attribution)
+    chunk: int | None = None       # culprit interval index (CISN)
+    addr: int | None = None
+    expected: int | None = None    # value the recording holds
+    observed: int | None = None    # value replay produced
+    interval_start: int | None = None   # recording cycles bounding the chunk
+    interval_end: int | None = None
+    recent_events: list[TraceEvent] = field(default_factory=list)
+    recent_coherence: list[TraceEvent] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [f"replay divergence [{self.variant}] {self.kind}: "
+                 f"{self.detail}"]
+        if self.addr is not None:
+            expected = "?" if self.expected is None else f"{self.expected:#x}"
+            observed = "?" if self.observed is None else f"{self.observed:#x}"
+            lines.append(f"  address {self.addr:#x}: replayed {observed}, "
+                         f"recorded {expected}")
+        if self.core_id is not None:
+            where = f"  culprit: core {self.core_id}"
+            if self.chunk is not None:
+                where += f", chunk {self.chunk}"
+                if self.interval_end is not None:
+                    start = 0 if self.interval_start is None else self.interval_start
+                    where += f" (recorded cycles {start}..{self.interval_end})"
+            lines.append(where)
+        if self.recent_events:
+            lines.append(f"  last {len(self.recent_events)} events, "
+                         f"core {self.core_id}:")
+            lines.extend(f"    {_format_event(event)}"
+                         for event in self.recent_events)
+        if self.recent_coherence:
+            lines.append(f"  last {len(self.recent_coherence)} coherence "
+                         f"transactions:")
+            lines.extend(f"    {_format_event(event)}"
+                         for event in self.recent_coherence)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-safe rendering (for harness --metrics-out style dumps)."""
+        return {
+            "variant": self.variant,
+            "kind": self.kind,
+            "detail": self.detail,
+            "core": self.core_id,
+            "chunk": self.chunk,
+            "addr": self.addr,
+            "expected": self.expected,
+            "observed": self.observed,
+            "interval_start": self.interval_start,
+            "interval_end": self.interval_end,
+            "recent_events": [event_to_dict(event)
+                              for event in self.recent_events],
+            "recent_coherence": [event_to_dict(event)
+                                 for event in self.recent_coherence],
+        }
+
+
+def _format_event(event: TraceEvent) -> str:
+    args = " ".join(f"{key}={value}" for key, value in event.args().items())
+    return f"cycle={event.cycle} [{event.category.value}] {event.name} {args}"
+
+
+def build_report(*, variant: str, kind: str, detail: str,
+                 core_id: int | None = None, chunk: int | None = None,
+                 addr: int | None = None, expected: int | None = None,
+                 observed: int | None = None,
+                 interval_bounds: tuple[int, int] | None = None,
+                 tracer: Tracer | None = None) -> DivergenceReport:
+    """Assemble a report, pulling recent history from ``tracer`` if given."""
+    report = DivergenceReport(variant=variant, kind=kind, detail=detail,
+                              core_id=core_id, chunk=chunk, addr=addr,
+                              expected=expected, observed=observed)
+    if interval_bounds is not None:
+        report.interval_start, report.interval_end = interval_bounds
+    if tracer is not None:
+        if core_id is not None:
+            report.recent_events = tracer.last(RECENT_EVENTS, core_id=core_id)
+        report.recent_coherence = tracer.last(RECENT_COHERENCE,
+                                              category=Category.COHERENCE)
+    return report
+
+
+def raise_divergence(report: DivergenceReport) -> None:
+    """Raise :class:`ReplayDivergenceError` carrying ``report``."""
+    raise ReplayDivergenceError(report.render(), report=report)

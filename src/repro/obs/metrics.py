@@ -1,0 +1,213 @@
+"""Metrics registry: named counters, gauges and distribution metrics.
+
+Components register their metrics under dotted names
+(``core0.ooo_loads``, ``bus.committed.GetS``, ``recorder.opt_4k.log_bits``)
+and the registry renders everything into a flat
+:class:`MetricsSnapshot` — a plain ``{name: number}`` dict that the
+harness, the benchmarks and the figure scripts all consume, replacing the
+reflection-based aggregation that used to live in
+``Machine.recording_stats``.
+
+Distribution metrics wrap :class:`~repro.common.stats.OnlineStats` and
+:class:`~repro.common.stats.Histogram`, so one registered timer expands to
+``.count/.mean/.max/.p50/...`` snapshot keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..common.stats import Histogram, OnlineStats
+
+__all__ = ["Counter", "Gauge", "DistributionMetric", "MetricsRegistry",
+           "MetricsSnapshot"]
+
+
+class Counter:
+    """Monotonic counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int = 0):
+        self.name = name
+        self.value = value
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def snapshot_into(self, out: dict) -> None:
+        out[self.name] = self.value
+
+
+class Gauge:
+    """Point-in-time value (set, not accumulated)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: float = 0.0):
+        self.name = name
+        self.value = value
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def snapshot_into(self, out: dict) -> None:
+        out[self.name] = self.value
+
+
+class DistributionMetric:
+    """OnlineStats + Histogram backed distribution (timers, occupancies)."""
+
+    __slots__ = ("name", "stats", "histogram")
+
+    def __init__(self, name: str, *, bin_width: int = 10):
+        self.name = name
+        self.stats = OnlineStats()
+        self.histogram = Histogram(bin_width=bin_width)
+
+    def observe(self, value: float) -> None:
+        self.stats.add(value)
+        if value >= 0:
+            self.histogram.add(value)
+
+    def merge(self, other: "DistributionMetric") -> None:
+        self.stats.merge(other.stats)
+        self.histogram.merge(other.histogram)
+
+    def snapshot_into(self, out: dict) -> None:
+        stats = self.stats
+        out[f"{self.name}.count"] = stats.count
+        out[f"{self.name}.mean"] = stats.mean
+        out[f"{self.name}.min"] = stats.minimum if stats.count else 0.0
+        out[f"{self.name}.max"] = stats.maximum if stats.count else 0.0
+        out[f"{self.name}.stddev"] = stats.stddev
+        out[f"{self.name}.p50"] = self.histogram.percentile(50.0)
+        out[f"{self.name}.p95"] = self.histogram.percentile(95.0)
+        out[f"{self.name}.p99"] = self.histogram.percentile(99.0)
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Immutable flat view of a registry at one instant."""
+
+    values: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """Flat ``{name: number}`` dict (JSON-safe)."""
+        return dict(self.values)
+
+    def __getitem__(self, name: str):
+        return self.values[name]
+
+    def get(self, name: str, default=None):
+        return self.values.get(name, default)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.values
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def diff(self, before: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Per-key ``self - before`` for numeric keys present in either.
+
+        Keys absent on one side are treated as 0, which makes
+        before/after comparisons around a run trivially safe.
+        """
+        out: dict = {}
+        for name in sorted(set(self.values) | set(before.values)):
+            after_value = self.values.get(name, 0)
+            before_value = before.values.get(name, 0)
+            if isinstance(after_value, str) or isinstance(before_value, str):
+                out[name] = after_value
+            else:
+                out[name] = after_value - before_value
+        return MetricsSnapshot(out)
+
+    def subset(self, prefix: str) -> dict:
+        """All keys under a dotted prefix (``snap.subset("core0")``)."""
+        dotted = prefix if prefix.endswith(".") else prefix + "."
+        return {name: value for name, value in self.values.items()
+                if name.startswith(dotted)}
+
+
+class MetricsRegistry:
+    """Component-scoped registry of named metrics."""
+
+    def __init__(self):
+        self._metrics: dict[str, Counter | Gauge | DistributionMetric] = {}
+
+    # --------------------------------------------------------- registration
+
+    def _get(self, name: str, cls, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = cls(name, **kwargs)
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}")
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def distribution(self, name: str, *, bin_width: int = 10) -> DistributionMetric:
+        return self._get(name, DistributionMetric, bin_width=bin_width)
+
+    def scoped(self, prefix: str) -> "ScopedRegistry":
+        """A view that prepends ``prefix.`` to every registered name."""
+        return ScopedRegistry(self, prefix)
+
+    # -------------------------------------------------------------- loading
+
+    def set_counters(self, values: dict[str, int], *, prefix: str = "") -> None:
+        """Bulk-register plain counter values (end-of-run collection)."""
+        dotted = prefix + "." if prefix else ""
+        for name, value in values.items():
+            self.counter(dotted + name).value = value
+
+    def observe_stats(self, name: str, stats: OnlineStats,
+                      histogram: Histogram | None = None) -> None:
+        """Adopt pre-accumulated OnlineStats/Histogram under ``name``."""
+        metric = self.distribution(name)
+        metric.stats.merge(stats)
+        if histogram is not None:
+            metric.histogram.merge(histogram)
+
+    # ------------------------------------------------------------- snapshot
+
+    def snapshot(self) -> MetricsSnapshot:
+        out: dict = {}
+        for name in sorted(self._metrics):
+            self._metrics[name].snapshot_into(out)
+        return MetricsSnapshot(out)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+
+class ScopedRegistry:
+    """Prefix view over a :class:`MetricsRegistry` (per-component handle)."""
+
+    __slots__ = ("_registry", "_prefix")
+
+    def __init__(self, registry: MetricsRegistry, prefix: str):
+        self._registry = registry
+        self._prefix = prefix.rstrip(".") + "."
+
+    def counter(self, name: str) -> Counter:
+        return self._registry.counter(self._prefix + name)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._registry.gauge(self._prefix + name)
+
+    def distribution(self, name: str, *, bin_width: int = 10) -> DistributionMetric:
+        return self._registry.distribution(self._prefix + name,
+                                           bin_width=bin_width)

@@ -1,0 +1,114 @@
+"""The structured trace bus.
+
+A :class:`Tracer` is a bounded ring buffer of typed
+:class:`~repro.obs.events.TraceEvent` records with category and severity
+filtering.  Hook points throughout the simulator hold an optional tracer
+reference and emit behind a single ``if tracer is not None`` guard, so a
+machine run with tracing disabled pays one attribute load + identity check
+per hook and nothing else.
+
+The buffer is deliberately lossy: retention is the newest ``capacity``
+events (Chrome's about:tracing and rr's internal buffers make the same
+trade), which is exactly what the divergence-forensics reporter needs —
+the *recent* history of the involved cores, not the full firehose.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator
+
+from .events import Category, Severity, TraceEvent
+
+__all__ = ["Tracer"]
+
+
+class Tracer:
+    """Bounded, filterable sink of :class:`TraceEvent` records."""
+
+    def __init__(self, *, capacity: int = 65536,
+                 categories: Iterable[Category] | None = None,
+                 min_severity: Severity = Severity.DEBUG):
+        if capacity <= 0:
+            raise ValueError("tracer capacity must be positive")
+        self.capacity = capacity
+        self.categories = (frozenset(Category) if categories is None
+                           else frozenset(categories))
+        self.min_severity = min_severity
+        self._ring: deque[TraceEvent] = deque(maxlen=capacity)
+        # Accounting (exposed through the metrics registry).
+        self.emitted = 0
+        self.filtered = 0
+        self.dropped = 0  # overwritten by ring wrap-around
+        self.counts_by_category: dict[Category, int] = {}
+
+    # ------------------------------------------------------------ emission
+
+    def enabled_for(self, category: Category,
+                    severity: Severity = Severity.DEBUG) -> bool:
+        """Cheap pre-check for hook points that must build expensive args."""
+        return category in self.categories and severity >= self.min_severity
+
+    def emit(self, event: TraceEvent) -> bool:
+        """Record ``event`` if it passes the filters; returns whether it did."""
+        if (event.category not in self.categories
+                or event.severity < self.min_severity):
+            self.filtered += 1
+            return False
+        if len(self._ring) == self.capacity:
+            self.dropped += 1
+        self._ring.append(event)
+        self.emitted += 1
+        counts = self.counts_by_category
+        counts[event.category] = counts.get(event.category, 0) + 1
+        return True
+
+    # ------------------------------------------------------------- queries
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._ring)
+
+    def events(self, *, category: Category | None = None,
+               core_id: int | None = None,
+               min_severity: Severity = Severity.DEBUG) -> list[TraceEvent]:
+        """Retained events, oldest first, optionally filtered."""
+        return [event for event in self._ring
+                if (category is None or event.category is category)
+                and (core_id is None or event.core_id == core_id)
+                and event.severity >= min_severity]
+
+    def last(self, n: int, *, category: Category | None = None,
+             core_id: int | None = None) -> list[TraceEvent]:
+        """The newest ``n`` matching events, oldest first."""
+        out: list[TraceEvent] = []
+        for event in reversed(self._ring):
+            if category is not None and event.category is not category:
+                continue
+            if core_id is not None and event.core_id != core_id:
+                continue
+            out.append(event)
+            if len(out) >= n:
+                break
+        out.reverse()
+        return out
+
+    def clear(self) -> None:
+        self._ring.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Flat accounting dict (merged into metrics snapshots)."""
+        out = {"obs.trace.emitted": self.emitted,
+               "obs.trace.filtered": self.filtered,
+               "obs.trace.dropped": self.dropped,
+               "obs.trace.retained": len(self._ring)}
+        for category, count in sorted(self.counts_by_category.items(),
+                                      key=lambda kv: kv[0].value):
+            out[f"obs.trace.by_category.{category.value}"] = count
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Tracer(retained={len(self._ring)}/{self.capacity}, "
+                f"emitted={self.emitted})")

@@ -23,6 +23,7 @@ from ..cpu.dynops import DynInstr
 from ..isa.instructions import Opcode
 from ..isa.semantics import eval_rmw
 from ..mem.coherence import SnoopEvent
+from ..obs.events import ChunkCutEvent
 from .logfmt import (
     InorderBlock,
     IntervalFrame,
@@ -59,6 +60,30 @@ class RecorderStats:
     # Line address -> number of conflicting incoming transactions that
     # terminated an interval because of it (contention hot spots).
     conflict_lines: dict[int, int] = field(default_factory=dict)
+
+    #: Plain additive counters (everything except the dict-valued fields).
+    COUNTER_FIELDS = (
+        "mem_counted", "instructions_counted", "inorder_mem",
+        "moved_across_intervals", "reordered_loads", "reordered_stores",
+        "reordered_rmws", "inorder_blocks", "frames", "log_bits",
+        "conflict_terminations", "size_terminations",
+        "eviction_terminations",
+    )
+    #: Dict-valued fields merged key-wise.
+    DICT_FIELDS = ("entry_bits_by_type", "conflict_lines")
+
+    def merge(self, other: "RecorderStats") -> None:
+        """Fold another core's stats into this accumulator."""
+        for name in self.COUNTER_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        for name in self.DICT_FIELDS:
+            merged = getattr(self, name)
+            for key, value in getattr(other, name).items():
+                merged[key] = merged.get(key, 0) + value
+
+    def counters(self) -> dict[str, int]:
+        """Flat counter dict for the metrics registry."""
+        return {name: getattr(self, name) for name in self.COUNTER_FIELDS}
 
     @property
     def reordered_total(self) -> int:
@@ -108,6 +133,8 @@ class RelaxReplayRecorder:
         self.entries_in_interval = 0
         self.entries: list[LogEntry] = []
         self.stats = RecorderStats()
+        # Optional structured trace bus (None keeps recording untraced).
+        self.tracer = None
 
         # Per-in-flight-instruction recorder state (the PISN and Snoop Count
         # fields of the TRAQ entry, Figure 6(b)), keyed by dynamic seq.
@@ -238,7 +265,7 @@ class RelaxReplayRecorder:
                 # requester's access performs into its current interval.
                 self.dependence_tracker.record_conflict(
                     self.core_id, self.cisn, event.requester)
-            self._terminate_interval(event.cycle)
+            self._terminate_interval(event.cycle, "conflict")
 
     def on_dirty_eviction(self, cycle: int, core_id: int, line_addr: int) -> None:
         """Section 4.3: conservatively account for an owned-line eviction
@@ -255,7 +282,7 @@ class RelaxReplayRecorder:
             # line, so close the interval now — any future access to it is
             # thereby ordered after us.
             self.stats.eviction_terminations += 1
-            self._terminate_interval(cycle)
+            self._terminate_interval(cycle, "eviction")
 
     # -------------------------------------------------- interval handling
 
@@ -263,14 +290,20 @@ class RelaxReplayRecorder:
         cap = self.config.max_interval_instructions
         if cap is not None and self.counted_in_interval >= cap:
             self.stats.size_terminations += 1
-            self._terminate_interval(cycle)
+            self._terminate_interval(cycle, "size-cap")
 
-    def _terminate_interval(self, cycle: int) -> None:
+    def _terminate_interval(self, cycle: int, reason: str) -> None:
         self._flush_block()
         if self.entries_in_interval == 0 and self.performs_in_interval == 0:
             # Nothing happened: no ordering obligation, keep CISN stable so
             # logged frames stay consecutive.
             return
+        if self.tracer is not None:
+            self.tracer.emit(ChunkCutEvent(
+                cycle=cycle, core_id=self.core_id, variant=self.name,
+                cisn=self.cisn, reason=reason,
+                entries=self.entries_in_interval,
+                instructions=self.counted_in_interval))
         self._append(IntervalFrame(self.cisn, cycle))
         self.stats.frames += 1
         self.cisn += 1
@@ -301,4 +334,4 @@ class RelaxReplayRecorder:
             raise SimulationError(
                 f"recorder {self.name} core {self.core_id}: "
                 f"{len(self._pisn)} accesses performed but never counted")
-        self._terminate_interval(cycle)
+        self._terminate_interval(cycle, "end")

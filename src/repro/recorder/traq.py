@@ -20,6 +20,7 @@ from typing import Callable
 
 from ..common.errors import SimulationError
 from ..cpu.dynops import DynInstr
+from ..obs.events import TraqDequeueEvent, TraqEnqueueEvent
 
 __all__ = ["TraqEntry", "TrackingQueue"]
 
@@ -70,6 +71,9 @@ class TrackingQueue:
         self.count_bandwidth = count_bandwidth
         self._entries: deque[TraqEntry] = deque()
         self._next_id = 0
+        # Observability (set by the machine when tracing is enabled).
+        self.tracer = None
+        self.core_id = -1
         # Statistics.
         self.stall_cycles = 0
         self.entries_counted = 0
@@ -92,7 +96,8 @@ class TrackingQueue:
         """Whether ``slots`` more entries fit (dispatch stalls otherwise)."""
         return len(self._entries) + slots <= self.capacity
 
-    def push_mem(self, dyn: DynInstr, pending_nmi: int) -> list[TraqEntry]:
+    def push_mem(self, dyn: DynInstr, pending_nmi: int, *,
+                 cycle: int = 0) -> list[TraqEntry]:
         """Allocate entries for a dispatched memory instruction.
 
         Runs of more than ``max_nmi`` preceding non-memory instructions are
@@ -111,9 +116,12 @@ class TrackingQueue:
         entries.append(self._alloc(dyn, remaining, dyn.seq))
         if len(self._entries) > self.capacity:
             raise SimulationError("TRAQ overflow: caller must check has_space")
+        if self.tracer is not None:
+            self._trace_enqueued(entries, cycle)
         return entries
 
-    def push_filler(self, count: int, last_seq: int) -> list[TraqEntry]:
+    def push_filler(self, count: int, last_seq: int, *,
+                    cycle: int = 0) -> list[TraqEntry]:
         """Allocate filler entries for trailing non-memory instructions
         (e.g. the tail of the program after its last memory access)."""
         entries = []
@@ -125,7 +133,16 @@ class TrackingQueue:
             remaining -= chunk
         if len(self._entries) > self.capacity:
             raise SimulationError("TRAQ overflow: caller must check has_space")
+        if self.tracer is not None:
+            self._trace_enqueued(entries, cycle)
         return entries
+
+    def _trace_enqueued(self, entries: list[TraqEntry], cycle: int) -> None:
+        occupancy = len(self._entries)
+        for entry in entries:
+            self.tracer.emit(TraqEnqueueEvent(
+                cycle=cycle, core_id=self.core_id, entry_id=entry.entry_id,
+                is_filler=entry.is_filler, occupancy=occupancy))
 
     def _alloc(self, dyn: DynInstr | None, nmi: int, last_seq: int) -> TraqEntry:
         entry = TraqEntry(dyn, nmi, last_seq, self._next_id)
@@ -146,7 +163,8 @@ class TrackingQueue:
         return dropped
 
     def count_ready(self, retired_seq: int,
-                    on_count: Callable[[TraqEntry], None]) -> int:
+                    on_count: Callable[[TraqEntry], None], *,
+                    cycle: int = 0) -> int:
         """Pop and count up to ``count_bandwidth`` countable head entries."""
         counted = 0
         while (counted < self.count_bandwidth and self._entries
@@ -154,5 +172,9 @@ class TrackingQueue:
             entry = self._entries.popleft()
             self.entries_counted += 1
             counted += 1
+            if self.tracer is not None:
+                self.tracer.emit(TraqDequeueEvent(
+                    cycle=cycle, core_id=self.core_id,
+                    entry_id=entry.entry_id, occupancy=len(self._entries)))
             on_count(entry)
         return counted

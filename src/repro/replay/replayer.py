@@ -17,9 +17,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..common.errors import LogFormatError, ReplayDivergenceError
+from ..common.errors import LogFormatError
 from ..isa.instructions import MASK64
 from ..isa.program import Program
+from ..obs.events import DivergenceEvent, ReplayStepEvent
+from ..obs.forensics import build_report, raise_divergence
+from ..obs.tracer import Tracer
 from ..recorder.logfmt import Dummy, InorderBlock, ReorderedLoad
 from ..sim.machine import RunResult
 from .costmodel import ReplayCounts, ReplayTime, estimate_replay_time
@@ -27,6 +30,28 @@ from .interpreter import ThreadContext
 from .patcher import PatchedWrite, ReplayInterval, group_intervals, patch_intervals
 
 __all__ = ["ReplayResult", "Replayer", "replay_recording"]
+
+
+class _WriterTrackingMemory(dict):
+    """Replay memory that attributes every write to (core, chunk).
+
+    The replay loop sets ``current`` to the interval being executed; every
+    ``memory[addr] = value`` — native InorderBlock stores, RMWs and
+    PatchedWrites alike — then lands in ``writers``, giving the forensics
+    reporter a last-writer map at zero structural cost to the interpreter.
+    """
+
+    __slots__ = ("current", "writers")
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.current: tuple[int, int] | None = None  # (core_id, cisn)
+        self.writers: dict[int, tuple[int, int]] = {}
+
+    def __setitem__(self, addr, value):
+        if self.current is not None:
+            self.writers[addr] = self.current
+        super().__setitem__(addr, value)
 
 
 @dataclass
@@ -48,26 +73,40 @@ class Replayer:
     """Replays one recorder variant's log against the original program."""
 
     def __init__(self, program: Program, per_core_entries: list[list],
-                 *, cisn_bits: int = 16, variant: str = "default"):
+                 *, cisn_bits: int = 16, variant: str = "default",
+                 tracer: Tracer | None = None):
         if len(per_core_entries) != program.num_threads:
             raise LogFormatError(
                 f"log has {len(per_core_entries)} cores, program has "
                 f"{program.num_threads} threads")
         self.program = program
         self.variant = variant
+        self.tracer = tracer
         intervals: list[ReplayInterval] = []
+        # (core_id, cisn) -> recording cycles the chunk spans, for forensics.
+        self._bounds: dict[tuple[int, int], tuple[int, int]] = {}
         for core_id, entries in enumerate(per_core_entries):
             per_core = group_intervals(core_id, list(entries),
                                        cisn_bits=cisn_bits)
+            previous_end = 0
+            for interval in per_core:
+                self._bounds[(core_id, interval.cisn)] = (previous_end,
+                                                          interval.timestamp)
+                previous_end = interval.timestamp
             patch_intervals(per_core)
             intervals.extend(per_core)
         intervals.sort(key=ReplayInterval.sort_key)
         self.intervals = intervals
 
+    def interval_bounds(self, core_id: int, cisn: int) -> tuple[int, int] | None:
+        """Recording cycles (start, end) spanned by a core's chunk."""
+        return self._bounds.get((core_id, cisn))
+
     def replay(self) -> tuple[dict[int, int], list[ThreadContext], ReplayCounts]:
         """Run the replay; returns (memory, contexts, counts)."""
-        memory: dict[int, int] = {addr: value & MASK64 for addr, value
-                                  in self.program.initial_memory.items()}
+        memory = _WriterTrackingMemory(
+            {addr: value & MASK64 for addr, value
+             in self.program.initial_memory.items()})
         contexts = [ThreadContext(core_id, self.program.threads[core_id])
                     for core_id in range(self.program.num_threads)]
         counts = ReplayCounts()
@@ -75,49 +114,65 @@ class Replayer:
             # In the real system the OS waits here for all predecessor
             # intervals; sequential replay makes that wait implicit.
             counts.intervals += 1
+            memory.current = (interval.core_id, interval.cisn)
             context = contexts[interval.core_id]
+            instructions = injected = patched = 0
             for entry in interval.entries:
                 if isinstance(entry, InorderBlock):
                     for _ in range(entry.size):
                         context.step(memory)
+                    instructions += entry.size
                     counts.instructions += entry.size
                     counts.inorder_blocks += 1
                 elif isinstance(entry, ReorderedLoad):
                     context.inject_load_value(entry.value)
+                    injected += 1
                     counts.injected_loads += 1
                 elif isinstance(entry, Dummy):
                     context.skip_store()
                     counts.dummies += 1
                 elif isinstance(entry, PatchedWrite):
                     memory[entry.addr] = entry.value & MASK64
+                    patched += 1
                     counts.patched_writes += 1
                 else:
                     raise LogFormatError(
                         f"unpatched or unknown entry {entry!r} during replay")
+            if self.tracer is not None:
+                self.tracer.emit(ReplayStepEvent(
+                    cycle=interval.timestamp, core_id=interval.core_id,
+                    variant=self.variant, cisn=interval.cisn,
+                    timestamp=interval.timestamp, instructions=instructions,
+                    injected_loads=injected, patched_writes=patched))
+        memory.current = None
         return memory, contexts, counts
 
 
 def replay_recording(result: RunResult, variant: str = "default", *,
                      verify: bool = True,
-                     verify_load_trace: bool = True) -> ReplayResult:
+                     verify_load_trace: bool = True,
+                     tracer: Tracer | None = None) -> ReplayResult:
     """Replay a :class:`~repro.sim.machine.RunResult` variant and verify it.
 
     ``verify`` checks final memory and final architectural registers against
     the recorded execution.  ``verify_load_trace`` additionally compares
-    every loaded value when the run captured a load trace.
+    every loaded value when the run captured a load trace.  On a mismatch
+    the raised :class:`ReplayDivergenceError` carries a
+    :class:`~repro.obs.forensics.DivergenceReport` (with recent history
+    when ``tracer`` is given) naming the culprit core/chunk/address.
     """
     outputs = result.recordings[variant]
     replayer = Replayer(result.program,
                         [output.entries for output in outputs],
                         cisn_bits=outputs[0].config.cisn_bits,
-                        variant=variant)
+                        variant=variant, tracer=tracer)
     memory, contexts, counts = replayer.replay()
 
     if verify:
-        _verify_memory(memory, result.final_memory, variant)
-        _verify_registers(contexts, result, variant)
+        _verify_memory(memory, result.final_memory, replayer)
+        _verify_registers(contexts, result, replayer)
         if verify_load_trace and result.load_trace is not None:
-            _verify_load_trace(contexts, result, variant)
+            _verify_load_trace(contexts, result, replayer)
 
     total_instructions = result.total_instructions
     recorded_cpi = (result.cycles * len(result.cores) / total_instructions
@@ -134,8 +189,38 @@ def replay_recording(result: RunResult, variant: str = "default", *,
     )
 
 
+def _diverge(replayer: "Replayer | str", *, kind: str, detail: str,
+             core_id: int | None = None, chunk: int | None = None,
+             addr: int | None = None, expected: int | None = None,
+             observed: int | None = None) -> None:
+    """Assemble forensics and raise, mirroring the mismatch to the tracer.
+
+    ``replayer`` may be a bare variant name (legacy call shape): the report
+    then carries attribution but no interval bounds or trace history.
+    """
+    if isinstance(replayer, str):
+        variant, tracer, bounds = replayer, None, None
+    else:
+        variant = replayer.variant
+        tracer = replayer.tracer
+        bounds = (replayer.interval_bounds(core_id, chunk)
+                  if core_id is not None and chunk is not None else None)
+    if tracer is not None:
+        tracer.emit(DivergenceEvent(
+            cycle=bounds[1] if bounds else 0,
+            core_id=core_id if core_id is not None else -1,
+            variant=variant, kind=kind,
+            addr=addr if addr is not None else -1,
+            expected=expected if expected is not None else 0,
+            observed=observed if observed is not None else 0))
+    raise_divergence(build_report(
+        variant=variant, kind=kind, detail=detail, core_id=core_id,
+        chunk=chunk, addr=addr, expected=expected, observed=observed,
+        interval_bounds=bounds, tracer=tracer))
+
+
 def _verify_memory(replayed: dict[int, int], recorded: dict[int, int],
-                   variant: str) -> None:
+                   replayer: "Replayer | str") -> None:
     replayed_nz = {addr: value for addr, value in replayed.items() if value}
     if replayed_nz == recorded:
         return
@@ -143,41 +228,56 @@ def _verify_memory(replayed: dict[int, int], recorded: dict[int, int],
         got = replayed_nz.get(addr, 0)
         want = recorded.get(addr, 0)
         if got != want:
-            raise ReplayDivergenceError(
-                f"[{variant}] memory diverged at {addr:#x}: "
-                f"replayed {got:#x}, recorded {want:#x}")
+            writer = getattr(replayed, "writers", {}).get(addr)
+            core_id, chunk = writer if writer is not None else (None, None)
+            _diverge(replayer, kind="memory",
+                     detail=f"memory diverged at {addr:#x}: "
+                            f"replayed {got:#x}, recorded {want:#x}",
+                     core_id=core_id, chunk=chunk, addr=addr,
+                     expected=want, observed=got)
 
 
 def _verify_registers(contexts: list[ThreadContext], result: RunResult,
-                      variant: str) -> None:
+                      replayer: "Replayer | str") -> None:
     for context, core in zip(contexts, result.cores):
         if context.instructions_executed != core.instructions:
-            raise ReplayDivergenceError(
-                f"[{variant}] core {core.core_id}: replayed "
-                f"{context.instructions_executed} instructions, recorded "
-                f"{core.instructions}")
+            _diverge(replayer, kind="instruction-count",
+                     detail=f"core {core.core_id}: replayed "
+                            f"{context.instructions_executed} instructions, "
+                            f"recorded {core.instructions}",
+                     core_id=core.core_id,
+                     expected=core.instructions,
+                     observed=context.instructions_executed)
         if context.regs != core.final_regs:
             diffs = [f"r{index}: replayed {got:#x} recorded {want:#x}"
                      for index, (got, want)
                      in enumerate(zip(context.regs, core.final_regs))
                      if got != want]
-            raise ReplayDivergenceError(
-                f"[{variant}] core {core.core_id} registers diverged: "
-                + "; ".join(diffs))
+            _diverge(replayer, kind="registers",
+                     detail=f"core {core.core_id} registers diverged: "
+                            + "; ".join(diffs),
+                     core_id=core.core_id)
 
 
 def _verify_load_trace(contexts: list[ThreadContext], result: RunResult,
-                       variant: str) -> None:
+                       replayer: "Replayer | str") -> None:
     for context, recorded in zip(contexts, result.load_trace):
         recorded_values = [value for _seq, _addr, value in
                            sorted(recorded, key=lambda item: item[0])]
         if context.load_values != recorded_values:
+            recorded_addrs = [addr for _seq, addr, _value in
+                              sorted(recorded, key=lambda item: item[0])]
             for index, (got, want) in enumerate(
                     zip(context.load_values, recorded_values)):
                 if got != want:
-                    raise ReplayDivergenceError(
-                        f"[{variant}] core {context.core_id}: load #{index} "
-                        f"replayed {got:#x}, recorded {want:#x}")
-            raise ReplayDivergenceError(
-                f"[{variant}] core {context.core_id}: load count mismatch "
-                f"({len(context.load_values)} vs {len(recorded_values)})")
+                    _diverge(replayer, kind="load-trace",
+                             detail=f"core {context.core_id}: load #{index} "
+                                    f"replayed {got:#x}, recorded {want:#x}",
+                             core_id=context.core_id,
+                             addr=recorded_addrs[index],
+                             expected=want, observed=got)
+            _diverge(replayer, kind="load-trace",
+                     detail=f"core {context.core_id}: load count mismatch "
+                            f"({len(context.load_values)} vs "
+                            f"{len(recorded_values)})",
+                     core_id=context.core_id)

@@ -24,6 +24,8 @@ from ..cpu.dynops import DynInstr
 from ..isa.program import Program
 from ..mem.coherence import SnoopEvent
 from ..mem.memsys import MemorySystem
+from ..obs.metrics import MetricsRegistry, MetricsSnapshot
+from ..obs.tracer import Tracer
 from ..recorder.logfmt import LogEntry
 from ..recorder.mrr import RecorderStats, RelaxReplayRecorder
 from ..recorder.ordering import DependenceTracker
@@ -82,6 +84,9 @@ class RunResult:
     # run was started with collect_dependence_edges=True); consumed by
     # repro.replay.parallel.
     dependence_edges: dict[str, list] = field(default_factory=dict)
+    # End-of-run flat metrics snapshot (repro.obs), always populated by
+    # Machine.run; None only for hand-built results in tests.
+    metrics: MetricsSnapshot | None = None
 
     @property
     def total_instructions(self) -> int:
@@ -104,24 +109,9 @@ class RunResult:
 
     def recording_stats(self, variant: str) -> RecorderStats:
         """Aggregate a variant's stats over all cores."""
-        import dataclasses as _dataclasses
-
         total = RecorderStats()
-        dict_fields = [field.name
-                       for field in _dataclasses.fields(RecorderStats)
-                       if field.default_factory is dict]  # type: ignore
-        counter_fields = [field.name
-                          for field in _dataclasses.fields(RecorderStats)
-                          if field.name not in dict_fields]
         for output in self.recordings[variant]:
-            stats = output.stats
-            for name in counter_fields:
-                setattr(total, name,
-                        getattr(total, name) + getattr(stats, name))
-            for name in dict_fields:
-                merged = getattr(total, name)
-                for key, value in getattr(stats, name).items():
-                    merged[key] = merged.get(key, 0) + value
+            total.merge(output.stats)
         return total
 
     def log_rate_mb_per_s(self, variant: str) -> float:
@@ -166,7 +156,8 @@ class Machine:
             capture_load_trace: bool = False,
             baseline_factories: dict | None = None,
             check_invariants_every: int | None = None,
-            collect_dependence_edges: bool = False) -> RunResult:
+            collect_dependence_edges: bool = False,
+            tracer: Tracer | None = None) -> RunResult:
         """Record one execution of ``program`` and return logs + facts."""
         program.validate()
         config = self.config
@@ -180,6 +171,12 @@ class Machine:
         cores = [Core(core_id, program.threads[core_id], config, memsys,
                       traqs[core_id])
                  for core_id in range(config.num_cores)]
+        if tracer is not None:
+            memsys.attach_tracer(tracer)
+            for core_id, (core, traq) in enumerate(zip(cores, traqs)):
+                core.tracer = tracer
+                traq.tracer = tracer
+                traq.core_id = core_id
 
         wake_heap: list[int] = []
 
@@ -217,6 +214,7 @@ class Machine:
                         for core_id in range(config.num_cores)]
             recorders[name] = per_core
             for core_id, recorder in enumerate(per_core):
+                recorder.tracer = tracer
                 cores[core_id].sinks.append(recorder)
                 memsys.add_listener(recorder)
 
@@ -313,7 +311,7 @@ class Machine:
                    for recorder in per_core]
             for name, per_core in recorders.items()
         }
-        return RunResult(
+        result = RunResult(
             program=program,
             config=config,
             cycles=cycle,
@@ -326,6 +324,55 @@ class Machine:
             dependence_edges={name: tracker.edges_for()
                               for name, tracker in trackers.items()},
         )
+        result.metrics = self._collect_metrics(result, memsys, tracer)
+        return result
+
+    @staticmethod
+    def _collect_metrics(result: RunResult, memsys: MemorySystem,
+                         tracer: Tracer | None) -> MetricsSnapshot:
+        """Render everything the run produced into one flat registry."""
+        registry = MetricsRegistry()
+        machine = registry.scoped("machine")
+        machine.gauge("cycles").set(result.cycles)
+        machine.counter("instructions").value = result.total_instructions
+        machine.counter("mem_instructions").value = result.total_mem_instructions
+        for name, value in result.ooo_fraction().items():
+            machine.gauge(f"ooo_fraction.{name}").set(value)
+
+        bus = registry.scoped("bus")
+        bus.counter("committed").value = memsys.bus.committed
+        for kind, count in memsys.bus.committed_by_kind.items():
+            bus.counter(f"committed.{kind.value}").value = count
+
+        for core in result.cores:
+            scope = registry.scoped(f"core{core.core_id}")
+            scope.counter("instructions").value = core.instructions
+            scope.counter("mem_instructions").value = core.mem_instructions
+            scope.counter("loads").value = core.loads
+            scope.counter("stores").value = core.stores
+            scope.counter("rmws").value = core.rmws
+            scope.counter("ooo_loads").value = core.ooo_loads
+            scope.counter("ooo_stores").value = core.ooo_stores
+            scope.counter("forwarded_loads").value = core.forwarded_loads
+            scope.counter("traq_stall_cycles").value = core.traq_stall_cycles
+            registry.observe_stats(f"traq{core.core_id}.occupancy",
+                                   core.traq_occupancy, core.traq_histogram)
+        for cache in memsys.caches:
+            scope = registry.scoped(f"cache{cache.core_id}")
+            scope.counter("hits").value = cache.hits
+            scope.counter("misses").value = cache.misses
+            scope.counter("evictions").value = cache.evictions
+
+        for variant in result.recordings:
+            stats = result.recording_stats(variant)
+            registry.set_counters(stats.counters(),
+                                  prefix=f"recorder.{variant}")
+            registry.scoped(f"recorder.{variant}").gauge(
+                "log_rate_mb_per_s").set(result.log_rate_mb_per_s(variant))
+
+        if tracer is not None:
+            registry.set_counters(tracer.stats())
+        return registry.snapshot()
 
     @staticmethod
     def _deadlock_report(program: Program, cores: list[Core], cycle: int) -> str:

@@ -54,11 +54,25 @@ def cmd_record(args) -> int:
         consistency=ConsistencyModel(args.consistency),
         protocol=CoherenceProtocol(args.protocol))
     machine = Machine(config, _build_variants(args.variants))
+    tracer = None
+    if args.trace or args.trace_out:
+        from .obs import Tracer
+        tracer = Tracer()
     result = machine.run(
-        program, collect_dependence_edges=args.edges)
+        program, collect_dependence_edges=args.edges, tracer=tracer)
     root = save_recording(result, args.out)
     print(f"recorded {result.total_instructions} instructions "
           f"({result.cycles} cycles, {len(result.cores)} cores) -> {root}")
+    if args.trace_out:
+        from .obs import export_chrome_trace
+        export_chrome_trace(tracer.events(), args.trace_out)
+        print(f"  trace ({len(tracer)} events) -> {args.trace_out}")
+    if args.metrics_out:
+        import json
+        with open(args.metrics_out, "w") as handle:
+            json.dump(result.metrics.to_dict(), handle, indent=1,
+                      sort_keys=True)
+        print(f"  metrics -> {args.metrics_out}")
     for variant in args.variants:
         stats = result.recording_stats(variant)
         print(f"  {variant}: {stats.log_bits} bits "
@@ -153,6 +167,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="collect pairwise edges (enables parallel "
                              "replay; snoopy only)")
     record.add_argument("--out", required=True)
+    record.add_argument("--trace", action="store_true",
+                        help="attach the structured trace bus")
+    record.add_argument("--trace-out",
+                        help="write Chrome trace-event JSON of the "
+                             "recording (implies --trace)")
+    record.add_argument("--metrics-out",
+                        help="write the flat metrics snapshot as JSON")
     record.set_defaults(func=cmd_record)
 
     replay = sub.add_parser("replay", help="replay a stored recording")

@@ -1,0 +1,129 @@
+"""Edge cases of the statistics helpers the metrics registry leans on:
+empty merges, percentiles of empty histograms, bin-width mismatches."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.stats import Histogram, OnlineStats
+
+
+class TestOnlineStatsMergeEdges:
+    def test_merge_two_empty(self):
+        stats = OnlineStats()
+        stats.merge(OnlineStats())
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.variance == 0.0
+        assert stats.minimum == math.inf
+        assert stats.maximum == -math.inf
+
+    def test_merge_empty_into_populated_is_noop(self):
+        stats = OnlineStats()
+        for value in (1.0, 2.0, 3.0):
+            stats.add(value)
+        before = (stats.count, stats.mean, stats.variance,
+                  stats.minimum, stats.maximum, stats.total)
+        stats.merge(OnlineStats())
+        assert (stats.count, stats.mean, stats.variance,
+                stats.minimum, stats.maximum, stats.total) == before
+
+    def test_merge_populated_into_empty_copies(self):
+        other = OnlineStats()
+        for value in (4.0, 8.0):
+            other.add(value)
+        stats = OnlineStats()
+        stats.merge(other)
+        assert stats.count == 2
+        assert stats.mean == pytest.approx(6.0)
+        assert stats.minimum == 4.0
+        assert stats.maximum == 8.0
+        # The source must not be aliased: growing it leaves the copy alone.
+        other.add(100.0)
+        assert stats.count == 2
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=30))
+    def test_repeated_empty_merges_never_corrupt(self, values):
+        stats = OnlineStats()
+        for value in values:
+            stats.add(value)
+            stats.merge(OnlineStats())
+        assert stats.count == len(values)
+        assert stats.minimum == min(values)
+        assert stats.maximum == max(values)
+
+
+class TestHistogramEdges:
+    def test_percentile_on_empty_is_zero(self):
+        hist = Histogram(bin_width=10)
+        for q in (0.0, 50.0, 95.0, 100.0):
+            assert hist.percentile(q) == 0.0
+
+    def test_percentile_rejects_out_of_range(self):
+        hist = Histogram(bin_width=10)
+        hist.add(5)
+        with pytest.raises(ValueError):
+            hist.percentile(-0.1)
+        with pytest.raises(ValueError):
+            hist.percentile(100.1)
+
+    def test_percentile_returns_bin_upper_edge(self):
+        hist = Histogram(bin_width=10)
+        for value in (1, 2, 3, 25):  # bins 0,0,0,2
+            hist.add(value)
+        assert hist.percentile(50.0) == 10.0
+        assert hist.percentile(100.0) == 30.0
+
+    def test_merge_empty_into_populated(self):
+        hist = Histogram(bin_width=10)
+        hist.add(12)
+        hist.merge(Histogram(bin_width=10))
+        assert hist.samples == 1
+        assert hist.counts == {1: 1}
+
+    def test_merge_populated_into_empty(self):
+        hist = Histogram(bin_width=10)
+        other = Histogram(bin_width=10)
+        other.add(12)
+        other.add(13)
+        hist.merge(other)
+        assert hist.samples == 2
+        assert hist.counts == {1: 2}
+
+    def test_merge_empty_with_mismatched_width_is_noop(self):
+        # An empty source carries no bins, so its width cannot conflict.
+        hist = Histogram(bin_width=10)
+        hist.add(5)
+        hist.merge(Histogram(bin_width=7))
+        assert hist.samples == 1
+
+    def test_merge_rejects_mismatched_bin_width(self):
+        hist = Histogram(bin_width=10)
+        other = Histogram(bin_width=5)
+        other.add(3)
+        with pytest.raises(ValueError, match="bin width"):
+            hist.merge(other)
+
+    def test_nonpositive_bin_width_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(bin_width=0)
+        with pytest.raises(ValueError):
+            Histogram(bin_width=-3)
+
+    def test_negative_value_rejected(self):
+        hist = Histogram(bin_width=10)
+        with pytest.raises(ValueError):
+            hist.add(-1)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000),
+                    min_size=1, max_size=100))
+    def test_percentile_brackets_true_quantile(self, values):
+        hist = Histogram(bin_width=10)
+        for value in values:
+            hist.add(value)
+        for q in (10.0, 50.0, 90.0):
+            edge = hist.percentile(q)
+            below = sum(1 for v in values if v < edge)
+            assert below >= q / 100.0 * len(values) - 1e-9

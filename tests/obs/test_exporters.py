@@ -1,0 +1,86 @@
+"""Unit tests for the JSONL and Chrome trace-event exporters."""
+
+import io
+import json
+
+from repro.obs import (
+    ChunkCutEvent,
+    CoherenceEvent,
+    InstrPerformEvent,
+    Tracer,
+    TraqEnqueueEvent,
+    chrome_trace_events,
+    export_chrome_trace,
+    export_jsonl,
+)
+from repro.obs.events import BUS_TRACK
+from repro.obs.exporters import MACHINE_PID
+
+
+def _sample_events():
+    return [
+        InstrPerformEvent(cycle=1, core_id=0, seq=0, opcode="load",
+                          addr=0x1000),
+        CoherenceEvent(cycle=2, core_id=BUS_TRACK, requester=1, kind="GetM",
+                       line_addr=4, is_write=True),
+        TraqEnqueueEvent(cycle=3, core_id=1, entry_id=5, occupancy=2),
+        ChunkCutEvent(cycle=4, core_id=0, variant="opt", cisn=0,
+                      reason="conflict", entries=3, instructions=10),
+    ]
+
+
+class TestJsonl:
+    def test_round_trip(self):
+        buffer = io.StringIO()
+        written = export_jsonl(_sample_events(), buffer)
+        assert written == 4
+        records = [json.loads(line) for line in
+                   buffer.getvalue().splitlines()]
+        assert records[0]["name"] == "InstrPerform"
+        assert records[0]["track"] == "core0"
+        assert records[1]["track"] == "bus"
+        assert records[2]["track"] == "traq1"
+        assert records[3]["reason"] == "conflict"
+
+    def test_writes_to_path(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        export_jsonl(_sample_events(), str(path))
+        assert len(path.read_text().splitlines()) == 4
+
+
+class TestChromeTrace:
+    def test_record_shape(self):
+        records = chrome_trace_events(_sample_events())
+        # Metadata first (one thread_name per distinct track), then events.
+        metadata = [r for r in records if r["ph"] == "M"]
+        instants = [r for r in records if r["ph"] == "i"]
+        assert len(metadata) == 3
+        assert len(instants) == 4
+        assert all({"ph", "ts", "pid", "tid"} <= set(r) for r in records)
+        assert all(r["pid"] == MACHINE_PID for r in records)
+
+    def test_track_tids(self):
+        instants = [r for r in chrome_trace_events(_sample_events())
+                    if r["ph"] == "i"]
+        by_name = {r["name"]: r["tid"] for r in instants}
+        assert by_name["InstrPerform"] == 0          # core 0
+        assert by_name["CoherenceEvent".removesuffix("Event")] == 1000
+        assert by_name["TraqEnqueue"] == 2001        # traq of core 1
+
+    def test_thread_names(self):
+        metadata = [r for r in chrome_trace_events(_sample_events())
+                    if r["ph"] == "M"]
+        names = {r["tid"]: r["args"]["name"] for r in metadata}
+        assert names[0] == "core0"
+        assert names[1000] == "bus"
+        assert names[2001] == "traq1"
+
+    def test_export_accepts_tracer_and_path(self, tmp_path):
+        tracer = Tracer()
+        for event in _sample_events():
+            tracer.emit(event)
+        path = tmp_path / "trace.json"
+        count = export_chrome_trace(tracer, str(path))
+        loaded = json.loads(path.read_text())
+        assert isinstance(loaded, list)
+        assert len(loaded) == count

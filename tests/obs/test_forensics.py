@@ -1,0 +1,76 @@
+"""Unit tests for divergence-report assembly and rendering."""
+
+import pytest
+
+from repro.common.errors import ReplayDivergenceError
+from repro.obs import (
+    CoherenceEvent,
+    InstrPerformEvent,
+    Tracer,
+    build_report,
+    raise_divergence,
+)
+from repro.obs.events import BUS_TRACK
+from repro.obs.forensics import RECENT_COHERENCE, RECENT_EVENTS
+
+
+class TestBuildReport:
+    def test_minimal_report(self):
+        report = build_report(variant="opt", kind="memory",
+                              detail="memory diverged at 0x1000")
+        assert report.core_id is None
+        assert report.recent_events == []
+        text = report.render()
+        assert "replay divergence [opt] memory" in text
+
+    def test_full_report_renders_culprit(self):
+        report = build_report(variant="base", kind="memory",
+                              detail="memory diverged at 0x1000",
+                              core_id=2, chunk=7, addr=0x1000,
+                              expected=0xAB, observed=0xCD,
+                              interval_bounds=(100, 250))
+        text = report.render()
+        assert "culprit: core 2, chunk 7 (recorded cycles 100..250)" in text
+        assert "address 0x1000: replayed 0xcd, recorded 0xab" in text
+
+    def test_recent_history_pulled_from_tracer(self):
+        tracer = Tracer()
+        for cycle in range(RECENT_EVENTS + 5):
+            tracer.emit(InstrPerformEvent(cycle=cycle, core_id=1))
+        for cycle in range(RECENT_COHERENCE + 3):
+            tracer.emit(CoherenceEvent(cycle=100 + cycle, core_id=BUS_TRACK,
+                                       requester=0, kind="GetS",
+                                       line_addr=cycle))
+        report = build_report(variant="opt", kind="memory", detail="d",
+                              core_id=1, tracer=tracer)
+        assert len(report.recent_events) == RECENT_EVENTS
+        assert all(e.core_id == 1 for e in report.recent_events)
+        assert len(report.recent_coherence) == RECENT_COHERENCE
+        # Oldest-first ordering.
+        cycles = [e.cycle for e in report.recent_coherence]
+        assert cycles == sorted(cycles)
+
+    def test_to_dict_is_json_safe(self):
+        import json
+        tracer = Tracer()
+        tracer.emit(InstrPerformEvent(cycle=1, core_id=0))
+        report = build_report(variant="opt", kind="registers", detail="d",
+                              core_id=0, tracer=tracer)
+        out = report.to_dict()
+        json.dumps(out)  # must not raise
+        assert out["kind"] == "registers"
+        assert out["recent_events"][0]["name"] == "InstrPerform"
+
+
+class TestRaiseDivergence:
+    def test_error_carries_report(self):
+        report = build_report(variant="opt", kind="memory", detail="boom",
+                              core_id=3, chunk=1, addr=0x40)
+        with pytest.raises(ReplayDivergenceError) as excinfo:
+            raise_divergence(report)
+        assert excinfo.value.report is report
+        assert "culprit: core 3, chunk 1" in str(excinfo.value)
+
+    def test_plain_error_has_no_report(self):
+        error = ReplayDivergenceError("legacy message")
+        assert error.report is None

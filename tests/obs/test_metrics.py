@@ -1,0 +1,99 @@
+"""Unit tests for the metrics registry and snapshots."""
+
+import pytest
+
+from repro.common.stats import Histogram, OnlineStats
+from repro.obs import MetricsRegistry, MetricsSnapshot
+
+
+class TestRegistry:
+    def test_counter_gauge_distribution(self):
+        registry = MetricsRegistry()
+        registry.counter("a.hits").inc()
+        registry.counter("a.hits").inc(2)
+        registry.gauge("a.level").set(0.5)
+        dist = registry.distribution("a.lat")
+        for value in (1, 2, 3):
+            dist.observe(value)
+        snap = registry.snapshot()
+        assert snap["a.hits"] == 3
+        assert snap["a.level"] == 0.5
+        assert snap["a.lat.count"] == 3
+        assert snap["a.lat.mean"] == pytest.approx(2.0)
+        assert snap["a.lat.min"] == 1
+        assert snap["a.lat.max"] == 3
+
+    def test_same_name_same_metric(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_type_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_scoped_prefixes(self):
+        registry = MetricsRegistry()
+        scope = registry.scoped("core3")
+        scope.counter("loads").inc(7)
+        assert registry.snapshot()["core3.loads"] == 7
+
+    def test_set_counters_bulk(self):
+        registry = MetricsRegistry()
+        registry.set_counters({"a": 1, "b": 2}, prefix="rec.opt")
+        snap = registry.snapshot()
+        assert snap["rec.opt.a"] == 1
+        assert snap["rec.opt.b"] == 2
+
+    def test_observe_stats_adopts_accumulators(self):
+        registry = MetricsRegistry()
+        stats = OnlineStats()
+        hist = Histogram(bin_width=10)
+        for value in (5, 15, 25):
+            stats.add(value)
+            hist.add(value)
+        registry.observe_stats("traq0.occupancy", stats, hist)
+        snap = registry.snapshot()
+        assert snap["traq0.occupancy.count"] == 3
+        assert snap["traq0.occupancy.mean"] == pytest.approx(15.0)
+        assert snap["traq0.occupancy.p50"] == 20.0
+
+    def test_empty_distribution_snapshots_zeroes(self):
+        registry = MetricsRegistry()
+        registry.distribution("never")
+        snap = registry.snapshot()
+        assert snap["never.count"] == 0
+        assert snap["never.min"] == 0.0
+        assert snap["never.p99"] == 0.0
+
+
+class TestSnapshot:
+    def test_mapping_protocol(self):
+        snap = MetricsSnapshot({"a": 1, "b": 2})
+        assert snap["a"] == 1
+        assert snap.get("missing", 9) == 9
+        assert "b" in snap
+        assert len(snap) == 2
+        assert snap.to_dict() == {"a": 1, "b": 2}
+
+    def test_to_dict_is_a_copy(self):
+        snap = MetricsSnapshot({"a": 1})
+        out = snap.to_dict()
+        out["a"] = 99
+        assert snap["a"] == 1
+
+    def test_diff_missing_keys_are_zero(self):
+        after = MetricsSnapshot({"a": 5, "new": 2})
+        before = MetricsSnapshot({"a": 3, "gone": 4})
+        diff = after.diff(before)
+        assert diff["a"] == 2
+        assert diff["new"] == 2
+        assert diff["gone"] == -4
+
+    def test_subset(self):
+        snap = MetricsSnapshot({"core0.loads": 1, "core0.stores": 2,
+                                "core1.loads": 3})
+        assert snap.subset("core0") == {"core0.loads": 1, "core0.stores": 2}
+        assert snap.subset("core0.") == {"core0.loads": 1,
+                                         "core0.stores": 2}

@@ -1,0 +1,115 @@
+"""Unit tests for the trace bus: events, ring retention, filtering."""
+
+import pytest
+
+from repro.obs import (
+    CacheMissEvent,
+    Category,
+    ChunkCutEvent,
+    CoherenceEvent,
+    DivergenceEvent,
+    InstrPerformEvent,
+    Severity,
+    TraceEvent,
+    Tracer,
+    TraqEnqueueEvent,
+)
+from repro.obs.events import BUS_TRACK
+
+
+class TestEvents:
+    def test_name_strips_suffix(self):
+        event = InstrPerformEvent(cycle=3, core_id=0, seq=7, opcode="load",
+                                  addr=0x1000)
+        assert event.name == "InstrPerform"
+
+    def test_args_exclude_base_fields(self):
+        event = InstrPerformEvent(cycle=3, core_id=0, seq=7, opcode="load",
+                                  addr=0x1000, out_of_order=True)
+        assert event.args() == {"seq": 7, "opcode": "load", "addr": 0x1000,
+                                "out_of_order": True}
+
+    def test_category_and_severity_defaults(self):
+        assert InstrPerformEvent(cycle=0, core_id=0).category is Category.CORE
+        assert ChunkCutEvent(cycle=0, core_id=0).severity is Severity.INFO
+        assert DivergenceEvent(cycle=0, core_id=0).severity is Severity.ERROR
+
+    def test_tracks(self):
+        assert InstrPerformEvent(cycle=0, core_id=2).track() == "core2"
+        assert TraqEnqueueEvent(cycle=0, core_id=1).track() == "traq1"
+        bus_event = CoherenceEvent(cycle=0, core_id=BUS_TRACK, requester=0,
+                                   kind="GetS", line_addr=4)
+        assert bus_event.track() == "bus"
+
+    def test_events_are_slotted(self):
+        event = CacheMissEvent(cycle=0, core_id=0, line_addr=1)
+        with pytest.raises(AttributeError):
+            event.arbitrary = 1
+
+
+class TestTracer:
+    def test_ring_retention(self):
+        tracer = Tracer(capacity=4)
+        for cycle in range(10):
+            tracer.emit(InstrPerformEvent(cycle=cycle, core_id=0))
+        assert len(tracer) == 4
+        assert [event.cycle for event in tracer] == [6, 7, 8, 9]
+        assert tracer.emitted == 10
+        assert tracer.dropped == 6
+
+    def test_category_filter(self):
+        tracer = Tracer(categories={Category.RECORDER})
+        assert tracer.emit(ChunkCutEvent(cycle=1, core_id=0))
+        assert not tracer.emit(InstrPerformEvent(cycle=1, core_id=0))
+        assert tracer.filtered == 1
+        assert len(tracer) == 1
+
+    def test_severity_floor(self):
+        tracer = Tracer(min_severity=Severity.INFO)
+        assert not tracer.emit(InstrPerformEvent(cycle=1, core_id=0))
+        assert tracer.emit(ChunkCutEvent(cycle=1, core_id=0))
+        assert tracer.emit(DivergenceEvent(cycle=1, core_id=0))
+
+    def test_enabled_for(self):
+        tracer = Tracer(categories={Category.CORE},
+                        min_severity=Severity.INFO)
+        assert not tracer.enabled_for(Category.TRAQ)
+        assert not tracer.enabled_for(Category.CORE, Severity.DEBUG)
+        assert tracer.enabled_for(Category.CORE, Severity.ERROR)
+
+    def test_events_query_filters(self):
+        tracer = Tracer()
+        tracer.emit(InstrPerformEvent(cycle=1, core_id=0))
+        tracer.emit(InstrPerformEvent(cycle=2, core_id=1))
+        tracer.emit(ChunkCutEvent(cycle=3, core_id=0))
+        assert [e.cycle for e in tracer.events(core_id=0)] == [1, 3]
+        assert [e.cycle for e in
+                tracer.events(category=Category.RECORDER)] == [3]
+        assert [e.cycle for e in
+                tracer.events(min_severity=Severity.INFO)] == [3]
+
+    def test_last_returns_newest_oldest_first(self):
+        tracer = Tracer()
+        for cycle in range(6):
+            tracer.emit(InstrPerformEvent(cycle=cycle, core_id=cycle % 2))
+        assert [e.cycle for e in tracer.last(2)] == [4, 5]
+        assert [e.cycle for e in tracer.last(2, core_id=0)] == [2, 4]
+
+    def test_stats_keys(self):
+        tracer = Tracer()
+        tracer.emit(InstrPerformEvent(cycle=0, core_id=0))
+        stats = tracer.stats()
+        assert stats["obs.trace.emitted"] == 1
+        assert stats["obs.trace.retained"] == 1
+        assert stats["obs.trace.by_category.core"] == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.emit(InstrPerformEvent(cycle=0, core_id=0))
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.emitted == 1  # accounting survives the clear

@@ -24,6 +24,8 @@ MODULES = [
     "repro.mem.directory", "repro.mem.memsys",
     "repro.cpu", "repro.cpu.consistency", "repro.cpu.core",
     "repro.cpu.dynops",
+    "repro.obs", "repro.obs.events", "repro.obs.exporters",
+    "repro.obs.forensics", "repro.obs.metrics", "repro.obs.tracer",
     "repro.recorder", "repro.recorder.logfmt", "repro.recorder.mrr",
     "repro.recorder.ordering", "repro.recorder.snoop_table",
     "repro.recorder.traq",
