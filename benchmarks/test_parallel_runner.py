@@ -1,0 +1,74 @@
+"""Benchmarks for the parallel sharded runner and the result cache.
+
+Asserts the two acceptance properties of the sweep infrastructure:
+
+* a warm-cache rerun of a sweep is at least 5x faster than the cold
+  recording pass, and
+* the report tables computed through the parallel path (4+ workers) are
+  byte-identical to the serial path's.
+"""
+
+import json
+import time
+
+from conftest import once
+
+from repro.common.config import ConsistencyModel
+from repro.harness import (
+    ExperimentRunner,
+    fig1_ooo_fractions,
+    fig9_reordered_fractions,
+)
+from repro.harness.parallel_runner import ParallelRunner, ResultCache
+from repro.harness.report import render_all
+from repro.harness.runner import RunKey, default_scale
+
+WORKLOADS = ("fft", "radix", "lu", "ocean", "barnes", "cholesky")
+
+
+def _grid():
+    return [RunKey(name, 4, default_scale(), 1, ConsistencyModel.RC, False)
+            for name in WORKLOADS]
+
+
+def test_warm_cache_rerun_is_5x_faster(benchmark, tmp_path, show):
+    cache_dir = tmp_path / "cache"
+    cold_runner = ParallelRunner(jobs=4, cache=ResultCache(cache_dir))
+    started = time.perf_counter()
+    cold_results = once(benchmark, lambda: cold_runner.run(_grid()))
+    cold = time.perf_counter() - started
+
+    warm_runner = ParallelRunner(jobs=4, cache=ResultCache(cache_dir))
+    started = time.perf_counter()
+    warm_results = warm_runner.run(_grid())
+    warm = time.perf_counter() - started
+
+    show(f"sweep over {len(WORKLOADS)} shards: cold {cold:.2f}s "
+         f"({cold_runner.executed} recorded), warm {warm:.2f}s "
+         f"({warm_runner.executed} recorded, speedup {cold / warm:.1f}x)")
+    assert warm_runner.executed == 0, "warm sweep must be all cache hits"
+    assert warm * 5 <= cold, \
+        f"warm rerun only {cold / warm:.1f}x faster (need >= 5x)"
+    for key in _grid():
+        assert (json.dumps(warm_results[key].to_dict(), sort_keys=True)
+                == json.dumps(cold_results[key].to_dict(), sort_keys=True))
+
+
+def test_parallel_tables_byte_identical_to_serial(benchmark, tmp_path, show):
+    workloads = WORKLOADS[:4]
+    serial = ExperimentRunner(seed=1, workloads=workloads)
+    parallel = ExperimentRunner(seed=1, workloads=workloads, jobs=4,
+                                cache_dir=str(tmp_path / "cache"))
+
+    def tables(runner):
+        return render_all({
+            "fig1": fig1_ooo_fractions(runner, cores=4),
+            "fig9": fig9_reordered_fractions(runner, cores=4),
+        })
+
+    text_parallel = once(benchmark, lambda: tables(parallel))
+    text_serial = tables(serial)
+    show(f"fig1+fig9 over {len(workloads)} workloads: "
+         f"parallel(4) output == serial output: "
+         f"{text_parallel == text_serial}")
+    assert text_parallel == text_serial

@@ -24,6 +24,7 @@ from .errors import (
     WorkloadError,
 )
 from .h3 import H3Hash, make_h3_family
+from .hashing import canonical_json, canonicalize, stable_digest
 from .stats import Histogram, OnlineStats, geometric_mean, ratio
 
 __all__ = [
@@ -49,6 +50,9 @@ __all__ = [
     "WorkloadError",
     "H3Hash",
     "make_h3_family",
+    "canonical_json",
+    "canonicalize",
+    "stable_digest",
     "Histogram",
     "OnlineStats",
     "geometric_mean",

@@ -10,10 +10,24 @@ from .figures import (
     fig13_replay_times,
     fig14_scalability,
     recording_overhead,
+    required_runs,
     table1_parameters,
 )
-from .report import format_table, render_all
-from .runner import VARIANT_ORDER, VARIANTS, ExperimentRunner, default_scale
+from .parallel_runner import (
+    ParallelRunner,
+    ResultCache,
+    SweepError,
+    cache_key,
+)
+from .report import format_table, render_all, render_sweep_summary
+from .runner import (
+    VARIANT_ORDER,
+    VARIANTS,
+    ExperimentRunner,
+    RunKey,
+    default_scale,
+    execute_run,
+)
 
 __all__ = [
     "baseline_log_comparison",
@@ -26,10 +40,18 @@ __all__ = [
     "fig14_scalability",
     "recording_overhead",
     "table1_parameters",
+    "required_runs",
     "format_table",
     "render_all",
+    "render_sweep_summary",
+    "ParallelRunner",
+    "ResultCache",
+    "SweepError",
+    "cache_key",
     "VARIANT_ORDER",
     "VARIANTS",
     "ExperimentRunner",
+    "RunKey",
     "default_scale",
+    "execute_run",
 ]

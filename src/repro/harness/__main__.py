@@ -4,15 +4,28 @@ Usage::
 
     python -m repro.harness [--scale S] [--seed N] [--cores N]
                             [--experiments fig1,fig9,...] [--out FILE]
+                            [--jobs N] [--cache-dir DIR] [--no-cache]
+                            [--resume]
     python -m repro.harness run --workload fft --cores 4 \\
         --trace --trace-out trace.json --metrics-out metrics.json
+    python -m repro.harness run --workload fft,radix,lu --jobs 4 \\
+        --cache-dir .repro_cache
 
 The first form runs the selected experiments (default: all) and prints the
 paper-style tables; ``--out`` additionally writes them to a file.  The
-``run`` subcommand records a single workload with the observability layer
-attached: ``--trace-out`` writes a Chrome trace-event JSON (open it in
-Perfetto / chrome://tracing, one track per core plus bus and TRAQ tracks)
-and ``--metrics-out`` a flat ``{name: value}`` metrics snapshot.
+recordings the experiments need are prefetched as a sharded sweep:
+``--jobs N`` spreads the shards over N worker processes, and every shard
+lands in a persistent result cache (``--cache-dir``, default
+``.repro_cache/``) as it completes, so a warm rerun — or a rerun after an
+interruption (``--resume``) — skips everything already recorded.
+``--no-cache`` disables the cache entirely.
+
+The ``run`` subcommand records one workload (or a comma-separated list,
+sharded over ``--jobs`` workers) with the observability layer attached:
+``--trace-out`` writes a Chrome trace-event JSON (open it in Perfetto /
+chrome://tracing, one track per core plus bus and TRAQ tracks) and
+``--metrics-out`` a flat ``{name: value}`` metrics snapshot (single
+workload only).
 """
 
 from __future__ import annotations
@@ -23,7 +36,7 @@ import sys
 import time
 
 from . import figures
-from .report import render_all
+from .report import render_all, render_sweep_summary
 from .runner import ExperimentRunner
 
 _EXPERIMENTS = {
@@ -67,8 +80,31 @@ def _litmus_matrix() -> dict:
     return out
 
 
+def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
+    """The parallel-runner / result-cache flags shared by both CLI forms."""
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the recording sweep "
+                             "(default 1: serial)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent result cache directory "
+                             "(default .repro_cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the result cache")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume an interrupted sweep from the cached "
+                             "shards (cache reads are on by default; this "
+                             "makes the intent explicit and rejects "
+                             "--no-cache)")
+
+
+def _check_sweep_flags(parser: argparse.ArgumentParser, args) -> None:
+    if args.resume and args.no_cache:
+        parser.error("--resume needs the result cache; "
+                     "drop --no-cache")
+
+
 def _run_command(argv: list[str]) -> int:
-    """``run`` subcommand: one traced/metered recording of one workload."""
+    """``run`` subcommand: traced/metered recordings of named workloads."""
     from repro.common.config import (ConsistencyModel, MachineConfig)
     from repro.obs import Tracer, export_chrome_trace
     from repro.sim import Machine
@@ -76,8 +112,11 @@ def _run_command(argv: list[str]) -> int:
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness run",
-        description="Record one workload with tracing/metrics attached.")
-    parser.add_argument("--workload", choices=WORKLOAD_NAMES, default="fft")
+        description="Record workloads with tracing/metrics attached.")
+    parser.add_argument("--workload", default="fft",
+                        help="workload name, or a comma-separated list "
+                             "sharded across --jobs workers "
+                             f"(choices: {', '.join(WORKLOAD_NAMES)})")
     parser.add_argument("--cores", type=int, default=4)
     parser.add_argument("--scale", type=float, default=0.5)
     parser.add_argument("--seed", type=int, default=1)
@@ -90,17 +129,54 @@ def _run_command(argv: list[str]) -> int:
                              "JSON (implies --trace)")
     parser.add_argument("--metrics-out", default=None,
                         help="write the flat metrics snapshot as JSON")
+    _add_sweep_flags(parser)
     args = parser.parse_args(argv)
+    _check_sweep_flags(parser, args)
 
-    program = build_workload(args.workload, num_threads=args.cores,
-                             scale=args.scale, seed=args.seed)
+    workloads = [name.strip() for name in args.workload.split(",")]
+    unknown = [name for name in workloads if name not in WORKLOAD_NAMES]
+    if unknown:
+        parser.error(f"unknown workloads: {', '.join(unknown)}")
+
+    consistency = ConsistencyModel(args.consistency)
     from dataclasses import replace as _replace
     config = _replace(MachineConfig(num_cores=args.cores, seed=args.seed),
-                      consistency=ConsistencyModel(args.consistency))
+                      consistency=consistency)
+
+    if len(workloads) > 1:
+        if args.trace or args.trace_out or args.metrics_out:
+            parser.error("--trace/--trace-out/--metrics-out need a single "
+                         "--workload")
+        from .parallel_runner import DEFAULT_CACHE_DIR, ParallelRunner, \
+            ResultCache
+        from .runner import RunKey
+        cache = None
+        if not args.no_cache and (args.cache_dir or args.resume):
+            cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+        runner = ParallelRunner(
+            jobs=args.jobs, cache=cache,
+            variants={"default": config.recorder},
+            progress=lambda line: print(line, file=sys.stderr))
+        keys = [RunKey(name, args.cores, args.scale, args.seed, consistency,
+                       False) for name in workloads]
+        results = runner.run(keys)
+        for key in keys:
+            result = results[key]
+            print(f"[{key.workload}] {result.total_instructions} "
+                  f"instructions, {result.cycles} cycles, "
+                  f"{len(result.cores)} cores, "
+                  f"{result.bus_transactions} bus transactions",
+                  file=sys.stderr)
+        print(render_sweep_summary(runner.registry.snapshot()),
+              file=sys.stderr)
+        return 0
+
+    program = build_workload(workloads[0], num_threads=args.cores,
+                             scale=args.scale, seed=args.seed)
     tracer = Tracer() if (args.trace or args.trace_out) else None
     result = Machine(config).run(program, tracer=tracer)
 
-    print(f"[{args.workload}] {result.total_instructions} instructions, "
+    print(f"[{workloads[0]}] {result.total_instructions} instructions, "
           f"{result.cycles} cycles, {len(result.cores)} cores, "
           f"{result.bus_transactions} bus transactions", file=sys.stderr)
     if tracer is not None:
@@ -132,7 +208,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="comma-separated subset of: "
                              + ",".join(_EXPERIMENTS))
     parser.add_argument("--out", default=None, help="also write to this file")
+    _add_sweep_flags(parser)
     args = parser.parse_args(argv)
+    _check_sweep_flags(parser, args)
 
     names = (list(_EXPERIMENTS) if args.experiments == "all"
              else [name.strip() for name in args.experiments.split(",")])
@@ -140,7 +218,21 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         parser.error(f"unknown experiments: {', '.join(unknown)}")
 
-    runner = ExperimentRunner(seed=args.seed, scale=args.scale)
+    runner = ExperimentRunner(
+        seed=args.seed, scale=args.scale, jobs=args.jobs,
+        cache_dir=args.cache_dir, use_cache=not args.no_cache,
+        progress=lambda line: print(line, file=sys.stderr))
+    keys = figures.required_runs(names, runner, cores=args.cores)
+    if keys:
+        started = time.time()
+        executed = runner.prefetch(keys)
+        print(f"[sweep] {len(keys)} shards ready in "
+              f"{time.time() - started:.1f}s ({executed} recorded, "
+              f"{len(keys) - executed} from cache)", file=sys.stderr)
+        snapshot = runner.sweep_metrics()
+        if snapshot is not None:
+            print(render_sweep_summary(snapshot), file=sys.stderr)
+
     results = {}
     for name in names:
         started = time.time()

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from ..common.config import ConsistencyModel, MachineConfig, RecorderMode
 from ..replay import replay_recording
 from ..sim import RunResult
-from .runner import VARIANT_ORDER, ExperimentRunner
+from .runner import VARIANT_ORDER, ExperimentRunner, RunKey
 
 __all__ = [
     "fig1_ooo_fractions",
@@ -28,7 +28,51 @@ __all__ = [
     "baseline_log_comparison",
     "recording_overhead",
     "metrics_snapshot_table",
+    "required_runs",
 ]
+
+#: Experiments whose inputs are the default workload grid at one core count.
+_SINGLE_GRID_EXPERIMENTS = frozenset({
+    "fig1", "fig9", "fig10", "fig11", "fig12", "fig13", "overhead",
+    "metrics",
+})
+
+#: Core counts fig14 sweeps (kept in sync with ``fig14_scalability``).
+_FIG14_CORE_COUNTS = (4, 8, 16)
+
+
+def required_runs(experiments, runner: ExperimentRunner, *,
+                  cores: int = 8) -> list[RunKey]:
+    """Every recorded execution the named experiments will ask the runner
+    for — the sweep grid the parallel prefetcher shards across workers.
+
+    Experiments that need no recordings (``table1``, ``litmus``) map to
+    nothing; unknown names are ignored (the CLI validates them upfront).
+    """
+    keys: list[RunKey] = []
+
+    def need(key: RunKey) -> None:
+        if key not in keys:
+            keys.append(key)
+
+    for name in experiments:
+        if name in _SINGLE_GRID_EXPERIMENTS:
+            for workload in runner.workloads:
+                need(runner.run_key(workload, cores=cores))
+        elif name == "fig14":
+            for count in _FIG14_CORE_COUNTS:
+                for workload in runner.workloads:
+                    need(runner.run_key(workload, cores=count))
+        elif name == "baselines":
+            for workload in runner.workloads:
+                need(runner.run_key(workload, cores=cores))
+                need(runner.run_key(workload, cores=cores,
+                                    consistency=ConsistencyModel.SC,
+                                    with_baselines=True))
+                need(runner.run_key(workload, cores=cores,
+                                    consistency=ConsistencyModel.TSO,
+                                    with_baselines=True))
+    return keys
 
 
 def _average(values) -> float:
@@ -184,7 +228,8 @@ def fig13_replay_times(runner: ExperimentRunner, *, cores: int = 8,
 
 # -------------------------------------------------------------- Figure 14
 
-def fig14_scalability(runner: ExperimentRunner, *, core_counts=(4, 8, 16),
+def fig14_scalability(runner: ExperimentRunner, *,
+                      core_counts=_FIG14_CORE_COUNTS,
                       variants=VARIANT_ORDER) -> dict:
     """Reordered fraction and log rate vs processor count (averages over all
     applications, as the paper plots)."""

@@ -1,0 +1,400 @@
+"""Parallel sharded experiment executor with a persistent result cache.
+
+The paper's evaluation sweeps (workload x cores x consistency-model x
+recorder-variant) grids; each cell — a *shard* — is one full recorded
+execution and is by far the expensive step.  This module provides the
+production path for those sweeps:
+
+* :class:`ResultCache` — a content-addressed on-disk cache (JSON files
+  under ``.repro_cache/``).  Entries are keyed by a SHA-256 digest of the
+  canonicalized :class:`~repro.harness.runner.RunKey`, the recorder
+  variant configs and a code-version salt, computed with
+  :func:`repro.common.hashing.stable_digest` so keys are identical across
+  interpreter runs, ``PYTHONHASHSEED`` values and dict orderings.  Writes
+  are atomic (temp file + ``os.replace``); corrupt or stale entries are
+  quarantined with a warning and recomputed.
+
+* :class:`ParallelRunner` — shards outstanding runs across a
+  ``concurrent.futures.ProcessPoolExecutor``.  Each worker executes
+  :func:`repro.harness.runner.execute_run` (the exact code path the
+  serial runner uses) and returns the result in the JSON wire format of
+  :mod:`repro.sim.serialize`, plus a small counter export that the parent
+  folds into its :class:`~repro.obs.metrics.MetricsRegistry`.  Shards get
+  a per-shard timeout and are retried once on failure; anything still
+  failing raises :class:`SweepError` naming the shard.
+
+Because every completed shard lands in the cache immediately, an
+interrupted sweep is resumable: a rerun skips the cached shards and only
+executes what is missing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+import warnings
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..common.config import RecorderConfig
+from ..common.errors import ReproError
+from ..common.hashing import stable_digest
+from ..obs.metrics import MetricsRegistry
+from ..sim.machine import RunResult
+from ..sim.serialize import SERIALIZATION_VERSION
+from .runner import VARIANTS, RunKey, execute_run
+
+__all__ = ["CACHE_FORMAT", "DEFAULT_CACHE_DIR", "SweepError", "cache_key",
+           "ResultCache", "ShardOutcome", "ParallelRunner"]
+
+#: Bumped when the cache envelope layout changes.
+CACHE_FORMAT = 1
+
+#: Where sweep results live unless a cache dir is given explicitly.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Code-version salt folded into every cache key: results recorded under a
+#: different cache or wire format can never be mistaken for current ones.
+CODE_SALT = f"cache-v{CACHE_FORMAT}:wire-v{SERIALIZATION_VERSION}"
+
+
+class SweepError(ReproError):
+    """A sweep shard failed (after exhausting its retry budget)."""
+
+
+def cache_key(key: RunKey,
+              variants: dict[str, RecorderConfig] | None = None,
+              *, salt: str = CODE_SALT) -> str:
+    """Content address of one shard: digest of run key + variants + salt."""
+    variants = VARIANTS if variants is None else variants
+    return stable_digest({"key": key.to_dict(), "variants": variants,
+                          "salt": salt})
+
+
+class ResultCache:
+    """Content-addressed persistent store of serialized run results."""
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self.writes = 0
+
+    def path_for(self, key: RunKey,
+                 variants: dict[str, RecorderConfig] | None = None) -> Path:
+        return self.root / f"{cache_key(key, variants)}.json"
+
+    def get(self, key: RunKey,
+            variants: dict[str, RecorderConfig] | None = None
+            ) -> RunResult | None:
+        """The cached result for ``key``, or None on miss / corruption.
+
+        A file that cannot be parsed or fails envelope validation is
+        quarantined (renamed to ``*.corrupt``) with a warning, and the
+        shard is recomputed — a half-written or damaged cache never
+        poisons a sweep.
+        """
+        path = self.path_for(key, variants)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            envelope = json.loads(path.read_text())
+            if envelope.get("cache_format") != CACHE_FORMAT:
+                raise ValueError(
+                    f"cache format {envelope.get('cache_format')!r}, "
+                    f"expected {CACHE_FORMAT}")
+            if envelope.get("key") != key.to_dict():
+                raise ValueError("cache entry key does not match request")
+            result = RunResult.from_dict(envelope["result"])
+        except Exception as exc:
+            self.corrupt += 1
+            warnings.warn(
+                f"corrupt result-cache entry {path.name} "
+                f"({type(exc).__name__}: {exc}); recomputing the shard",
+                stacklevel=2)
+            try:
+                path.replace(path.with_suffix(".corrupt"))
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: RunKey, result: RunResult,
+            variants: dict[str, RecorderConfig] | None = None,
+            *, meta: dict | None = None) -> Path:
+        """Atomically persist ``result`` under ``key``'s content address."""
+        path = self.path_for(key, variants)
+        self.root.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "cache_format": CACHE_FORMAT,
+            "salt": CODE_SALT,
+            "key": key.to_dict(),
+            "meta": meta or {},
+            "result": result.to_dict(),
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(envelope))
+        os.replace(tmp, path)
+        self.writes += 1
+        return path
+
+    def counters(self) -> dict[str, int]:
+        """Flat counter export for the metrics registry."""
+        return {"hits": self.hits, "misses": self.misses,
+                "corrupt": self.corrupt, "writes": self.writes}
+
+    def __len__(self) -> int:
+        return len(list(self.root.glob("*.json"))) if self.root.exists() else 0
+
+
+# -------------------------------------------------------- worker protocol
+
+def _execute_shard(payload: dict) -> dict:
+    """Worker entry point: record one shard, return the wire-format dict.
+
+    ``payload`` and the return value are plain JSON-able dicts — the
+    whole worker protocol round-trips through
+    :mod:`repro.sim.serialize`, which is also what lets results come back
+    across the process boundary and land directly in the cache.
+    """
+    started = time.perf_counter()
+    key = RunKey.from_dict(payload["key"])
+    from ..storage import config_from_dict
+    variants = {name: config_from_dict(RecorderConfig, data)
+                for name, data in payload["variants"].items()}
+    result = execute_run(key, variants)
+    wall = time.perf_counter() - started
+    return {
+        "key": payload["key"],
+        "attempt": payload["attempt"],
+        "result": result.to_dict(),
+        "wall_seconds": wall,
+        "counters": {
+            "instructions": result.total_instructions,
+            "mem_instructions": result.total_mem_instructions,
+            "cycles": result.cycles,
+            "bus_transactions": result.bus_transactions,
+        },
+        "worker": {"pid": os.getpid()},
+    }
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """How one shard of a sweep was satisfied."""
+
+    key: RunKey
+    source: str          # "memo" is never seen here: "cache" | "run"
+    attempts: int
+    wall_seconds: float
+
+
+class ParallelRunner:
+    """Process-pool executor for (workload x cores x model) sweep grids.
+
+    Parameters
+    ----------
+    jobs:
+        Worker-pool width; ``1`` runs shards serially in-process (no
+        pool), which is also the fallback the tests exercise.
+    cache:
+        Optional :class:`ResultCache` consulted before executing a shard
+        and populated as shards complete (this is what makes interrupted
+        sweeps resumable).
+    variants:
+        Recorder variant configs attached to every shard (defaults to the
+        harness ``VARIANTS``); part of the cache key.
+    timeout_s:
+        Per-shard wall-clock budget.  A shard that exceeds it counts as a
+        failure (the stuck worker cannot be killed portably, but its
+        result is discarded) and is retried on a fresh worker.
+    retries:
+        How many additional attempts a failed/timed-out shard gets
+        (default 1: "retry once").
+    registry:
+        :class:`~repro.obs.metrics.MetricsRegistry` receiving sweep
+        progress counters (``sweep.*``) and worker counter exports
+        (``sweep.worker.*``); a private one is created if absent.
+    progress:
+        Optional callable (or ``True`` for stderr) fed one human-readable
+        line per completed shard.
+    worker:
+        The picklable shard function (test seam; defaults to the real
+        :func:`_execute_shard`).
+    """
+
+    def __init__(self, *, jobs: int | None = None,
+                 cache: ResultCache | None = None,
+                 variants: dict[str, RecorderConfig] | None = None,
+                 timeout_s: float | None = None, retries: int = 1,
+                 registry: MetricsRegistry | None = None,
+                 progress=None, worker=None):
+        self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
+        self.cache = cache
+        self.variants = VARIANTS if variants is None else dict(variants)
+        self.timeout_s = timeout_s
+        self.retries = max(0, retries)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.worker = worker if worker is not None else _execute_shard
+        if progress is True:
+            progress = lambda line: print(line, file=sys.stderr)  # noqa: E731
+        self.progress = progress
+        self.executed = 0
+        self.outcomes: list[ShardOutcome] = []
+
+    # ------------------------------------------------------------- driving
+
+    def run(self, keys) -> dict[RunKey, RunResult]:
+        """Satisfy every shard in ``keys`` (cache first, then the pool)."""
+        ordered: list[RunKey] = []
+        for key in keys:
+            if key not in ordered:
+                ordered.append(key)
+        sweep = self.registry.scoped("sweep")
+        sweep.counter("shards_total").inc(len(ordered))
+        sweep.gauge("jobs").set(self.jobs)
+        started = time.perf_counter()
+
+        results: dict[RunKey, RunResult] = {}
+        pending: list[RunKey] = []
+        for key in ordered:
+            cached = (self.cache.get(key, self.variants)
+                      if self.cache is not None else None)
+            if cached is not None:
+                results[key] = cached
+                self.outcomes.append(ShardOutcome(key, "cache", 0, 0.0))
+                self._note(f"[sweep] {key.describe()}: cache hit")
+            else:
+                pending.append(key)
+        sweep.counter("cache_hits").inc(len(ordered) - len(pending))
+
+        if pending:
+            if self.jobs == 1:
+                self._run_serial(pending, results)
+            else:
+                self._run_pool(pending, results)
+        if self.cache is not None:
+            self.registry.set_counters(self.cache.counters(),
+                                       prefix="sweep.cache")
+        sweep.counter("executed").value = self.executed
+        sweep.gauge("wall_seconds").set(time.perf_counter() - started)
+        return results
+
+    def _run_serial(self, pending, results) -> None:
+        for key in pending:
+            attempt = 0
+            while True:
+                shard_started = time.perf_counter()
+                try:
+                    payload = self._payload(key, attempt)
+                    self._accept(key, self.worker(payload), results)
+                    break
+                except Exception as exc:
+                    attempt += 1
+                    if attempt > self.retries:
+                        raise SweepError(
+                            f"shard {key.describe()} failed after "
+                            f"{attempt} attempts: {exc}") from exc
+                    self.registry.scoped("sweep").counter("retried").inc()
+                    self._note(f"[sweep] {key.describe()}: attempt "
+                               f"{attempt} failed ({exc}); retrying")
+                finally:
+                    self.registry.scoped("sweep").distribution(
+                        "shard_seconds").observe(
+                            time.perf_counter() - shard_started)
+
+    def _run_pool(self, pending, results) -> None:
+        sweep = self.registry.scoped("sweep")
+        failures: list[str] = []
+        with ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(pending))) as pool:
+            states: dict = {}
+
+            def submit(key: RunKey, attempt: int) -> None:
+                future = pool.submit(self.worker, self._payload(key, attempt))
+                deadline = (None if self.timeout_s is None
+                            else time.monotonic() + self.timeout_s)
+                states[future] = (key, attempt, time.monotonic(), deadline)
+
+            def handle_failure(key: RunKey, attempt: int, reason: str) -> None:
+                if attempt < self.retries:
+                    sweep.counter("retried").inc()
+                    self._note(f"[sweep] {key.describe()}: {reason}; "
+                               f"retrying")
+                    submit(key, attempt + 1)
+                else:
+                    failures.append(f"{key.describe()}: {reason}")
+
+            for key in pending:
+                submit(key, 0)
+            while states:
+                timeout = None
+                if self.timeout_s is not None:
+                    deadlines = [d for (_, _, _, d) in states.values()
+                                 if d is not None]
+                    timeout = max(0.0, min(deadlines) - time.monotonic())
+                done, _ = wait(set(states), timeout=timeout,
+                               return_when=FIRST_COMPLETED)
+                now = time.monotonic()
+                for future in done:
+                    key, attempt, shard_started, _ = states.pop(future)
+                    sweep.distribution("shard_seconds").observe(
+                        now - shard_started)
+                    exc = future.exception()
+                    if exc is None:
+                        self._accept(key, future.result(), results)
+                    else:
+                        handle_failure(key, attempt,
+                                       f"{type(exc).__name__}: {exc}")
+                for future in [f for f in list(states)
+                               if states[f][3] is not None
+                               and states[f][3] <= now]:
+                    key, attempt, shard_started, _ = states.pop(future)
+                    future.cancel()
+                    sweep.counter("timeouts").inc()
+                    sweep.distribution("shard_seconds").observe(
+                        now - shard_started)
+                    handle_failure(
+                        key, attempt,
+                        f"timed out after {self.timeout_s:.1f}s")
+        if failures:
+            raise SweepError("sweep shards failed:\n  " +
+                             "\n  ".join(failures))
+
+    # ------------------------------------------------------------ plumbing
+
+    def _payload(self, key: RunKey, attempt: int) -> dict:
+        from ..storage import config_to_dict
+        return {
+            "protocol_version": SERIALIZATION_VERSION,
+            "key": key.to_dict(),
+            "attempt": attempt,
+            "variants": {name: config_to_dict(config)
+                         for name, config in self.variants.items()},
+        }
+
+    def _accept(self, key: RunKey, reply: dict, results: dict) -> None:
+        result = RunResult.from_dict(reply["result"])
+        results[key] = result
+        self.executed += 1
+        attempts = reply.get("attempt", 0) + 1
+        wall = reply.get("wall_seconds", 0.0)
+        self.outcomes.append(ShardOutcome(key, "run", attempts, wall))
+        self.registry.inc_counters(reply.get("counters", {}),
+                                   prefix="sweep.worker")
+        self.registry.scoped("sweep").counter("shards_run").inc()
+        if self.cache is not None:
+            self.cache.put(key, result, self.variants,
+                           meta={"wall_seconds": wall,
+                                 "worker": reply.get("worker", {})})
+        self._note(f"[sweep] {key.describe()}: recorded in {wall:.1f}s")
+
+    def _note(self, line: str) -> None:
+        if self.progress is not None:
+            self.progress(line)

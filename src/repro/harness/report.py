@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from .runner import VARIANT_ORDER
 
-__all__ = ["format_table", "render_all"]
+__all__ = ["format_table", "render_all", "render_sweep_summary"]
 
 
 def format_table(title: str, headers: list[str], rows: list[list],
@@ -172,6 +172,31 @@ def render_metrics(data: dict) -> str:
         "(from the obs registry)",
         ["workload", "ooo %", "traq mean", "traq p95"]
         + [f"{v} Kbits" for v in variants], rows, floatfmt="{:.2f}")
+
+
+def render_sweep_summary(snapshot) -> str:
+    """One-table summary of a parallel prefetch sweep, from the ``sweep.*``
+    counters a :class:`~repro.harness.parallel_runner.ParallelRunner`
+    exports into its metrics registry."""
+    values = snapshot.to_dict()
+    rows = []
+    for label, name in (
+            ("shards total", "sweep.shards_total"),
+            ("cache hits", "sweep.cache_hits"),
+            ("executed", "sweep.shards_run"),
+            ("retried", "sweep.retried"),
+            ("timeouts", "sweep.timeouts"),
+            ("worker jobs", "sweep.jobs"),
+            ("wall seconds", "sweep.wall_seconds"),
+            ("shard seconds (mean)", "sweep.shard_seconds.mean"),
+            ("shard seconds (max)", "sweep.shard_seconds.max"),
+            ("worker instructions", "sweep.worker.instructions"),
+            ("worker cycles", "sweep.worker.cycles"),
+    ):
+        if name in values:
+            rows.append([label, values[name]])
+    return format_table("Sweep summary (parallel runner)",
+                        ["quantity", "value"], rows, floatfmt="{:.2f}")
 
 
 def render_all(results: dict) -> str:

@@ -96,6 +96,12 @@ class MetricsSnapshot:
         """Flat ``{name: number}`` dict (JSON-safe)."""
         return dict(self.values)
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsSnapshot":
+        """Rebuild a snapshot from :meth:`to_dict` output (worker results
+        arriving over the sweep wire format)."""
+        return cls(dict(data))
+
     def __getitem__(self, name: str):
         return self.values[name]
 
@@ -169,6 +175,13 @@ class MetricsRegistry:
         dotted = prefix + "." if prefix else ""
         for name, value in values.items():
             self.counter(dotted + name).value = value
+
+    def inc_counters(self, values: dict[str, int], *, prefix: str = "") -> None:
+        """Accumulate counter deltas (merging counters exported by sweep
+        worker processes into the parent registry)."""
+        dotted = prefix + "." if prefix else ""
+        for name, value in values.items():
+            self.counter(dotted + name).inc(value)
 
     def observe_stats(self, name: str, stats: OnlineStats,
                       histogram: Histogram | None = None) -> None:

@@ -122,6 +122,18 @@ class RunResult:
         seconds = self.cycles / (self.config.core.clock_ghz * 1e9)
         return bits / 8 / 1e6 / seconds
 
+    def to_dict(self) -> dict:
+        """JSON-able form (see :mod:`repro.sim.serialize`); the wire format
+        sweep workers return results in and the result cache stores."""
+        from .serialize import run_result_to_dict
+        return run_result_to_dict(self)
+
+    @staticmethod
+    def from_dict(data: dict) -> "RunResult":
+        """Rebuild a result serialized with :meth:`to_dict`."""
+        from .serialize import run_result_from_dict
+        return run_result_from_dict(data)
+
 
 class _LoadTraceSink:
     """Optional sink recording every load-like value (verification aid)."""

@@ -48,7 +48,9 @@ from .replay.replayer import ReplayResult, Replayer, _verify_memory
 from .sim.machine import RunResult
 
 __all__ = ["save_program", "load_program", "save_recording",
-           "load_recording", "StoredRecording", "FORMAT_VERSION"]
+           "load_recording", "StoredRecording", "FORMAT_VERSION",
+           "config_to_dict", "config_from_dict",
+           "program_to_dict", "program_from_dict"]
 
 FORMAT_VERSION = 1
 
@@ -97,6 +99,7 @@ def _instruction_from_dict(data: dict) -> Instruction:
 
 
 def program_to_dict(program: Program) -> dict:
+    """JSON-able dict of a program (instruction-by-instruction)."""
     return {
         "name": program.name,
         "metadata": program.metadata,
@@ -112,6 +115,7 @@ def program_to_dict(program: Program) -> dict:
 
 
 def program_from_dict(data: dict) -> Program:
+    """Rebuild (and validate) a program written by :func:`program_to_dict`."""
     threads = [
         ThreadProgram([_instruction_from_dict(entry)
                        for entry in thread["instructions"]],
@@ -174,6 +178,16 @@ def _config_from_dict(cls, data: dict):
             value = _ENUM_FIELDS[field.name](value)
         kwargs[field.name] = value
     return cls(**kwargs)
+
+
+def config_to_dict(config) -> dict:
+    """JSON-able dict of any config dataclass (enums by value)."""
+    return _config_to_dict(config)
+
+
+def config_from_dict(cls, data: dict):
+    """Rebuild a config dataclass written by :func:`config_to_dict`."""
+    return _config_from_dict(cls, data)
 
 
 # ------------------------------------------------------------ recordings

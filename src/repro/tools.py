@@ -1,15 +1,20 @@
-"""Command-line tools: record, replay and inspect recordings.
+"""Command-line tools: record, replay, inspect and sweep recordings.
 
 Usage::
 
     python -m repro.tools record --workload fft --cores 8 --out rec/
     python -m repro.tools replay rec/ --variant opt_4k
     python -m repro.tools inspect rec/
+    python -m repro.tools sweep --workloads fft,radix --cores 4,8 \\
+        --consistency RC,TSO --jobs 4
 
 ``record`` runs a named workload (or a saved ``program.json``) under the
 configured machine and saves the recording directory; ``replay``
 deterministically replays a stored variant, verifying against the stored
-execution; ``inspect`` summarizes the logs without replaying.
+execution; ``inspect`` summarizes the logs without replaying.  ``sweep``
+records a (workload x cores x consistency) grid through the parallel
+sharded runner with the persistent result cache — interrupt it and rerun
+(``--resume``) and it picks up where it left off.
 """
 
 from __future__ import annotations
@@ -145,6 +150,60 @@ def cmd_inspect(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    if args.resume and args.no_cache:
+        print("error: --resume needs the result cache; drop --no-cache",
+              file=sys.stderr)
+        return 2
+    from .harness.parallel_runner import (DEFAULT_CACHE_DIR, ParallelRunner,
+                                          ResultCache)
+    from .harness.report import format_table, render_sweep_summary
+    from .harness.runner import RunKey
+
+    workloads = ([name.strip() for name in args.workloads.split(",")]
+                 if args.workloads != "all" else list(WORKLOAD_NAMES))
+    unknown = [name for name in workloads if name not in WORKLOAD_NAMES]
+    if unknown:
+        print(f"error: unknown workloads: {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+    core_counts = [int(item) for item in args.cores.split(",")]
+    models = [ConsistencyModel(item.strip())
+              for item in args.consistency.split(",")]
+
+    keys = [RunKey(workload, cores, args.scale, args.seed, model,
+                   args.with_baselines)
+            for workload in workloads
+            for cores in core_counts
+            for model in models]
+    cache = (None if args.no_cache
+             else ResultCache(args.cache_dir or DEFAULT_CACHE_DIR))
+    runner = ParallelRunner(
+        jobs=args.jobs, cache=cache, timeout_s=args.timeout,
+        progress=lambda line: print(line, file=sys.stderr))
+    results = runner.run(keys)
+
+    rows = []
+    for key in keys:
+        result = results[key]
+        stats = result.recording_stats("opt_4k")
+        rows.append([key.workload, key.cores, key.consistency.value,
+                     result.cycles, result.total_instructions,
+                     stats.bits_per_kilo_instruction()])
+    print(format_table(
+        "Sweep results",
+        ["workload", "cores", "model", "cycles", "instructions",
+         "opt_4k b/KI"], rows, floatfmt="{:.1f}"))
+    print(render_sweep_summary(runner.registry.snapshot()))
+    if args.metrics_out:
+        import json
+        with open(args.metrics_out, "w") as handle:
+            json.dump(runner.registry.snapshot().to_dict(), handle,
+                      indent=1, sort_keys=True)
+        print(f"  sweep metrics -> {args.metrics_out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.tools",
                                      description=__doc__)
@@ -185,6 +244,34 @@ def main(argv: list[str] | None = None) -> int:
                              "(requires --edges at record time)")
     replay.add_argument("--no-verify", action="store_true")
     replay.set_defaults(func=cmd_replay)
+
+    sweep = sub.add_parser(
+        "sweep", help="record a workload grid in parallel with caching")
+    sweep.add_argument("--workloads", default="all",
+                       help="comma-separated workloads (default: all)")
+    sweep.add_argument("--cores", default="8",
+                       help="comma-separated core counts (default: 8)")
+    sweep.add_argument("--consistency", default="RC",
+                       help="comma-separated models out of "
+                            + ",".join(m.value for m in ConsistencyModel))
+    sweep.add_argument("--with-baselines", action="store_true",
+                       help="attach the SC/TSO baseline recorders")
+    sweep.add_argument("--scale", type=float, default=0.5)
+    sweep.add_argument("--seed", type=int, default=1)
+    sweep.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: CPU count)")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="result cache directory (default .repro_cache)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="do not read or write the result cache")
+    sweep.add_argument("--resume", action="store_true",
+                       help="resume an interrupted sweep from cached shards "
+                            "(on by default; rejects --no-cache)")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       help="per-shard timeout in seconds")
+    sweep.add_argument("--metrics-out", default=None,
+                       help="write the sweep metrics snapshot as JSON")
+    sweep.set_defaults(func=cmd_sweep)
 
     inspect = sub.add_parser("inspect", help="summarize a stored recording")
     inspect.add_argument("recording")

@@ -17,7 +17,7 @@ MODULES = [
     "repro",
     "repro.common", "repro.common.bits", "repro.common.bloom",
     "repro.common.config", "repro.common.errors", "repro.common.h3",
-    "repro.common.stats",
+    "repro.common.hashing", "repro.common.stats",
     "repro.isa", "repro.isa.builder", "repro.isa.instructions",
     "repro.isa.program", "repro.isa.semantics",
     "repro.mem", "repro.mem.bus", "repro.mem.cache", "repro.mem.coherence",
@@ -38,8 +38,9 @@ MODULES = [
     "repro.workloads", "repro.workloads.base", "repro.workloads.irregular",
     "repro.workloads.litmus", "repro.workloads.nbody",
     "repro.workloads.random_programs", "repro.workloads.scientific",
-    "repro.sim", "repro.sim.machine",
-    "repro.harness", "repro.harness.figures", "repro.harness.report",
+    "repro.sim", "repro.sim.machine", "repro.sim.serialize",
+    "repro.harness", "repro.harness.figures",
+    "repro.harness.parallel_runner", "repro.harness.report",
     "repro.harness.runner",
     "repro.storage", "repro.tools",
 ]
