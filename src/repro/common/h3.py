@@ -29,7 +29,7 @@ class H3Hash:
     simulations are reproducible run to run.
     """
 
-    __slots__ = ("key_bits", "out_bits", "_matrix")
+    __slots__ = ("key_bits", "out_bits", "_matrix", "_cache")
 
     def __init__(self, out_bits: int, *, key_bits: int = _DEFAULT_KEY_BITS, seed: int = 0):
         if out_bits <= 0:
@@ -42,20 +42,27 @@ class H3Hash:
         mask = (1 << out_bits) - 1
         # One random out_bits-wide mask per input bit.
         self._matrix = tuple(rng.getrandbits(out_bits) & mask for _ in range(key_bits))
+        # The hash is pure and the key population (line addresses) is small
+        # and heavily repeated, so memoize computed values.
+        self._cache: dict[int, int] = {}
 
     def __call__(self, key: int) -> int:
         """Hash ``key`` (negative keys are rejected; wider keys are truncated)."""
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
         if key < 0:
             raise ValueError(f"H3 keys must be non-negative, got {key}")
-        key &= (1 << self.key_bits) - 1
+        bits = key & ((1 << self.key_bits) - 1)
         acc = 0
         matrix = self._matrix
         i = 0
-        while key:
-            if key & 1:
+        while bits:
+            if bits & 1:
                 acc ^= matrix[i]
-            key >>= 1
+            bits >>= 1
             i += 1
+        self._cache[key] = acc
         return acc
 
     @property

@@ -32,6 +32,37 @@ class OnlineStats:
         if value > self.maximum:
             self.maximum = value
 
+    def add_repeat(self, value: float, count: int) -> None:
+        """Fold ``count`` observations of the same ``value`` in O(1).
+
+        This is the jump-aware path of the TRAQ occupancy sampler: a
+        fast-forwarded simulation observes the same queue depth at every
+        skipped sample point, so the batch folds in with the Chan/Welford
+        *merge* formula (a batch of identical values has mean ``value`` and
+        zero M2) instead of ``count`` sequential updates.  Count, total,
+        min and max are exact; mean and variance are mathematically
+        identical to repeated :meth:`add` calls (floats may differ in the
+        last ulp, which is why every kernel must use this same entry
+        point for catch-up sampling).
+        """
+        if count <= 0:
+            if count < 0:
+                raise ValueError(f"add_repeat count must be >= 0, got {count}")
+            return
+        if count == 1:
+            self.add(value)
+            return
+        combined = self.count + count
+        delta = value - self._mean
+        self._m2 += delta * delta * self.count * count / combined
+        self._mean += delta * count / combined
+        self.count = combined
+        self.total += value * count
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
     @property
     def mean(self) -> float:
         return self._mean if self.count else 0.0
@@ -93,6 +124,19 @@ class Histogram:
         bin_index = int(value) // self.bin_width
         self.counts[bin_index] = self.counts.get(bin_index, 0) + 1
         self.samples += 1
+
+    def add_repeat(self, value: float, count: int) -> None:
+        """Fold ``count`` observations of ``value`` in O(1); bin counts are
+        integers, so this is bit-identical to ``count`` :meth:`add` calls."""
+        if count <= 0:
+            if count < 0:
+                raise ValueError(f"add_repeat count must be >= 0, got {count}")
+            return
+        if value < 0:
+            raise ValueError(f"Histogram values must be non-negative, got {value}")
+        bin_index = int(value) // self.bin_width
+        self.counts[bin_index] = self.counts.get(bin_index, 0) + count
+        self.samples += count
 
     def merge(self, other: "Histogram") -> None:
         """Fold ``other``'s bins into ``self``.

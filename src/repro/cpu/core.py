@@ -61,9 +61,19 @@ class Core:
         # Optional structured trace bus (repro.obs); None keeps every hook
         # down to a single attribute load + identity check.
         self.tracer = None
-        # Set by the machine: schedules a future cycle at which this core may
-        # make progress (used to fast-forward globally idle stretches).
+        # Set by the kernel: schedules a cycle at which this core must be
+        # stepped again (the event-driven kernel skips it in between; the
+        # lockstep kernel only uses the wakes to fast-forward globally idle
+        # stretches).
         self.schedule_wake = lambda cycle: None
+        # Config constants hoisted out of the per-cycle paths.
+        self._issue_width = config.core.issue_width
+        self._rob_entries = config.core.rob_entries
+        self._lsq_entries = config.core.lsq_entries
+        self._wb_entries = config.core.write_buffer_entries
+        self._ldst_units = config.core.ldst_units
+        self._alu_latency = config.core.alu_latency
+        self._fifo_write_buffer = config.consistency is not ConsistencyModel.RC
 
         # Fetch / dispatch state.
         self.pc = 0
@@ -89,6 +99,13 @@ class Core:
         self._unperformed_stores: deque[DynInstr] = deque()
         self._unresolved_stores: deque[DynInstr] = deque()
         self._barriers: deque[DynInstr] = deque()
+        # Same-word dependency index: byte address -> unperformed accesses
+        # with that resolved address.  Entries are added when an address
+        # resolves and removed when the access performs, so buckets stay
+        # bounded by the in-flight window (dependency and disambiguation
+        # queries used to scan the whole unperformed deques per issue
+        # attempt, which dominated profiles).
+        self._same_word: dict[int, list[DynInstr]] = {}
 
         # Issue scheduling.
         self._pending_issue: deque[DynInstr] = deque()
@@ -150,10 +167,9 @@ class Core:
         return dyn.performed  # acquire load or RMW
 
     def has_older_unperformed_store_to(self, dyn: DynInstr) -> bool:
-        for other in self._unperformed_stores:
-            if other.seq >= dyn.seq:
-                break
-            if not other.performed and other.addr == dyn.addr:
+        seq = dyn.seq
+        for other in self._same_word.get(dyn.addr, ()):
+            if other.seq < seq and other.is_store_like:
                 return True
         return False
 
@@ -180,7 +196,7 @@ class Core:
 
     def _retire(self, cycle: int) -> int:
         retired = 0
-        width = self.config.core.issue_width
+        width = self._issue_width
         while retired < width and self.rob:
             dyn = self.rob[0]
             if not self._can_retire(dyn, cycle):
@@ -216,8 +232,7 @@ class Core:
             return self.oldest_unperformed_mem_seq() > dyn.seq
         if opcode is Opcode.STORE:
             self._drain_write_buffer_front()
-            return dyn.addr_ready and len(self.write_buffer) < \
-                self.config.core.write_buffer_entries
+            return dyn.addr_ready and len(self.write_buffer) < self._wb_entries
         # LOAD / RMW
         return dyn.performed and dyn.value_ready_cycle <= cycle
 
@@ -233,21 +248,29 @@ class Core:
     # -------------------------------------------------------------- count
 
     def _count(self, cycle: int) -> int:
-        def notify(entry: TraqEntry) -> None:
-            for sink in self.sinks:
-                sink.on_count(entry, cycle)
-            if self.tracer is not None:
-                dyn = entry.dyn
-                self.tracer.emit(InstrCountEvent(
-                    cycle=cycle, core_id=self.core_id,
-                    seq=-1 if dyn is None else dyn.seq, nmi=entry.nmi,
-                    opcode="filler" if dyn is None else dyn.opcode.value))
-        return self.traq.count_ready(self.retired_seq, notify, cycle=cycle)
+        traq = self.traq
+        if not traq._entries:
+            return 0
+        return traq.count_ready(self.retired_seq, self._notify_count,
+                                cycle=cycle)
+
+    def _notify_count(self, entry: TraqEntry) -> None:
+        """Counting-event fan-out (bound once; ``self.now`` is the counting
+        cycle — :meth:`_count` only runs from inside :meth:`step`)."""
+        cycle = self.now
+        for sink in self.sinks:
+            sink.on_count(entry, cycle)
+        if self.tracer is not None:
+            dyn = entry.dyn
+            self.tracer.emit(InstrCountEvent(
+                cycle=cycle, core_id=self.core_id,
+                seq=-1 if dyn is None else dyn.seq, nmi=entry.nmi,
+                opcode="filler" if dyn is None else dyn.opcode.value))
 
     # -------------------------------------------------------------- issue
 
     def _issue_memory(self, cycle: int) -> int:
-        units = self.config.core.ldst_units
+        units = self._ldst_units
         issued = 0
         issued += self._drain_write_buffer(cycle, units)
         units -= issued
@@ -263,7 +286,7 @@ class Core:
             if dyn.performed or dyn.issued:
                 continue
             if not self.policy.may_issue_store(dyn):
-                if self.config.consistency is not ConsistencyModel.RC:
+                if self._fifo_write_buffer:
                     break  # FIFO drain: nothing younger may pass
                 continue
             op = MemOp(self.core_id, MemOpKind.STORE, dyn.addr,
@@ -351,10 +374,22 @@ class Core:
         if dyn.performed:
             raise SimulationError(f"{dyn!r} performed twice")
         dyn.performed = True
+        bucket = self._same_word[dyn.addr]
+        bucket.remove(dyn)
+        if not bucket:
+            del self._same_word[dyn.addr]
         dyn.perform_cycle = perform_cycle
         dyn.value_ready_cycle = value_ready_cycle
         dyn.mem_value = value
         self.schedule_wake(value_ready_cycle)
+        if perform_cycle > self.now:
+            # Performed from a bus commit while this core was not stepping
+            # (tick runs before the step phase): the event-driven kernel
+            # must step this core at the perform cycle — fences, write
+            # buffer slots and MSHRs free up *at* the commit cycle, before
+            # the value is ready.  Performs from our own step (hits,
+            # forwarding) have perform_cycle == self.now and need no wake.
+            self.schedule_wake(perform_cycle)
         out_of_order = self.oldest_unperformed_mem_seq() < dyn.seq
         if dyn.is_load_like:
             if dyn.opcode is Opcode.RMW:
@@ -381,7 +416,7 @@ class Core:
 
     def _dispatch(self, cycle: int) -> int:
         dispatched = 0
-        width = self.config.core.issue_width
+        width = self._issue_width
         while dispatched < width:
             if self.stalled_branch is not None:
                 branch = self.stalled_branch
@@ -392,7 +427,7 @@ class Core:
                 self.stalled_branch = None
             if self.halted:
                 break
-            if len(self.rob) >= self.config.core.rob_entries:
+            if len(self.rob) >= self._rob_entries:
                 break
             # Emit an NMI filler as soon as a full group of non-memory
             # instructions accumulates (Section 4.1), so a memory access or
@@ -407,7 +442,7 @@ class Core:
                 self.pending_nmi -= self.traq.max_nmi
             instr = self.program[self.pc]
             if instr.is_memory:
-                if self.lsq_occupancy >= self.config.core.lsq_entries:
+                if self.lsq_occupancy >= self._lsq_entries:
                     break
                 if not self.traq.has_space(1):
                     self.dispatch_stall_traq += 1
@@ -563,7 +598,7 @@ class Core:
             instr = dyn.instr
             b = dyn.source_value("b") if instr.src2 is not None else instr.imm
             value = eval_alu(instr.alu_op, dyn.source_value("a"), b)
-            return (dyn, value, dyn.operands_ready_cycle + self.config.core.alu_latency)
+            return (dyn, value, dyn.operands_ready_cycle + self._alu_latency)
         if opcode in (Opcode.BEQZ, Opcode.BNEZ):
             self._resolve_branch(dyn)
             return None
@@ -577,7 +612,7 @@ class Core:
         b = dyn.source_value("b") if instr.src2 is not None else instr.imm
         value = eval_alu(instr.alu_op, dyn.source_value("a"), b)
         self._complete_result(dyn, value,
-                              dyn.operands_ready_cycle + self.config.core.alu_latency)
+                              dyn.operands_ready_cycle + self._alu_latency)
 
     def _resolve_branch(self, dyn: DynInstr) -> None:
         condition = dyn.source_value("cond")
@@ -598,6 +633,7 @@ class Core:
         dyn.addr = address
         dyn.addr_ready = True
         dyn.addr_ready_cycle = dyn.operands_ready_cycle + 1
+        self._same_word.setdefault(address, []).append(dyn)
         self.schedule_wake(dyn.addr_ready_cycle)
         if dyn.opcode is Opcode.STORE:
             # Stores wait for retirement (write buffer); resolving the
@@ -637,18 +673,8 @@ class Core:
         """Nearest older unperformed same-word access (for ordering or
         forwarding).  Older stores all have resolved addresses here."""
         best: DynInstr | None = None
-        for store in reversed(self._unperformed_stores):
-            if store.seq >= dyn.seq or not store.addr_ready:
-                continue
-            if not store.performed and store.addr == dyn.addr:
-                best = store
-                break
-        for load in reversed(self._unperformed_loads):
-            if load.seq >= dyn.seq or load is dyn:
-                continue
-            if best is not None and load.seq < best.seq:
-                break
-            if load.addr_ready and not load.performed and load.addr == dyn.addr:
-                best = load
-                break
+        seq = dyn.seq
+        for other in self._same_word.get(dyn.addr, ()):
+            if other.seq < seq and (best is None or other.seq > best.seq):
+                best = other
         return best

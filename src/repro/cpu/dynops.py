@@ -15,7 +15,7 @@ paper's events: *perform* (the access's coherence-order point) and
 from __future__ import annotations
 
 from ..common.errors import SimulationError
-from ..isa.instructions import Instruction, Opcode
+from ..isa.instructions import Instruction
 
 __all__ = ["DynInstr"]
 
@@ -25,6 +25,10 @@ class DynInstr:
 
     __slots__ = (
         "core_id", "seq", "instr", "pc", "dispatch_cycle",
+        # static predicates, cached off `instr` at construction (hot paths
+        # read them once per event; a property indirection per read shows
+        # up in profiles)
+        "opcode", "is_memory", "is_load_like", "is_store_like",
         # result dataflow
         "pending_sources", "src_values", "operands_ready_cycle",
         "completed", "result", "ready_cycle", "waiters",
@@ -45,6 +49,10 @@ class DynInstr:
         self.instr = instr
         self.pc = pc
         self.dispatch_cycle = dispatch_cycle
+        self.opcode = instr.opcode
+        self.is_memory = instr.is_memory
+        self.is_load_like = instr.is_load_like
+        self.is_store_like = instr.is_store_like
 
         self.pending_sources = 0
         # role -> value; roles: "a", "b", "base", "data", "cond"
@@ -75,22 +83,6 @@ class DynInstr:
         self.retire_cycle = -1
 
     # ------------------------------------------------------------ queries
-
-    @property
-    def opcode(self) -> Opcode:
-        return self.instr.opcode
-
-    @property
-    def is_memory(self) -> bool:
-        return self.instr.is_memory
-
-    @property
-    def is_load_like(self) -> bool:
-        return self.instr.is_load_like
-
-    @property
-    def is_store_like(self) -> bool:
-        return self.instr.is_store_like
 
     def source_value(self, role: str) -> int:
         try:

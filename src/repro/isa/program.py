@@ -61,6 +61,11 @@ class Program:
         return sum(len(thread) for thread in self.threads)
 
     def validate(self) -> "Program":
+        # Validation is O(static instructions) and programs are immutable
+        # once built; workload builders validate at build time and every
+        # Machine.run validates again, so memoize the successful pass.
+        if getattr(self, "_validated", False):
+            return self
         if not self.threads:
             raise WorkloadError(f"program {self.name!r} has no threads")
         for thread in self.threads:
@@ -71,4 +76,5 @@ class Program:
                     f"initial memory address {address:#x} is not word aligned")
             if address < 0:
                 raise WorkloadError(f"negative initial memory address {address:#x}")
+        self._validated = True
         return self

@@ -51,6 +51,7 @@ class SnoopyRingBus:
         self.num_cores = len(caches)
         self._queue: deque[BusTransaction] = deque()
         self._pending_by_line: dict[tuple[int, int], BusTransaction] = {}
+        self._pending_counts = [0] * self.num_cores
         self._listeners: list[CoherenceListener] = []
         # Optional structured trace bus (set via MemorySystem.attach_tracer).
         self.tracer = None
@@ -71,13 +72,14 @@ class SnoopyRingBus:
 
     def pending_count(self, core_id: int) -> int:
         """Number of outstanding transactions for a core (MSHR pressure)."""
-        return sum(1 for (cid, _unused) in self._pending_by_line if cid == core_id)
+        return self._pending_counts[core_id]
 
     def enqueue(self, transaction: BusTransaction) -> None:
         key = (transaction.requester, transaction.line_addr)
         assert key not in self._pending_by_line, "caller must merge via pending_for"
         self._queue.append(transaction)
         self._pending_by_line[key] = transaction
+        self._pending_counts[transaction.requester] += 1
 
     # ------------------------------------------------------------- commit
 
@@ -93,6 +95,7 @@ class SnoopyRingBus:
             return False
         self._queue.popleft()
         del self._pending_by_line[(head.requester, head.line_addr)]
+        self._pending_counts[head.requester] -= 1
         self._commit(head, cycle)
         return True
 

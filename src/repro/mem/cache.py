@@ -20,9 +20,10 @@ from .coherence import MesiState
 __all__ = ["CacheLine", "L1Cache"]
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLine:
-    """One resident tag."""
+    """One resident tag (slotted: one instance per resident line, churned on
+    every fill/eviction of every cache)."""
 
     line_addr: int
     state: MesiState

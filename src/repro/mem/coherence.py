@@ -54,7 +54,7 @@ class TransactionKind(enum.Enum):
         return self in (TransactionKind.GETM, TransactionKind.UPGRADE)
 
 
-@dataclass
+@dataclass(slots=True)
 class BusTransaction:
     """A queued coherence request.
 
@@ -77,7 +77,7 @@ class BusTransaction:
             self.kind = TransactionKind.GETM
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SnoopEvent:
     """A committed transaction as observed by a (non-requesting) processor.
 

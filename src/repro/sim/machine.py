@@ -4,20 +4,20 @@
 :class:`~repro.isa.program.Program` to a shared
 :class:`~repro.mem.memsys.MemorySystem`, attaches any number of passive
 recorder variants (Base/Opt x interval caps can all watch one execution,
-since recording never perturbs it beyond the — shared — TRAQ), and steps a
-global cycle loop.  Idle stretches where no core can make progress are
-fast-forwarded to the next scheduled wake-up (a bus commit or a known
-future completion), which keeps pure-Python simulation tractable.
+since recording never perturbs it beyond the — shared — TRAQ), and hands
+the wired components to a simulation kernel (:mod:`repro.sim.kernel`).
+The default ``event`` kernel advances the clock from wake-up to wake-up,
+stepping only the cores that are due; the ``lockstep`` reference kernel
+steps everything every visited cycle.  Both produce identical results.
 """
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
 
 from ..common.config import (CoherenceProtocol, MachineConfig,
                              RecorderConfig)
-from ..common.errors import ConfigError, SimulationError
+from ..common.errors import ConfigError
 from ..common.stats import Histogram, OnlineStats
 from ..cpu.core import Core
 from ..cpu.dynops import DynInstr
@@ -30,10 +30,9 @@ from ..recorder.logfmt import LogEntry
 from ..recorder.mrr import RecorderStats, RelaxReplayRecorder
 from ..recorder.ordering import DependenceTracker
 from ..recorder.traq import TraqEntry, TrackingQueue
+from .kernel import KERNELS, OccupancySampler
 
 __all__ = ["CoreResult", "RecorderOutput", "RunResult", "Machine"]
-
-_DEADLOCK_WINDOW = 1_000_000
 
 
 @dataclass
@@ -169,8 +168,20 @@ class Machine:
             baseline_factories: dict | None = None,
             check_invariants_every: int | None = None,
             collect_dependence_edges: bool = False,
-            tracer: Tracer | None = None) -> RunResult:
-        """Record one execution of ``program`` and return logs + facts."""
+            tracer: Tracer | None = None,
+            kernel: str = "event") -> RunResult:
+        """Record one execution of ``program`` and return logs + facts.
+
+        ``kernel`` selects the clock-advancement strategy (see
+        :mod:`repro.sim.kernel`); every kernel produces identical results,
+        so the choice is purely a speed/reference trade-off.
+        """
+        try:
+            run_kernel = KERNELS[kernel]
+        except KeyError:
+            raise ConfigError(
+                f"unknown simulation kernel {kernel!r}; "
+                f"expected one of {sorted(KERNELS)}") from None
         program.validate()
         config = self.config
         if program.num_threads != config.num_cores:
@@ -189,16 +200,6 @@ class Machine:
                 core.tracer = tracer
                 traq.tracer = tracer
                 traq.core_id = core_id
-
-        wake_heap: list[int] = []
-
-        def make_wake():
-            def schedule(cycle: int) -> None:
-                heapq.heappush(wake_heap, cycle)
-            return schedule
-
-        for core in cores:
-            core.schedule_wake = make_wake()
 
         directory = config.protocol is CoherenceProtocol.DIRECTORY
         if directory and collect_dependence_edges:
@@ -249,48 +250,11 @@ class Machine:
 
         occupancy_stats = [OnlineStats() for _ in range(config.num_cores)]
         occupancy_hists = [Histogram(bin_width=10) for _ in range(config.num_cores)]
+        sampler = OccupancySampler(traqs, occupancy_stats, occupancy_hists,
+                                   sample_interval, check_invariants_every,
+                                   memsys)
 
-        cycle = 0
-        next_sample = 0
-        last_progress_cycle = 0
-        while True:
-            if all(core.done for core in cores):
-                break
-            if cycle > max_cycles:
-                raise SimulationError(
-                    f"exceeded max_cycles={max_cycles} running {program.name!r}")
-
-            progress = memsys.tick(cycle)
-            for core in cores:
-                progress |= core.step(cycle)
-
-            while next_sample <= cycle:
-                for core_id, traq in enumerate(traqs):
-                    occupancy_stats[core_id].add(len(traq))
-                    occupancy_hists[core_id].add(len(traq))
-                next_sample += sample_interval
-                if (check_invariants_every is not None
-                        and next_sample % check_invariants_every
-                        < sample_interval):
-                    memsys.check_coherence_invariants()
-
-            if progress:
-                last_progress_cycle = cycle
-                cycle += 1
-                continue
-
-            # Nothing happened: fast-forward to the next scheduled event.
-            target = memsys.bus.next_commit_cycle()
-            while wake_heap and wake_heap[0] <= cycle:
-                heapq.heappop(wake_heap)
-            if wake_heap and (target is None or wake_heap[0] < target):
-                target = wake_heap[0]
-            if target is None or target <= cycle:
-                if cycle - last_progress_cycle > _DEADLOCK_WINDOW:
-                    raise SimulationError(self._deadlock_report(program, cores, cycle))
-                cycle += 1
-                continue
-            cycle = target
+        cycle = run_kernel(program, cores, memsys, sampler, max_cycles)
 
         for per_core in recorders.values():
             for recorder in per_core:
@@ -385,15 +349,3 @@ class Machine:
         if tracer is not None:
             registry.set_counters(tracer.stats())
         return registry.snapshot()
-
-    @staticmethod
-    def _deadlock_report(program: Program, cores: list[Core], cycle: int) -> str:
-        lines = [f"no progress for {_DEADLOCK_WINDOW} cycles at cycle {cycle} "
-                 f"in {program.name!r}:"]
-        for core in cores:
-            head = core.rob[0] if core.rob else None
-            lines.append(
-                f"  core {core.core_id}: pc={core.pc} halted={core.halted} "
-                f"rob={len(core.rob)} head={head!r} wb={len(core.write_buffer)} "
-                f"traq={len(core.traq)} retired={core.instructions_retired}")
-        return "\n".join(lines)

@@ -7,6 +7,8 @@ Usage::
     python -m repro.tools inspect rec/
     python -m repro.tools sweep --workloads fft,radix --cores 4,8 \\
         --consistency RC,TSO --jobs 4
+    python -m repro.tools bench --workloads fft --cores 16 \\
+        --out BENCH_kernel.json --min-speedup 1.5
 
 ``record`` runs a named workload (or a saved ``program.json``) under the
 configured machine and saves the recording directory; ``replay``
@@ -14,7 +16,11 @@ deterministically replays a stored variant, verifying against the stored
 execution; ``inspect`` summarizes the logs without replaying.  ``sweep``
 records a (workload x cores x consistency) grid through the parallel
 sharded runner with the persistent result cache — interrupt it and rerun
-(``--resume``) and it picks up where it left off.
+(``--resume``) and it picks up where it left off.  ``bench`` times the
+event-driven and lockstep simulation kernels on the same workloads,
+checks their results are bit-identical, and writes the comparison to a
+JSON report (optionally failing if the event kernel is not fast enough —
+this is the CI perf-smoke gate).
 """
 
 from __future__ import annotations
@@ -33,6 +39,7 @@ from .common.config import (
 )
 from .recorder.logfmt import IntervalFrame
 from .sim import Machine
+from .sim.kernel import KERNELS
 from .storage import load_program, load_recording, save_recording
 from .workloads import WORKLOAD_NAMES, build_workload
 
@@ -64,7 +71,8 @@ def cmd_record(args) -> int:
         from .obs import Tracer
         tracer = Tracer()
     result = machine.run(
-        program, collect_dependence_edges=args.edges, tracer=tracer)
+        program, collect_dependence_edges=args.edges, tracer=tracer,
+        kernel=args.kernel)
     root = save_recording(result, args.out)
     print(f"recorded {result.total_instructions} instructions "
           f"({result.cycles} cycles, {len(result.cores)} cores) -> {root}")
@@ -204,6 +212,90 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    import json
+    import time
+
+    from .sim.serialize import run_result_to_dict
+
+    workloads = [name.strip() for name in args.workloads.split(",")]
+    unknown = [name for name in workloads if name not in WORKLOAD_NAMES]
+    if unknown:
+        print(f"error: unknown workloads: {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+
+    base = MachineConfig(num_cores=args.cores, seed=args.seed)
+    config = replace(
+        base,
+        consistency=ConsistencyModel(args.consistency),
+        l1=replace(base.l1, size_kb=args.l1_kb, assoc=args.l1_assoc,
+                   mshr_entries=args.mshr),
+        memory=replace(base.memory, roundtrip_cycles=args.mem_cycles))
+
+    report = {
+        "config": {
+            "cores": args.cores, "scale": args.scale, "seed": args.seed,
+            "consistency": args.consistency, "l1_kb": args.l1_kb,
+            "l1_assoc": args.l1_assoc, "mshr": args.mshr,
+            "mem_cycles": args.mem_cycles, "repeats": args.repeats,
+        },
+        "workloads": {},
+    }
+    worst_speedup = None
+    for name in workloads:
+        program = build_workload(name, num_threads=args.cores,
+                                 scale=args.scale, seed=args.seed)
+        entry = {"kernels": {}}
+        fingerprints = {}
+        for kernel in sorted(KERNELS):
+            best_wall = None
+            result = None
+            for _ in range(args.repeats):
+                machine = Machine(config)
+                start = time.perf_counter()
+                result = machine.run(program, kernel=kernel)
+                wall = time.perf_counter() - start
+                if best_wall is None or wall < best_wall:
+                    best_wall = wall
+            fingerprints[kernel] = json.dumps(
+                run_result_to_dict(result), sort_keys=True)
+            entry["kernels"][kernel] = {
+                "wall_s": round(best_wall, 4),
+                "sim_cycles_per_s": round(result.cycles / best_wall, 1),
+            }
+            entry["cycles"] = result.cycles
+            entry["instructions"] = result.total_instructions
+        speedup = (entry["kernels"]["lockstep"]["wall_s"]
+                   / entry["kernels"]["event"]["wall_s"])
+        identical = len(set(fingerprints.values())) == 1
+        entry["speedup"] = round(speedup, 3)
+        entry["identical"] = identical
+        report["workloads"][name] = entry
+        worst_speedup = (speedup if worst_speedup is None
+                         else min(worst_speedup, speedup))
+        print(f"{name}: lockstep {entry['kernels']['lockstep']['wall_s']:.2f}s"
+              f" event {entry['kernels']['event']['wall_s']:.2f}s"
+              f" speedup {speedup:.2f}x identical={identical}")
+        if not identical:
+            print(f"error: kernels diverged on {name}", file=sys.stderr)
+            return 1
+
+    if args.min_speedup is not None:
+        report["min_speedup"] = args.min_speedup
+        report["pass"] = worst_speedup >= args.min_speedup
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"  report -> {args.out}")
+    if args.min_speedup is not None and worst_speedup < args.min_speedup:
+        print(f"error: event kernel speedup {worst_speedup:.2f}x below "
+              f"required {args.min_speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.tools",
                                      description=__doc__)
@@ -233,6 +325,9 @@ def main(argv: list[str] | None = None) -> int:
                              "recording (implies --trace)")
     record.add_argument("--metrics-out",
                         help="write the flat metrics snapshot as JSON")
+    record.add_argument("--kernel", default="event", choices=sorted(KERNELS),
+                        help="simulation kernel (both give identical "
+                             "results; lockstep is the slow reference)")
     record.set_defaults(func=cmd_record)
 
     replay = sub.add_parser("replay", help="replay a stored recording")
@@ -272,6 +367,31 @@ def main(argv: list[str] | None = None) -> int:
     sweep.add_argument("--metrics-out", default=None,
                        help="write the sweep metrics snapshot as JSON")
     sweep.set_defaults(func=cmd_sweep)
+
+    bench = sub.add_parser(
+        "bench", help="time the event kernel against the lockstep kernel")
+    bench.add_argument("--workloads", default="fft",
+                       help="comma-separated workloads (default: fft)")
+    bench.add_argument("--cores", type=int, default=16)
+    bench.add_argument("--scale", type=float, default=0.5)
+    bench.add_argument("--seed", type=int, default=7)
+    bench.add_argument("--consistency", default="RC",
+                       choices=[m.value for m in ConsistencyModel])
+    bench.add_argument("--l1-kb", type=int, default=4,
+                       help="L1 size in KiB (small => miss-heavy)")
+    bench.add_argument("--l1-assoc", type=int, default=2)
+    bench.add_argument("--mshr", type=int, default=2,
+                       help="L1 MSHR entries (few => long stalls)")
+    bench.add_argument("--mem-cycles", type=int, default=400,
+                       help="memory roundtrip latency in cycles")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="timing repeats; best wall time is reported")
+    bench.add_argument("--out", default=None,
+                       help="write the JSON report (e.g. BENCH_kernel.json)")
+    bench.add_argument("--min-speedup", type=float, default=None,
+                       help="exit non-zero if the event kernel speedup "
+                            "falls below this factor")
+    bench.set_defaults(func=cmd_bench)
 
     inspect = sub.add_parser("inspect", help="summarize a stored recording")
     inspect.add_argument("recording")

@@ -64,6 +64,48 @@ class TestOnlineStats:
             assert merged.maximum == direct.maximum
 
 
+class TestOnlineStatsAddRepeat:
+    @given(st.lists(st.tuples(finite_floats,
+                              st.integers(min_value=1, max_value=50)),
+                    min_size=1, max_size=30))
+    def test_matches_looped_adds(self, batches):
+        folded = OnlineStats()
+        looped = OnlineStats()
+        for value, count in batches:
+            folded.add_repeat(value, count)
+            for _ in range(count):
+                looped.add(value)
+        assert folded.count == looped.count
+        assert folded.minimum == looped.minimum
+        assert folded.maximum == looped.maximum
+        assert folded.total == pytest.approx(looped.total, rel=1e-9, abs=1e-6)
+        scale = max(1.0, abs(looped.mean))
+        assert folded.mean == pytest.approx(looped.mean, rel=1e-9,
+                                            abs=1e-6 * scale)
+        assert folded.variance == pytest.approx(looped.variance, rel=1e-6,
+                                                abs=1e-3 * scale * scale)
+
+    def test_count_one_is_bit_identical_to_add(self):
+        folded = OnlineStats()
+        direct = OnlineStats()
+        for value in (1.5, 2.25, -3.0, 1e-8):
+            folded.add_repeat(value, 1)
+            direct.add(value)
+        assert folded.mean == direct.mean
+        assert folded.variance == direct.variance
+        assert folded.total == direct.total
+
+    def test_count_zero_is_noop(self):
+        stats = OnlineStats()
+        stats.add_repeat(42.0, 0)
+        assert stats.count == 0
+        assert stats.mean == 0.0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            OnlineStats().add_repeat(1.0, -1)
+
+
 class TestHistogram:
     def test_binning(self):
         hist = Histogram(bin_width=10)
@@ -97,6 +139,28 @@ class TestHistogram:
         assert hist.fractions() == {}
         assert hist.fraction(0) == 0.0
         assert hist.cumulative_fraction(100) == 0.0
+
+    def test_add_repeat_matches_looped_adds(self):
+        folded = Histogram(bin_width=10)
+        looped = Histogram(bin_width=10)
+        for value, count in ((0, 3), (15, 2), (15, 4), (99, 1)):
+            folded.add_repeat(value, count)
+            for _ in range(count):
+                looped.add(value)
+        assert folded.counts == looped.counts
+        assert folded.samples == looped.samples
+
+    def test_add_repeat_count_zero_is_noop(self):
+        hist = Histogram()
+        hist.add_repeat(5, 0)
+        assert hist.samples == 0
+        assert hist.counts == {}
+
+    def test_add_repeat_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Histogram().add_repeat(5, -2)
+        with pytest.raises(ValueError):
+            Histogram().add_repeat(-5, 2)
 
 
 class TestHelpers:
