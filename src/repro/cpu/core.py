@@ -180,6 +180,58 @@ class Core:
         return (self.halt_retired and not self.rob and self.traq.is_empty
                 and self.oldest_unperformed_store_seq() == _INF_SEQ)
 
+    def stall_reason(self, cycle: int) -> str:
+        """Classify why this core made no pipeline progress at ``cycle``.
+
+        Consulted only by the cycle-attribution profiler
+        (:mod:`repro.obs.profiler`) after a no-progress ``step``; it must
+        stay strictly read-only so attaching a profiler cannot perturb
+        the simulated architecture.  TRAQ-full stalls never reach here —
+        the kernel attributes those from the dispatch-stall-counter delta
+        (which also covers the event kernel's skipped-cycle back-fill).
+        """
+        if self.done:
+            return "done"
+        pending_bus = self.memsys.bus.pending_count(self.core_id)
+        if pending_bus:
+            if (pending_bus >= self.config.l1.mshr_entries
+                    and (self._pending_issue
+                         or any(not dyn.issued and not dyn.performed
+                                for dyn in self.write_buffer))):
+                return "mshr_full"
+            return "bus_wait"
+        branch = self.stalled_branch
+        if branch is not None and (not branch.branch_resolved
+                                   or branch.ready_cycle > cycle):
+            return "branch"
+        rob = self.rob
+        if rob:
+            head = rob[0]
+            opcode = head.opcode
+            if head.is_memory:
+                if head.performed:
+                    return ("mem_latency" if head.value_ready_cycle > cycle
+                            else "pipeline")
+                if not head.addr_ready:
+                    return "exec_latency"
+                if (opcode is Opcode.STORE
+                        and len(self.write_buffer) >= self._wb_entries):
+                    return "wb_full"
+                # Address known, no bus traffic outstanding: the access is
+                # held back by the consistency policy, disambiguation or
+                # an unmerged older same-word access.
+                return "ordering"
+            if opcode is Opcode.FENCE:
+                return "fence"
+            if opcode in (Opcode.ALU, Opcode.MOVI, Opcode.BEQZ, Opcode.BNEZ):
+                return "exec_latency"
+            return "pipeline"
+        if self.halted:
+            # HALT retired (or dispatched) with empty ROB: draining the
+            # write buffer / TRAQ tail.
+            return "drain"
+        return "frontend"
+
     # -------------------------------------------------------------- step
 
     def step(self, cycle: int) -> bool:

@@ -18,7 +18,9 @@ recordings the experiments need are prefetched as a sharded sweep:
 lands in a persistent result cache (``--cache-dir``, default
 ``.repro_cache/``) as it completes, so a warm rerun — or a rerun after an
 interruption (``--resume``) — skips everything already recorded.
-``--no-cache`` disables the cache entirely.
+``--no-cache`` disables the cache entirely.  Operational output (sweep
+progress, shard completions, experiment timings) goes through the
+structured ``repro`` logger — tune it with ``--log-level``.
 
 The ``run`` subcommand records one workload (or a comma-separated list,
 sharded over ``--jobs`` workers) with the observability layer attached:
@@ -32,12 +34,18 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 import time
+
+from repro.obs.logging import (add_log_level_argument, get_logger, log_kv,
+                               setup_logging)
 
 from . import figures
 from .report import render_all, render_sweep_summary
 from .runner import ExperimentRunner
+
+_LOG = get_logger("harness.cli")
 
 _EXPERIMENTS = {
     "table1": lambda runner, cores: figures.table1_parameters(),
@@ -130,8 +138,10 @@ def _run_command(argv: list[str]) -> int:
     parser.add_argument("--metrics-out", default=None,
                         help="write the flat metrics snapshot as JSON")
     _add_sweep_flags(parser)
+    add_log_level_argument(parser)
     args = parser.parse_args(argv)
     _check_sweep_flags(parser, args)
+    setup_logging(args.log_level)
 
     workloads = [name.strip() for name in args.workload.split(",")]
     unknown = [name for name in workloads if name not in WORKLOAD_NAMES]
@@ -155,18 +165,17 @@ def _run_command(argv: list[str]) -> int:
             cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
         runner = ParallelRunner(
             jobs=args.jobs, cache=cache,
-            variants={"default": config.recorder},
-            progress=lambda line: print(line, file=sys.stderr))
+            variants={"default": config.recorder})
         keys = [RunKey(name, args.cores, args.scale, args.seed, consistency,
                        False) for name in workloads]
         results = runner.run(keys)
         for key in keys:
             result = results[key]
-            print(f"[{key.workload}] {result.total_instructions} "
-                  f"instructions, {result.cycles} cycles, "
-                  f"{len(result.cores)} cores, "
-                  f"{result.bus_transactions} bus transactions",
-                  file=sys.stderr)
+            log_kv(_LOG, logging.INFO, "run.recorded",
+                   workload=key.workload,
+                   instructions=result.total_instructions,
+                   cycles=result.cycles, cores=len(result.cores),
+                   bus_transactions=result.bus_transactions)
         print(render_sweep_summary(runner.registry.snapshot()),
               file=sys.stderr)
         return 0
@@ -176,12 +185,13 @@ def _run_command(argv: list[str]) -> int:
     tracer = Tracer() if (args.trace or args.trace_out) else None
     result = Machine(config).run(program, tracer=tracer)
 
-    print(f"[{workloads[0]}] {result.total_instructions} instructions, "
-          f"{result.cycles} cycles, {len(result.cores)} cores, "
-          f"{result.bus_transactions} bus transactions", file=sys.stderr)
+    log_kv(_LOG, logging.INFO, "run.recorded", workload=workloads[0],
+           instructions=result.total_instructions, cycles=result.cycles,
+           cores=len(result.cores),
+           bus_transactions=result.bus_transactions)
     if tracer is not None:
-        print(f"  trace: {len(tracer)} events retained "
-              f"({tracer.emitted} emitted)", file=sys.stderr)
+        log_kv(_LOG, logging.INFO, "run.trace", retained=len(tracer),
+               emitted=tracer.emitted)
     if args.trace_out:
         export_chrome_trace(tracer.events(), args.trace_out)
         print(f"  trace -> {args.trace_out}", file=sys.stderr)
@@ -209,8 +219,10 @@ def main(argv: list[str] | None = None) -> int:
                              + ",".join(_EXPERIMENTS))
     parser.add_argument("--out", default=None, help="also write to this file")
     _add_sweep_flags(parser)
+    add_log_level_argument(parser)
     args = parser.parse_args(argv)
     _check_sweep_flags(parser, args)
+    setup_logging(args.log_level)
 
     names = (list(_EXPERIMENTS) if args.experiments == "all"
              else [name.strip() for name in args.experiments.split(",")])
@@ -220,15 +232,14 @@ def main(argv: list[str] | None = None) -> int:
 
     runner = ExperimentRunner(
         seed=args.seed, scale=args.scale, jobs=args.jobs,
-        cache_dir=args.cache_dir, use_cache=not args.no_cache,
-        progress=lambda line: print(line, file=sys.stderr))
+        cache_dir=args.cache_dir, use_cache=not args.no_cache)
     keys = figures.required_runs(names, runner, cores=args.cores)
     if keys:
         started = time.time()
         executed = runner.prefetch(keys)
-        print(f"[sweep] {len(keys)} shards ready in "
-              f"{time.time() - started:.1f}s ({executed} recorded, "
-              f"{len(keys) - executed} from cache)", file=sys.stderr)
+        log_kv(_LOG, logging.INFO, "sweep.ready", shards=len(keys),
+               wall_s=time.time() - started, recorded=executed,
+               cached=len(keys) - executed)
         snapshot = runner.sweep_metrics()
         if snapshot is not None:
             print(render_sweep_summary(snapshot), file=sys.stderr)
@@ -237,8 +248,8 @@ def main(argv: list[str] | None = None) -> int:
     for name in names:
         started = time.time()
         results[name] = _EXPERIMENTS[name](runner, args.cores)
-        print(f"[{name}] computed in {time.time() - started:.1f}s",
-              file=sys.stderr)
+        log_kv(_LOG, logging.INFO, "experiment.computed", experiment=name,
+               wall_s=time.time() - started)
 
     text = render_all(results)
     print(text)

@@ -23,6 +23,16 @@ production path for those sweeps:
   a per-shard timeout and are retried once on failure; anything still
   failing raises :class:`SweepError` naming the shard.
 
+* Cross-process telemetry (:mod:`repro.obs.telemetry`): every shard's
+  full metrics snapshot — and, when
+  :class:`~repro.obs.telemetry.TelemetryConfig` opts in, a bounded trace
+  ring buffer — is ingested by a :class:`TelemetryAggregator` and folded
+  into the sweep registry as a deterministic rollup, so a parallel
+  sweep's merged metrics are identical to a serial sweep's.  Malformed
+  worker telemetry is quarantined, never fatal.  A
+  :class:`~repro.obs.telemetry.SweepProgress` tracker emits per-shard
+  completion lines with ETA plus periodic heartbeats.
+
 Because every completed shard lands in the cache immediately, an
 interrupted sweep is resumable: a rerun skips the cached shards and only
 executes what is missing.
@@ -42,10 +52,15 @@ from pathlib import Path
 from ..common.config import RecorderConfig
 from ..common.errors import ReproError
 from ..common.hashing import stable_digest
-from ..obs.metrics import MetricsRegistry
+from ..obs.logging import get_logger
+from ..obs.metrics import MetricsRegistry, MetricsSnapshot
+from ..obs.telemetry import (TELEMETRY_FORMAT, SweepProgress,
+                             TelemetryAggregator, TelemetryConfig)
 from ..sim.machine import RunResult
 from ..sim.serialize import SERIALIZATION_VERSION
 from .runner import VARIANTS, RunKey, execute_run
+
+_LOG = get_logger("harness.sweep")
 
 __all__ = ["CACHE_FORMAT", "DEFAULT_CACHE_DIR", "SweepError", "cache_key",
            "ResultCache", "ShardOutcome", "ParallelRunner"]
@@ -168,9 +183,29 @@ def _execute_shard(payload: dict) -> dict:
     from ..storage import config_from_dict
     variants = {name: config_from_dict(RecorderConfig, data)
                 for name, data in payload["variants"].items()}
-    result = execute_run(key, variants)
+    telemetry = payload.get("telemetry") or {}
+    tracer = None
+    if telemetry.get("capture_trace"):
+        from ..obs.tracer import Tracer
+        tracer = Tracer(capacity=int(telemetry.get("trace_capacity", 4096)))
+    result = execute_run(key, variants, tracer=tracer)
     wall = time.perf_counter() - started
-    return {
+    telemetry_reply = None
+    if tracer is not None:
+        from ..obs.exporters import event_to_dict
+        # Trace accounting travels in this side channel, never in the
+        # result: the RunResult a traced shard returns (and caches) must
+        # stay byte-identical to an untraced run of the same key.
+        if result.metrics is not None:
+            result.metrics = MetricsSnapshot(
+                {name: value for name, value in result.metrics.values.items()
+                 if not name.startswith("obs.trace.")})
+        telemetry_reply = {
+            "format": TELEMETRY_FORMAT,
+            "trace": [event_to_dict(event) for event in tracer.events()],
+            "trace_stats": tracer.stats(),
+        }
+    reply = {
         "key": payload["key"],
         "attempt": payload["attempt"],
         "result": result.to_dict(),
@@ -183,6 +218,9 @@ def _execute_shard(payload: dict) -> dict:
         },
         "worker": {"pid": os.getpid()},
     }
+    if telemetry_reply is not None:
+        reply["telemetry"] = telemetry_reply
+    return reply
 
 
 @dataclass(frozen=True)
@@ -223,10 +261,17 @@ class ParallelRunner:
         (``sweep.worker.*``); a private one is created if absent.
     progress:
         Optional callable (or ``True`` for stderr) fed one human-readable
-        line per completed shard.
+        line per completed shard; when absent, the lines go to the
+        ``repro.harness.sweep`` structured logger at INFO instead.
     worker:
         The picklable shard function (test seam; defaults to the real
         :func:`_execute_shard`).
+    telemetry:
+        :class:`~repro.obs.telemetry.TelemetryConfig` controlling what
+        workers capture beyond the result (trace ring buffers are
+        opt-in).  Worker metrics snapshots are always folded into
+        ``registry`` through the :attr:`aggregator`, so a parallel
+        sweep's merged metrics match the serial path.
     """
 
     def __init__(self, *, jobs: int | None = None,
@@ -234,7 +279,8 @@ class ParallelRunner:
                  variants: dict[str, RecorderConfig] | None = None,
                  timeout_s: float | None = None, retries: int = 1,
                  registry: MetricsRegistry | None = None,
-                 progress=None, worker=None):
+                 progress=None, worker=None,
+                 telemetry: TelemetryConfig | None = None):
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
         self.cache = cache
         self.variants = VARIANTS if variants is None else dict(variants)
@@ -245,6 +291,9 @@ class ParallelRunner:
         if progress is True:
             progress = lambda line: print(line, file=sys.stderr)  # noqa: E731
         self.progress = progress
+        self.telemetry = telemetry if telemetry is not None else TelemetryConfig()
+        self.aggregator = TelemetryAggregator()
+        self._progress_tracker: SweepProgress | None = None
         self.executed = 0
         self.outcomes: list[ShardOutcome] = []
 
@@ -260,6 +309,9 @@ class ParallelRunner:
         sweep.counter("shards_total").inc(len(ordered))
         sweep.gauge("jobs").set(self.jobs)
         started = time.perf_counter()
+        self._progress_tracker = SweepProgress(
+            len(ordered), jobs=self.jobs, emit=self._note,
+            heartbeat_s=self.telemetry.heartbeat_s)
 
         results: dict[RunKey, RunResult] = {}
         pending: list[RunKey] = []
@@ -269,7 +321,9 @@ class ParallelRunner:
             if cached is not None:
                 results[key] = cached
                 self.outcomes.append(ShardOutcome(key, "cache", 0, 0.0))
-                self._note(f"[sweep] {key.describe()}: cache hit")
+                self.aggregator.ingest(key.label(), metrics=cached.metrics,
+                                       source="cache")
+                self._progress_tracker.shard_done(key.describe(), "cache")
             else:
                 pending.append(key)
         sweep.counter("cache_hits").inc(len(ordered) - len(pending))
@@ -284,6 +338,10 @@ class ParallelRunner:
                                        prefix="sweep.cache")
         sweep.counter("executed").value = self.executed
         sweep.gauge("wall_seconds").set(time.perf_counter() - started)
+        # Fold every shard's telemetry (worker metrics snapshots + any
+        # trace accounting) into the sweep registry; deterministic merge,
+        # so parallel and serial sweeps export identical metrics.
+        self.aggregator.merge_into(self.registry)
         return results
 
     def _run_serial(self, pending, results) -> None:
@@ -334,14 +392,20 @@ class ParallelRunner:
             for key in pending:
                 submit(key, 0)
             while states:
-                timeout = None
+                # Cap the wait at the heartbeat period so long-running
+                # shards still produce liveness lines.
+                timeout = self._progress_tracker.heartbeat_s or None
                 if self.timeout_s is not None:
                     deadlines = [d for (_, _, _, d) in states.values()
                                  if d is not None]
-                    timeout = max(0.0, min(deadlines) - time.monotonic())
+                    budget = max(0.0, min(deadlines) - time.monotonic())
+                    timeout = budget if timeout is None else min(timeout,
+                                                                 budget)
                 done, _ = wait(set(states), timeout=timeout,
                                return_when=FIRST_COMPLETED)
                 now = time.monotonic()
+                if not done:
+                    self._progress_tracker.heartbeat(len(states))
                 for future in done:
                     key, attempt, shard_started, _ = states.pop(future)
                     sweep.distribution("shard_seconds").observe(
@@ -377,6 +441,7 @@ class ParallelRunner:
             "attempt": attempt,
             "variants": {name: config_to_dict(config)
                          for name, config in self.variants.items()},
+            "telemetry": self.telemetry.to_dict(),
         }
 
     def _accept(self, key: RunKey, reply: dict, results: dict) -> None:
@@ -389,12 +454,19 @@ class ParallelRunner:
         self.registry.inc_counters(reply.get("counters", {}),
                                    prefix="sweep.worker")
         self.registry.scoped("sweep").counter("shards_run").inc()
+        # A malformed telemetry payload is quarantined inside the
+        # aggregator, never raised: one corrupt reply must not kill the
+        # sweep (the result itself already validated via from_dict).
+        self.aggregator.ingest(key.label(), metrics=result.metrics,
+                               payload=reply.get("telemetry"), source="run")
         if self.cache is not None:
             self.cache.put(key, result, self.variants,
                            meta={"wall_seconds": wall,
                                  "worker": reply.get("worker", {})})
-        self._note(f"[sweep] {key.describe()}: recorded in {wall:.1f}s")
+        self._progress_tracker.shard_done(key.describe(), "run", wall)
 
     def _note(self, line: str) -> None:
         if self.progress is not None:
             self.progress(line)
+        else:
+            _LOG.info(line)

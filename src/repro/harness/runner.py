@@ -134,16 +134,26 @@ class RunKey:
         return (f"{self.workload} x{self.cores} "
                 f"{self.consistency.value}{suffix}")
 
+    def label(self) -> str:
+        """Deterministic metrics-key-safe shard label (unique per key):
+        used to namespace per-shard telemetry in sweep rollups."""
+        suffix = "+b" if self.with_baselines else ""
+        return (f"{self.workload}_x{self.cores}_{self.consistency.value}"
+                f"_s{self.scale:g}_r{self.seed}{suffix}")
+
 
 def execute_run(key: RunKey,
-                variants: dict[str, RecorderConfig] | None = None) -> RunResult:
+                variants: dict[str, RecorderConfig] | None = None,
+                *, tracer=None) -> RunResult:
     """Record the execution ``key`` describes (the single shard body).
 
     This is the one place a sweep shard is turned into a
     :class:`~repro.sim.machine.RunResult`; both the serial
     :meth:`ExperimentRunner.record` path and the worker processes of
     :class:`~repro.harness.parallel_runner.ParallelRunner` call it, which
-    is what makes the two paths produce identical results.
+    is what makes the two paths produce identical results.  ``tracer``
+    optionally attaches a bounded :class:`~repro.obs.tracer.Tracer`
+    (sweep workers use it for telemetry trace capture).
     """
     variants = VARIANTS if variants is None else variants
     program = build_workload(key.workload, num_threads=key.cores,
@@ -153,7 +163,8 @@ def execute_run(key: RunKey,
     machine = Machine(config, variants)
     baseline_factories = (baseline_factories_for(key.consistency)
                           if key.with_baselines else None)
-    return machine.run(program, baseline_factories=baseline_factories)
+    return machine.run(program, baseline_factories=baseline_factories,
+                       tracer=tracer)
 
 
 class ExperimentRunner:

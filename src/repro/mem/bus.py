@@ -55,6 +55,9 @@ class SnoopyRingBus:
         self._listeners: list[CoherenceListener] = []
         # Optional structured trace bus (set via MemorySystem.attach_tracer).
         self.tracer = None
+        # Optional cycle-attribution profiler (repro.obs.profiler), set by
+        # Machine.run; observes per-commit queueing delay.
+        self.profiler = None
         # Lines resident in the shared L2 (warm after first transaction).
         self._l2_present: set[int] = set()
         # Statistics.
@@ -96,6 +99,12 @@ class SnoopyRingBus:
         self._queue.popleft()
         del self._pending_by_line[(head.requester, head.line_addr)]
         self._pending_counts[head.requester] -= 1
+        if self.profiler is not None:
+            # Queueing delay beyond the fixed arbitration latency: the
+            # bus-contention component of the cycle-attribution profile.
+            self.profiler.note_bus_commit(
+                head.kind.value,
+                cycle - head.enqueue_cycle - _ARBITRATION_DELAY)
         self._commit(head, cycle)
         return True
 

@@ -13,6 +13,20 @@ Three pillars, all zero-cost when disabled:
 * **Divergence forensics** (:mod:`.forensics`): when replay verification
   fails, a :class:`DivergenceReport` names the culprit core, chunk and
   address and quotes the trace bus's recent history.
+
+Sweep-scale additions (see ``docs/internals.md``):
+
+* **Cross-process telemetry** (:mod:`.telemetry`): worker metrics and
+  optional trace ring buffers shipped through the sweep wire format and
+  merged deterministically by a :class:`TelemetryAggregator`, with
+  :class:`SweepProgress` heartbeat/ETA lines.
+* **Cycle-attribution profiler** (:mod:`.profiler`): a
+  :class:`KernelProfiler` attributing simulated cycles (busy vs stall
+  reasons) and host wall time (per-component) for one machine run.
+* **Perf observatory** (:mod:`.perfdb`): append-only JSONL bench history
+  with rolling-baseline regression detection.
+* **Structured logging** (:mod:`.logging`): key=value log lines shared
+  by the harness and tools CLIs.
 """
 
 from .events import (
@@ -38,12 +52,35 @@ from .exporters import (
     export_jsonl,
 )
 from .forensics import DivergenceReport, build_report, raise_divergence
+from .logging import (
+    add_log_level_argument,
+    get_logger,
+    kv_line,
+    log_kv,
+    setup_logging,
+)
 from .metrics import (
     Counter,
     DistributionMetric,
     Gauge,
     MetricsRegistry,
     MetricsSnapshot,
+)
+from .perfdb import (
+    PerfRecord,
+    PerfReport,
+    RegressionCheck,
+    append_records,
+    load_history,
+    records_from_bench_report,
+    regression_report,
+)
+from .profiler import KernelProfiler, profile_to_chrome, render_profile
+from .telemetry import (
+    ShardTelemetry,
+    SweepProgress,
+    TelemetryAggregator,
+    TelemetryConfig,
 )
 from .tracer import Tracer
 
@@ -75,4 +112,23 @@ __all__ = [
     "DivergenceReport",
     "build_report",
     "raise_divergence",
+    "TelemetryConfig",
+    "TelemetryAggregator",
+    "ShardTelemetry",
+    "SweepProgress",
+    "KernelProfiler",
+    "render_profile",
+    "profile_to_chrome",
+    "PerfRecord",
+    "RegressionCheck",
+    "PerfReport",
+    "append_records",
+    "load_history",
+    "records_from_bench_report",
+    "regression_report",
+    "setup_logging",
+    "get_logger",
+    "log_kv",
+    "kv_line",
+    "add_log_level_argument",
 ]

@@ -1,0 +1,281 @@
+"""Cycle-attribution profiler for the simulation kernels.
+
+A :class:`KernelProfiler` attached to :meth:`repro.sim.machine.Machine.run`
+attributes two different clocks of one run:
+
+**Simulated cycles.**  Every (core, cycle) slot between cycle 0 and the
+final cycle is attributed exactly once: *busy* when the core's step made
+pipeline progress that cycle, otherwise to a stall reason.  The kernels
+call :meth:`note_gap`/:meth:`note_busy`/:meth:`note_stall` around each
+core step; skipped stretches (the event kernel does not step frozen
+cores) inherit the reason of the core's last no-progress step — a core
+that reported no progress cannot change state until one of its wake
+conditions fires, so the classification holds across the gap.  TRAQ-full
+stalls are detected by the kernel itself from the dispatch-stall-counter
+delta; every other no-progress step is classified by the read-only
+:meth:`repro.cpu.core.Core.stall_reason`.  The attribution is exact:
+``busy + sum(stalls) == final_cycle`` per core (asserted by
+:meth:`unattributed_cycles`).
+
+**Host wall time.**  The kernels time each component phase
+(``bus.tick``, per-core ``step``, ``sampler.catch_up``) with
+``perf_counter`` and the machine times the whole kernel call; whatever
+the direct timers did not cover is attributed to ``kernel.scheduler``
+(wake-queue and loop bookkeeping), so the host profile always covers
+100% of kernel wall time with the directly-timed share reported as
+``coverage``.
+
+The bus additionally reports per-commit queueing delay beyond the fixed
+arbitration latency (:meth:`note_bus_commit`) — the bus-contention signal.
+
+Profilers are strictly read-only observers: attaching one must leave the
+``RunResult`` byte-identical (the differential tests assert this), and a
+``None`` profiler costs the kernels one identity check per step.
+"""
+
+from __future__ import annotations
+
+__all__ = ["KernelProfiler", "render_profile", "profile_to_chrome"]
+
+#: Display order for the stall-reason table; unknown reasons sort after.
+STALL_REASON_ORDER = (
+    "traq_full", "mshr_full", "bus_wait", "mem_latency", "ordering",
+    "exec_latency", "branch", "fence", "wb_full", "frontend", "drain",
+    "pipeline", "done", "init",
+)
+
+
+class KernelProfiler:
+    """Attributes simulated cycles and host time for one machine run."""
+
+    def __init__(self):
+        self.num_cores = 0
+        self.final_cycle = 0
+        self.visited_cycles = 0
+        self.kernel_wall_s = 0.0
+        # Simulated-cycle attribution (per core).
+        self.busy_cycles: list[int] = []
+        self.stall_cycles: list[dict[str, int]] = []
+        self._last_step_cycle: list[int] = []
+        self._last_reason: list[str] = []
+        # Host-time attribution (seconds).
+        self.host_tick_s = 0.0
+        self.host_core_s: list[float] = []
+        self.host_sampler_s = 0.0
+        # Bus contention.
+        self.bus_commits = 0
+        self.bus_wait_cycles = 0
+        self.bus_wait_by_kind: dict[str, int] = {}
+        self.finished = False
+
+    # ------------------------------------------------------------ lifecycle
+
+    def begin_run(self, num_cores: int) -> None:
+        """Size the per-core accumulators; called by ``Machine.run``."""
+        self.num_cores = num_cores
+        self.busy_cycles = [0] * num_cores
+        self.stall_cycles = [{} for _ in range(num_cores)]
+        self.host_core_s = [0.0] * num_cores
+        self._last_step_cycle = [-1] * num_cores
+        # Before its first step a core has made no progress yet; a leading
+        # gap (impossible today: every core is stepped at cycle 0) would
+        # count as scheduler-induced.
+        self._last_reason = ["init"] * num_cores
+        self.finished = False
+
+    def finish(self, final_cycle: int, kernel_wall_s: float) -> None:
+        """Close the run: back-fill trailing gaps up to ``final_cycle``."""
+        self.final_cycle = final_cycle
+        self.kernel_wall_s = kernel_wall_s
+        for core_id in range(self.num_cores):
+            gap = final_cycle - self._last_step_cycle[core_id] - 1
+            if gap > 0:
+                self._stall(core_id, self._last_reason[core_id], gap)
+        self.finished = True
+
+    # ------------------------------------------------------- kernel hooks
+
+    def note_gap(self, core_id: int, cycle: int) -> None:
+        """Attribute the cycles since the core's last step (it was skipped
+        while frozen) to its last stall reason; call before stepping."""
+        gap = cycle - self._last_step_cycle[core_id] - 1
+        if gap > 0:
+            self._stall(core_id, self._last_reason[core_id], gap)
+
+    def note_busy(self, core_id: int, cycle: int) -> None:
+        """The step at ``cycle`` made progress."""
+        self._last_step_cycle[core_id] = cycle
+        self.busy_cycles[core_id] += 1
+        self._last_reason[core_id] = "init"
+
+    def note_stall(self, core_id: int, cycle: int, reason: str) -> None:
+        """The step at ``cycle`` made no progress, for ``reason``."""
+        self._last_step_cycle[core_id] = cycle
+        self._last_reason[core_id] = reason
+        self._stall(core_id, reason, 1)
+
+    def note_bus_commit(self, kind: str, queue_wait: int) -> None:
+        """One bus commit waited ``queue_wait`` cycles beyond arbitration."""
+        self.bus_commits += 1
+        self.bus_wait_cycles += queue_wait
+        self.bus_wait_by_kind[kind] = (
+            self.bus_wait_by_kind.get(kind, 0) + queue_wait)
+
+    def _stall(self, core_id: int, reason: str, cycles: int) -> None:
+        bucket = self.stall_cycles[core_id]
+        bucket[reason] = bucket.get(reason, 0) + cycles
+
+    # -------------------------------------------------------------- views
+
+    def total_stalls(self) -> dict[str, int]:
+        """Stall cycles by reason, summed over cores."""
+        out: dict[str, int] = {}
+        for bucket in self.stall_cycles:
+            for reason, cycles in bucket.items():
+                out[reason] = out.get(reason, 0) + cycles
+        return out
+
+    def unattributed_cycles(self) -> list[int]:
+        """Per-core ``final_cycle - busy - stalls`` (0 when exact)."""
+        return [self.final_cycle - self.busy_cycles[core_id]
+                - sum(self.stall_cycles[core_id].values())
+                for core_id in range(self.num_cores)]
+
+    def host_components(self) -> dict[str, float]:
+        """Host seconds per component; ``kernel.scheduler`` is the
+        residual, so the values always sum to ``kernel_wall_s``."""
+        timed = (self.host_tick_s + sum(self.host_core_s)
+                 + self.host_sampler_s)
+        return {
+            "bus.tick": self.host_tick_s,
+            "cores.step": sum(self.host_core_s),
+            "sampler.catch_up": self.host_sampler_s,
+            "kernel.scheduler": max(0.0, self.kernel_wall_s - timed),
+        }
+
+    def host_coverage(self) -> float:
+        """Directly-timed fraction of kernel wall time (0..1)."""
+        if not self.kernel_wall_s:
+            return 0.0
+        timed = (self.host_tick_s + sum(self.host_core_s)
+                 + self.host_sampler_s)
+        return min(1.0, timed / self.kernel_wall_s)
+
+    def profile(self) -> dict:
+        """The hierarchical profile as one JSON-able dict."""
+        total_slots = self.final_cycle * self.num_cores
+        stalls = self.total_stalls()
+        return {
+            "schema": 1,
+            "num_cores": self.num_cores,
+            "cycles": self.final_cycle,
+            "visited_cycles": self.visited_cycles,
+            "sim": {
+                "busy_cycles": list(self.busy_cycles),
+                "stall_by_reason": dict(sorted(stalls.items())),
+                "stall_per_core": [dict(sorted(bucket.items()))
+                                   for bucket in self.stall_cycles],
+                "total_busy_cycles": sum(self.busy_cycles),
+                "total_stall_cycles": sum(stalls.values()),
+                "total_core_cycles": total_slots,
+                "unattributed_cycles": self.unattributed_cycles(),
+            },
+            "host": {
+                "kernel_wall_s": self.kernel_wall_s,
+                "components": self.host_components(),
+                "per_core_step_s": list(self.host_core_s),
+                "coverage": self.host_coverage(),
+            },
+            "bus": {
+                "commits": self.bus_commits,
+                "queue_wait_cycles": self.bus_wait_cycles,
+                "queue_wait_by_kind": dict(sorted(
+                    self.bus_wait_by_kind.items())),
+            },
+        }
+
+
+def _reason_sort_key(reason: str) -> tuple[int, str]:
+    try:
+        return (STALL_REASON_ORDER.index(reason), reason)
+    except ValueError:
+        return (len(STALL_REASON_ORDER), reason)
+
+
+def render_profile(profile: dict) -> str:
+    """Human-readable table form of :meth:`KernelProfiler.profile`."""
+    lines: list[str] = []
+    sim = profile["sim"]
+    total = max(1, sim["total_core_cycles"])
+    lines.append(f"cycle attribution "
+                 f"({profile['num_cores']} cores x "
+                 f"{profile['cycles']} cycles = {total} core-cycles)")
+    rows = [("busy", sim["total_busy_cycles"])]
+    rows.extend(sorted(sim["stall_by_reason"].items(),
+                       key=lambda item: _reason_sort_key(item[0])))
+    width = max(len("unattributed"), *(len(name) for name, _ in rows))
+    for name, cycles in rows:
+        lines.append(f"  {name:<{width}}  {cycles:>12}  "
+                     f"{100.0 * cycles / total:6.2f}%")
+    unattributed = sum(sim["unattributed_cycles"])
+    lines.append(f"  {'unattributed':<{width}}  {unattributed:>12}  "
+                 f"{100.0 * unattributed / total:6.2f}%")
+
+    host = profile["host"]
+    wall = max(1e-12, host["kernel_wall_s"])
+    lines.append(f"host time (kernel wall {wall:.3f}s, "
+                 f"direct coverage {100.0 * host['coverage']:.1f}%)")
+    components = host["components"]
+    width = max(len(name) for name in components)
+    for name, seconds in components.items():
+        lines.append(f"  {name:<{width}}  {seconds:>9.3f}s  "
+                     f"{100.0 * seconds / wall:6.2f}%")
+
+    bus = profile["bus"]
+    commits = max(1, bus["commits"])
+    lines.append(f"bus contention ({bus['commits']} commits, "
+                 f"avg queue wait "
+                 f"{bus['queue_wait_cycles'] / commits:.2f} cycles)")
+    for kind, wait in bus["queue_wait_by_kind"].items():
+        lines.append(f"  {kind:<8}  {wait:>10} wait cycles")
+    return "\n".join(lines) + "\n"
+
+
+def profile_to_chrome(profile: dict) -> list[dict]:
+    """Chrome trace-event (Perfetto) rendering of a profile.
+
+    Each core gets a track whose complete events lay the busy slice and
+    the stall slices end to end (proportional bars, not a timeline); host
+    components get one track in microseconds.
+    """
+    records: list[dict] = []
+    pid = 1
+    for core_id in range(profile["num_cores"]):
+        records.append({"ph": "M", "name": "thread_name", "pid": pid,
+                        "tid": core_id,
+                        "args": {"name": f"core{core_id} cycles"}})
+        cursor = 0
+        slices = [("busy", profile["sim"]["busy_cycles"][core_id])]
+        per_core = profile["sim"]["stall_per_core"][core_id]
+        slices.extend(sorted(per_core.items(),
+                             key=lambda item: _reason_sort_key(item[0])))
+        for name, cycles in slices:
+            if cycles <= 0:
+                continue
+            records.append({"ph": "X", "name": name, "pid": pid,
+                            "tid": core_id, "ts": cursor, "dur": cycles,
+                            "cat": "sim"})
+            cursor += cycles
+    host_tid = 1000
+    records.append({"ph": "M", "name": "thread_name", "pid": pid,
+                    "tid": host_tid, "args": {"name": "host (us)"}})
+    cursor = 0
+    for name, seconds in profile["host"]["components"].items():
+        duration = seconds * 1e6
+        if duration <= 0:
+            continue
+        records.append({"ph": "X", "name": name, "pid": pid,
+                        "tid": host_tid, "ts": cursor,
+                        "dur": duration, "cat": "host"})
+        cursor += duration
+    return records

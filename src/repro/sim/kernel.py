@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import heapq
 from functools import partial
+from time import perf_counter
 
 from ..common.errors import SimulationError
 
@@ -191,8 +192,44 @@ class OccupancySampler:
         self.next_sample = next_sample + k * interval
 
 
+def _profiled_step(prof, core, cycle: int) -> tuple[bool, int]:
+    """Step one core under a profiler: back-fill the skipped-cycle gap,
+    time the step, and attribute the cycle (busy, TRAQ-full via the
+    dispatch-stall delta, or :meth:`~repro.cpu.core.Core.stall_reason`).
+    Returns ``(stepped, traq_stall_delta)``."""
+    core_id = core.core_id
+    prof.note_gap(core_id, cycle)
+    stalls_before = core.dispatch_stall_traq
+    started = perf_counter()
+    stepped = core.step(cycle)
+    prof.host_core_s[core_id] += perf_counter() - started
+    delta = core.dispatch_stall_traq - stalls_before
+    if stepped:
+        prof.note_busy(core_id, cycle)
+    elif delta:
+        prof.note_stall(core_id, cycle, "traq_full")
+    else:
+        prof.note_stall(core_id, cycle, core.stall_reason(cycle))
+    return stepped, delta
+
+
+def _profiled_lockstep_cycle(prof, cores, tick, catch_up, cycle: int) -> bool:
+    """One lockstep cycle with host-time and cycle attribution attached."""
+    prof.visited_cycles += 1
+    started = perf_counter()
+    progress = tick(cycle)
+    prof.host_tick_s += perf_counter() - started
+    for core in cores:
+        stepped, _delta = _profiled_step(prof, core, cycle)
+        progress |= stepped
+    started = perf_counter()
+    catch_up(cycle)
+    prof.host_sampler_s += perf_counter() - started
+    return progress
+
+
 def run_lockstep(program, cores, memsys, sampler: OccupancySampler,
-                 max_cycles: int) -> int:
+                 max_cycles: int, profiler=None) -> int:
     """Reference kernel: tick + step every core, every visited cycle."""
     wakes = WakeQueue()
     for core in cores:
@@ -201,6 +238,7 @@ def run_lockstep(program, cores, memsys, sampler: OccupancySampler,
     next_commit = memsys.bus.next_commit_cycle
     steps = [core.step for core in cores]
     catch_up = sampler.catch_up
+    prof = profiler
 
     cycle = 0
     last_progress_cycle = 0
@@ -211,11 +249,14 @@ def run_lockstep(program, cores, memsys, sampler: OccupancySampler,
             raise SimulationError(
                 f"exceeded max_cycles={max_cycles} running {program.name!r}")
 
-        progress = tick(cycle)
-        for step in steps:
-            progress |= step(cycle)
-
-        catch_up(cycle)
+        if prof is None:
+            progress = tick(cycle)
+            for step in steps:
+                progress |= step(cycle)
+            catch_up(cycle)
+        else:
+            progress = _profiled_lockstep_cycle(prof, cores, tick, catch_up,
+                                                cycle)
 
         if progress:
             last_progress_cycle = cycle
@@ -237,7 +278,7 @@ def run_lockstep(program, cores, memsys, sampler: OccupancySampler,
 
 
 def run_event(program, cores, memsys, sampler: OccupancySampler,
-              max_cycles: int) -> int:
+              max_cycles: int, profiler=None) -> int:
     """Event-driven kernel: step only cores that are due.
 
     Processes exactly the cycles lockstep visits (every progress cycle,
@@ -245,6 +286,11 @@ def run_event(program, cores, memsys, sampler: OccupancySampler,
     queue holds the same schedule_wake stream, so jump targets agree), but
     within each cycle steps only the cores that are due: cores that made
     progress last cycle plus cores with a wake at or before this cycle.
+
+    An attached :class:`~repro.obs.profiler.KernelProfiler` observes every
+    step (``profiler=None`` costs one identity check per phase); the
+    skipped-cycle gaps it attributes reuse the same quiescence argument as
+    the TRAQ stall back-fill above.
     """
     num_cores = len(cores)
     wakes = CoreWakeQueue()
@@ -253,6 +299,7 @@ def run_event(program, cores, memsys, sampler: OccupancySampler,
     tick = memsys.tick
     next_commit = memsys.bus.next_commit_cycle
     catch_up = sampler.catch_up
+    prof = profiler
 
     # Stall-statistics parity bookkeeping: ``visited`` counts processed
     # cycles; ``stall_delta[c]`` is the TRAQ-stall increment core ``c``'s
@@ -282,7 +329,12 @@ def run_event(program, cores, memsys, sampler: OccupancySampler,
         if commit_at is not None and commit_at <= cycle:
             # Tick before stepping (lockstep order): commits fire waiter
             # callbacks, which register perform wakes for this very cycle.
-            progress = tick(cycle)
+            if prof is None:
+                progress = tick(cycle)
+            else:
+                started = perf_counter()
+                progress = tick(cycle)
+                prof.host_tick_s += perf_counter() - started
 
         due = wakes.due(cycle)
         if run_next:
@@ -299,20 +351,30 @@ def run_event(program, cores, memsys, sampler: OccupancySampler,
                 if delta:
                     core.dispatch_stall_traq += skipped * delta
                     core.traq.stall_cycles += skipped * delta
-            stalls_before = core.dispatch_stall_traq
-            stepped = core.step(cycle)
+            if prof is None:
+                stalls_before = core.dispatch_stall_traq
+                stepped = core.step(cycle)
+                delta = core.dispatch_stall_traq - stalls_before
+            else:
+                stepped, delta = _profiled_step(prof, core, cycle)
             last_step_visited[core_id] = visited
             if stepped:
                 progress = True
                 stall_delta[core_id] = 0
                 run_next.append(core_id)
             else:
-                stall_delta[core_id] = core.dispatch_stall_traq - stalls_before
+                stall_delta[core_id] = delta
             if not done[core_id] and core.done:
                 done[core_id] = True
                 done_count += 1
 
-        catch_up(cycle)
+        if prof is None:
+            catch_up(cycle)
+        else:
+            prof.visited_cycles += 1
+            started = perf_counter()
+            catch_up(cycle)
+            prof.host_sampler_s += perf_counter() - started
 
         if progress:
             last_progress_cycle = cycle

@@ -169,12 +169,18 @@ class Machine:
             check_invariants_every: int | None = None,
             collect_dependence_edges: bool = False,
             tracer: Tracer | None = None,
-            kernel: str = "event") -> RunResult:
+            kernel: str = "event",
+            profiler=None) -> RunResult:
         """Record one execution of ``program`` and return logs + facts.
 
         ``kernel`` selects the clock-advancement strategy (see
         :mod:`repro.sim.kernel`); every kernel produces identical results,
         so the choice is purely a speed/reference trade-off.
+
+        ``profiler`` attaches a :class:`~repro.obs.profiler.KernelProfiler`
+        that attributes simulated cycles and host wall time; it is a pure
+        observer — the returned result is byte-identical with or without
+        one.
         """
         try:
             run_kernel = KERNELS[kernel]
@@ -254,7 +260,16 @@ class Machine:
                                    sample_interval, check_invariants_every,
                                    memsys)
 
-        cycle = run_kernel(program, cores, memsys, sampler, max_cycles)
+        if profiler is None:
+            cycle = run_kernel(program, cores, memsys, sampler, max_cycles)
+        else:
+            from time import perf_counter
+            profiler.begin_run(config.num_cores)
+            memsys.bus.profiler = profiler
+            started = perf_counter()
+            cycle = run_kernel(program, cores, memsys, sampler, max_cycles,
+                               profiler)
+            profiler.finish(cycle, perf_counter() - started)
 
         for per_core in recorders.values():
             for recorder in per_core:

@@ -9,6 +9,8 @@ Usage::
         --consistency RC,TSO --jobs 4
     python -m repro.tools bench --workloads fft --cores 16 \\
         --out BENCH_kernel.json --min-speedup 1.5
+    python -m repro.tools profile --workload fft --cores 16
+    python -m repro.tools perf-report --history BENCH_history.jsonl
 
 ``record`` runs a named workload (or a saved ``program.json``) under the
 configured machine and saves the recording directory; ``replay``
@@ -18,9 +20,13 @@ records a (workload x cores x consistency) grid through the parallel
 sharded runner with the persistent result cache — interrupt it and rerun
 (``--resume``) and it picks up where it left off.  ``bench`` times the
 event-driven and lockstep simulation kernels on the same workloads,
-checks their results are bit-identical, and writes the comparison to a
-JSON report (optionally failing if the event kernel is not fast enough —
-this is the CI perf-smoke gate).
+checks their results are bit-identical, writes the comparison to a JSON
+report and appends one record per workload to the append-only
+``BENCH_history.jsonl`` perf observatory.  ``profile`` attributes every
+simulated core-cycle of one run to busy/stall-reason buckets and the
+host wall time to kernel components (:mod:`repro.obs.profiler`).
+``perf-report`` compares the newest bench-history records against a
+rolling baseline and fails on regression — the CI perf gate.
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ from .common.config import (
     RecorderConfig,
     RecorderMode,
 )
+from .obs.logging import add_log_level_argument, setup_logging
 from .recorder.logfmt import IntervalFrame
 from .sim import Machine
 from .sim.kernel import KERNELS
@@ -186,9 +193,15 @@ def cmd_sweep(args) -> int:
             for model in models]
     cache = (None if args.no_cache
              else ResultCache(args.cache_dir or DEFAULT_CACHE_DIR))
+    from .obs.telemetry import TelemetryConfig
+    telemetry = TelemetryConfig(
+        capture_trace=args.capture_trace or bool(args.trace_out),
+        trace_capacity=args.trace_capacity)
+    # Progress lines go through the structured repro.harness.sweep logger
+    # (configured by --log-level in main), not ad-hoc stderr prints.
     runner = ParallelRunner(
         jobs=args.jobs, cache=cache, timeout_s=args.timeout,
-        progress=lambda line: print(line, file=sys.stderr))
+        telemetry=telemetry)
     results = runner.run(keys)
 
     rows = []
@@ -203,12 +216,23 @@ def cmd_sweep(args) -> int:
         ["workload", "cores", "model", "cycles", "instructions",
          "opt_4k b/KI"], rows, floatfmt="{:.1f}"))
     print(render_sweep_summary(runner.registry.snapshot()))
+    if runner.aggregator.quarantined:
+        for label, reason in runner.aggregator.quarantined:
+            print(f"warning: telemetry quarantined for {label}: {reason}",
+                  file=sys.stderr)
     if args.metrics_out:
         import json
         with open(args.metrics_out, "w") as handle:
             json.dump(runner.registry.snapshot().to_dict(), handle,
                       indent=1, sort_keys=True)
         print(f"  sweep metrics -> {args.metrics_out}")
+    if args.trace_out:
+        import json
+        events = runner.aggregator.trace_events()
+        with open(args.trace_out, "w") as handle:
+            for event in events:
+                handle.write(json.dumps(event, sort_keys=True) + "\n")
+        print(f"  merged trace ({len(events)} events) -> {args.trace_out}")
     return 0
 
 
@@ -289,6 +313,13 @@ def cmd_bench(args) -> int:
             json.dump(report, handle, indent=1, sort_keys=True)
             handle.write("\n")
         print(f"  report -> {args.out}")
+    if not args.no_history:
+        from .obs.perfdb import (append_records, git_revision,
+                                 records_from_bench_report)
+        records = records_from_bench_report(report, timestamp=time.time(),
+                                            git_rev=git_revision())
+        append_records(args.history, records)
+        print(f"  history +{len(records)} records -> {args.history}")
     if args.min_speedup is not None and worst_speedup < args.min_speedup:
         print(f"error: event kernel speedup {worst_speedup:.2f}x below "
               f"required {args.min_speedup:.2f}x", file=sys.stderr)
@@ -296,9 +327,64 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    import json
+
+    from .obs.profiler import KernelProfiler, profile_to_chrome
+    from .obs.profiler import render_profile as render_kernel_profile
+
+    program = build_workload(args.workload, num_threads=args.cores,
+                             scale=args.scale, seed=args.seed)
+    config = replace(MachineConfig(num_cores=args.cores, seed=args.seed),
+                     consistency=ConsistencyModel(args.consistency))
+    profiler = KernelProfiler()
+    result = Machine(config).run(program, kernel=args.kernel,
+                                 profiler=profiler)
+    profile = profiler.profile()
+    print(f"{args.workload}: {result.cycles} cycles, "
+          f"{result.total_instructions} instructions, "
+          f"{args.cores} cores ({args.kernel} kernel)")
+    print(render_kernel_profile(profile), end="")
+    unattributed = sum(profile["sim"]["unattributed_cycles"])
+    if unattributed:
+        print(f"error: {unattributed} unattributed core-cycles "
+              f"(attribution must be exact)", file=sys.stderr)
+        return 1
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(profile, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"  profile -> {args.out}")
+    if args.chrome_out:
+        with open(args.chrome_out, "w") as handle:
+            json.dump(profile_to_chrome(profile), handle)
+        print(f"  chrome trace -> {args.chrome_out}")
+    return 0
+
+
+def cmd_perf_report(args) -> int:
+    from .obs.perfdb import (DEFAULT_TOLERANCE, DEFAULT_WINDOW, load_history,
+                             regression_report)
+
+    records, skipped = load_history(args.history)
+    if not records:
+        print(f"perf report: no usable history in {args.history} "
+              f"({skipped} corrupt lines skipped)")
+        return 0
+    tolerance = (DEFAULT_TOLERANCE if args.tolerance is None
+                 else args.tolerance)
+    window = DEFAULT_WINDOW if args.window is None else args.window
+    report = regression_report(records, tolerance=tolerance, window=window,
+                               floor_speedup=args.floor_speedup,
+                               skipped_lines=skipped)
+    print(report.render(), end="")
+    return 0 if report.passed else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.tools",
                                      description=__doc__)
+    add_log_level_argument(parser)
     sub = parser.add_subparsers(dest="command", required=True)
 
     record = sub.add_parser("record", help="record a workload execution")
@@ -366,6 +452,15 @@ def main(argv: list[str] | None = None) -> int:
                        help="per-shard timeout in seconds")
     sweep.add_argument("--metrics-out", default=None,
                        help="write the sweep metrics snapshot as JSON")
+    sweep.add_argument("--capture-trace", action="store_true",
+                       help="workers keep a bounded trace ring buffer and "
+                            "ship it back with their results")
+    sweep.add_argument("--trace-capacity", type=int, default=4096,
+                       help="per-worker trace ring capacity "
+                            "(with --capture-trace)")
+    sweep.add_argument("--trace-out", default=None,
+                       help="write the merged worker traces as JSONL "
+                            "(implies --capture-trace)")
     sweep.set_defaults(func=cmd_sweep)
 
     bench = sub.add_parser(
@@ -391,7 +486,43 @@ def main(argv: list[str] | None = None) -> int:
     bench.add_argument("--min-speedup", type=float, default=None,
                        help="exit non-zero if the event kernel speedup "
                             "falls below this factor")
+    bench.add_argument("--history", default="BENCH_history.jsonl",
+                       help="append-only JSONL perf history "
+                            "(default: BENCH_history.jsonl)")
+    bench.add_argument("--no-history", action="store_true",
+                       help="do not append this run to the perf history")
     bench.set_defaults(func=cmd_bench)
+
+    profile = sub.add_parser(
+        "profile", help="attribute simulated cycles and host time of a run")
+    profile.add_argument("--workload", choices=WORKLOAD_NAMES, default="fft")
+    profile.add_argument("--cores", type=int, default=16)
+    profile.add_argument("--scale", type=float, default=0.5)
+    profile.add_argument("--seed", type=int, default=1)
+    profile.add_argument("--consistency", default="RC",
+                         choices=[m.value for m in ConsistencyModel])
+    profile.add_argument("--kernel", default="event",
+                         choices=sorted(KERNELS))
+    profile.add_argument("--out", default=None,
+                         help="write the hierarchical profile as JSON")
+    profile.add_argument("--chrome-out", default=None,
+                         help="write a Chrome trace-event rendering")
+    profile.set_defaults(func=cmd_profile)
+
+    perf_report = sub.add_parser(
+        "perf-report",
+        help="regression-check the bench history against a rolling baseline")
+    perf_report.add_argument("--history", default="BENCH_history.jsonl")
+    perf_report.add_argument("--tolerance", type=float, default=None,
+                             help="relative drop tolerated vs the rolling "
+                                  "baseline (default 0.25)")
+    perf_report.add_argument("--window", type=int, default=None,
+                             help="rolling-baseline depth in records "
+                                  "(default 5)")
+    perf_report.add_argument("--floor-speedup", type=float, default=None,
+                             help="absolute event-kernel speedup floor "
+                                  "enforced even without history")
+    perf_report.set_defaults(func=cmd_perf_report)
 
     inspect = sub.add_parser("inspect", help="summarize a stored recording")
     inspect.add_argument("recording")
@@ -401,6 +532,7 @@ def main(argv: list[str] | None = None) -> int:
     inspect.set_defaults(func=cmd_inspect)
 
     args = parser.parse_args(argv)
+    setup_logging(args.log_level)
     return args.func(args)
 
 

@@ -20,6 +20,7 @@ from repro.harness import ExperimentRunner, fig9_reordered_fractions
 from repro.harness.parallel_runner import ParallelRunner
 from repro.harness.report import render_all
 from repro.harness.runner import RunKey, execute_run
+from repro.obs.telemetry import TelemetryConfig
 from repro.replay import replay_recording
 from repro.sim import RunResult
 from repro.workloads.litmus import LITMUS_TESTS, run_litmus
@@ -99,6 +100,48 @@ class TestSerialVsParallel:
     def test_parallel_results_replay_bit_exactly(self, parallel):
         for key in self.KEYS:
             assert replay_recording(parallel[key], "opt_4k").verified
+
+
+class TestTelemetryIsInvisible:
+    """Turning worker telemetry on must not perturb results or rollups."""
+
+    KEYS = [RunKey(workload, 2, 0.1, 1, ConsistencyModel.RC, False)
+            for workload in ("fft", "radix")]
+
+    @pytest.fixture(scope="class")
+    def traced(self):
+        runner = ParallelRunner(jobs=2,
+                                telemetry=TelemetryConfig(capture_trace=True))
+        return runner, runner.run(self.KEYS)
+
+    def test_traced_results_byte_identical_to_serial(self, traced):
+        _, results = traced
+        for key in self.KEYS:
+            serial = execute_run(key)
+            assert (json.dumps(results[key].to_dict(), sort_keys=True)
+                    == json.dumps(serial.to_dict(), sort_keys=True)), \
+                key.describe()
+
+    def test_merged_metrics_match_untraced_sweep(self, traced):
+        runner, _ = traced
+        plain = ParallelRunner(jobs=1)
+        plain.run(self.KEYS)
+        traced_rollup = runner.aggregator.rollup()
+        plain_rollup = plain.aggregator.rollup()
+        # Trace accounting lives only in the telemetry side channel, so
+        # the metric rollups are identical with tracing on or off — and
+        # identical between the pool and the serial (jobs=1) path.
+        assert traced_rollup == plain_rollup
+        assert not any(name.startswith("obs.trace.")
+                       for name in traced_rollup)
+
+    def test_trace_events_were_shipped(self, traced):
+        runner, _ = traced
+        assert len(runner.aggregator) == len(self.KEYS)
+        assert runner.aggregator.quarantined == []
+        events = runner.aggregator.trace_events()
+        assert events
+        assert all("name" in event and "cycle" in event for event in events)
 
 
 def test_report_tables_byte_identical_across_paths(tmp_path):

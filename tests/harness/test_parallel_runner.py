@@ -65,6 +65,18 @@ def _always_slow_worker(payload):
     return _execute_shard(payload)
 
 
+def _corrupt_telemetry_worker(payload):
+    reply = _execute_shard(payload)
+    reply["telemetry"] = {"format": 999, "trace": "not-a-list"}
+    return reply
+
+
+def _garbage_telemetry_worker(payload):
+    reply = _execute_shard(payload)
+    reply["telemetry"] = "torn payload"
+    return reply
+
+
 # ---------------------------------------------------------------- cache key
 
 class TestCacheKey:
@@ -279,6 +291,112 @@ class TestParallelRunner:
         assert any("cache hit" in line for line in lines)
 
 
+# ------------------------------------------------------------ sweep telemetry
+
+class TestSweepTelemetry:
+    KEYS = [tiny_key("fft"), tiny_key("radix")]
+
+    def test_worker_metrics_fold_into_sweep_registry(self):
+        """Satellite fix: ``--metrics-out`` from a parallel sweep carries
+        every worker's metrics, merged deterministically."""
+        runner = ParallelRunner(jobs=2, variants=TINY_VARIANTS)
+        results = runner.run(self.KEYS)
+        snapshot = runner.registry.snapshot()
+        assert snapshot["sweep.telemetry.shards"] == len(self.KEYS)
+        assert snapshot["sweep.telemetry.quarantined"] == 0
+        # The rollup sums per-shard machine metrics exactly.
+        expected_cycles = sum(results[key].cycles for key in self.KEYS)
+        assert snapshot["sweep.rollup.machine.cycles"] == expected_cycles
+        for key in self.KEYS:
+            label = key.label()
+            assert (snapshot[f"sweep.shard.{label}.cycles"]
+                    == results[key].cycles)
+
+    def test_parallel_rollup_matches_serial_rollup(self):
+        pool = ParallelRunner(jobs=2, variants=TINY_VARIANTS)
+        pool.run(self.KEYS)
+        serial = ParallelRunner(jobs=1, variants=TINY_VARIANTS)
+        serial.run(list(reversed(self.KEYS)))  # completion order differs
+        assert pool.aggregator.rollup() == serial.aggregator.rollup()
+
+    def test_cached_shards_contribute_metrics(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        warm = ParallelRunner(jobs=1, cache=cache, variants=TINY_VARIANTS)
+        warm.run(self.KEYS)
+        rerun = ParallelRunner(jobs=1, cache=ResultCache(cache.root),
+                               variants=TINY_VARIANTS)
+        rerun.run(self.KEYS)
+        assert rerun.executed == 0
+        # All metrics came from cached results, none from workers.
+        assert rerun.aggregator.rollup() == warm.aggregator.rollup()
+        assert {shard.source
+                for shard in (rerun.aggregator.shard(label)
+                              for label in rerun.aggregator.labels())} \
+            == {"cache"}
+
+    def test_corrupt_worker_telemetry_is_quarantined_not_fatal(self):
+        key = tiny_key()
+        runner = ParallelRunner(jobs=1, variants=TINY_VARIANTS,
+                                worker=_corrupt_telemetry_worker)
+        results = runner.run([key])
+        # The sweep still completes with a valid result...
+        assert results[key].cycles > 0
+        # ...and the bad payload is quarantined with a reason.
+        assert runner.aggregator.quarantined
+        label, reason = runner.aggregator.quarantined[0]
+        assert label == key.label()
+        assert "format" in reason
+        snapshot = runner.registry.snapshot()
+        assert snapshot["sweep.telemetry.quarantined"] == 1
+        # The shard's metrics (from the result itself) still merged.
+        assert snapshot["sweep.rollup.machine.cycles"] == results[key].cycles
+
+    def test_non_dict_telemetry_payload_is_quarantined(self):
+        key = tiny_key()
+        runner = ParallelRunner(jobs=1, variants=TINY_VARIANTS,
+                                worker=_garbage_telemetry_worker)
+        results = runner.run([key])
+        assert results[key].cycles > 0
+        assert runner.aggregator.quarantined
+        assert "not dict" in runner.aggregator.quarantined[0][1]
+
+    def test_traced_worker_result_matches_untraced_cache_entry(self,
+                                                               tmp_path):
+        """Trace capture must not poison the cache: a traced shard's
+        cached entry is byte-identical to an untraced shard's."""
+        from repro.obs.telemetry import TelemetryConfig
+        key = tiny_key()
+        plain_cache = ResultCache(tmp_path / "plain")
+        ParallelRunner(jobs=1, cache=plain_cache,
+                       variants=TINY_VARIANTS).run([key])
+        traced_cache = ResultCache(tmp_path / "traced")
+        traced = ParallelRunner(jobs=1, cache=traced_cache,
+                                variants=TINY_VARIANTS,
+                                telemetry=TelemetryConfig(capture_trace=True))
+        traced.run([key])
+        plain_entry = json.loads(
+            plain_cache.path_for(key, TINY_VARIANTS).read_text())
+        traced_entry = json.loads(
+            traced_cache.path_for(key, TINY_VARIANTS).read_text())
+        assert plain_entry["result"] == traced_entry["result"]
+        # The trace itself arrived through the side channel.
+        label = key.label()
+        assert traced.aggregator.shard(label).trace
+        assert traced.aggregator.shard(label).trace_stats[
+            "obs.trace.emitted"] > 0
+
+    def test_heartbeat_lines_for_long_pool_waits(self):
+        lines = []
+        from repro.obs.telemetry import TelemetryConfig
+        runner = ParallelRunner(jobs=2, variants=TINY_VARIANTS,
+                                progress=lines.append,
+                                telemetry=TelemetryConfig(heartbeat_s=0.2),
+                                worker=_always_slow_worker)
+        runner.run([tiny_key()])
+        assert any("heartbeat" in line for line in lines)
+        assert any("in flight" in line for line in lines)
+
+
 # -------------------------------------------------------- experiment runner
 
 class TestExperimentRunnerIntegration:
@@ -329,7 +447,9 @@ class TestHarnessCli:
         assert main(argv + ["--resume"]) == 0
         captured = capsys.readouterr()
         assert out.read_text() == cold  # warm rerun is byte-identical
-        assert "0 recorded" in captured.err
+        # Structured sweep-ready line: everything came from the cache.
+        assert "event=sweep.ready" in captured.err
+        assert "recorded=0" in captured.err
         assert "Figure 1" in cold
 
     def test_resume_rejects_no_cache(self, capsys):
@@ -343,7 +463,7 @@ class TestHarnessCli:
                      "--scale", "0.05", "--jobs", "2",
                      "--cache-dir", str(tmp_path / "cache")]) == 0
         err = capsys.readouterr().err
-        assert "[fft]" in err and "[radix]" in err
+        assert "workload=fft" in err and "workload=radix" in err
         assert "Sweep summary" in err
 
     def test_run_subcommand_single_workload_writes_metrics(self, tmp_path,
@@ -352,7 +472,7 @@ class TestHarnessCli:
         metrics = tmp_path / "metrics.json"
         assert main(["run", "--workload", "fft", "--cores", "2",
                      "--scale", "0.05", "--metrics-out", str(metrics)]) == 0
-        assert "[fft]" in capsys.readouterr().err
+        assert "workload=fft" in capsys.readouterr().err
         assert json.loads(metrics.read_text())
 
     def test_tools_sweep_renders_grid_table(self, tmp_path, capsys):

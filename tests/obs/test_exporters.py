@@ -84,3 +84,40 @@ class TestChromeTrace:
         loaded = json.loads(path.read_text())
         assert isinstance(loaded, list)
         assert len(loaded) == count
+
+
+class TestEdgeCases:
+    """Telemetry feeds the exporters machine-generated input; the empty
+    and everything-filtered cases must produce valid (empty) output."""
+
+    def test_empty_trace_jsonl(self):
+        buffer = io.StringIO()
+        assert export_jsonl([], buffer) == 0
+        assert buffer.getvalue() == ""
+
+    def test_empty_trace_chrome(self, tmp_path):
+        assert chrome_trace_events([]) == []
+        path = tmp_path / "empty.json"
+        assert export_chrome_trace([], str(path)) == 0
+        assert json.loads(path.read_text()) == []
+
+    def test_fully_filtered_tracer_exports_empty(self):
+        tracer = Tracer(categories=())  # retains nothing
+        for event in _sample_events():
+            assert not tracer.emit(event)
+        assert tracer.filtered == len(_sample_events())
+        assert len(tracer) == 0
+        buffer = io.StringIO()
+        assert export_jsonl(tracer, buffer) == 0
+        assert chrome_trace_events(tracer) == []
+
+    def test_ring_wraparound_keeps_newest(self):
+        tracer = Tracer(capacity=2)
+        for event in _sample_events():
+            tracer.emit(event)
+        assert tracer.dropped == 2
+        buffer = io.StringIO()
+        assert export_jsonl(tracer, buffer) == 2
+        cycles = [json.loads(line)["cycle"]
+                  for line in buffer.getvalue().splitlines()]
+        assert cycles == [3, 4]  # oldest first, newest retained

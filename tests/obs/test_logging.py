@@ -1,0 +1,61 @@
+"""Tests for the shared structured key=value logging layer."""
+
+import io
+import logging
+
+from repro.obs.logging import (
+    get_logger,
+    kv_line,
+    log_kv,
+    setup_logging,
+)
+
+
+class TestKvLine:
+    def test_plain_fields(self):
+        line = kv_line("shard.done", shard="fft", done=3, total=8)
+        assert line == "event=shard.done shard=fft done=3 total=8"
+
+    def test_values_with_spaces_are_quoted(self):
+        line = kv_line("shard.done", shard="fft x8 RC")
+        assert 'shard="fft x8 RC"' in line
+
+    def test_floats_are_compact(self):
+        assert "wall_s=1.235" in kv_line("x", wall_s=1.23456)
+
+    def test_quotes_inside_values_are_escaped(self):
+        line = kv_line("x", message='say "hi"')
+        assert r'message="say \"hi\""' in line
+
+
+class TestSetup:
+    def test_structured_lines_reach_the_stream(self):
+        stream = io.StringIO()
+        setup_logging("info", stream=stream)
+        log_kv(get_logger("harness.sweep"), logging.INFO, "shard.done",
+               shard="fft", done=1)
+        text = stream.getvalue()
+        assert "level=info" in text
+        assert "logger=repro.harness.sweep" in text
+        assert "event=shard.done shard=fft done=1" in text
+
+    def test_level_filters(self):
+        stream = io.StringIO()
+        setup_logging("warning", stream=stream)
+        log_kv(get_logger("x"), logging.INFO, "quiet")
+        assert stream.getvalue() == ""
+        log_kv(get_logger("x"), logging.WARNING, "loud")
+        assert "event=loud" in stream.getvalue()
+
+    def test_repeated_setup_replaces_handler(self):
+        first, second = io.StringIO(), io.StringIO()
+        setup_logging("info", stream=first)
+        setup_logging("info", stream=second)
+        get_logger("x").info("once")
+        assert first.getvalue() == ""
+        assert second.getvalue().count("once") == 1
+
+    def test_unknown_level_rejected(self):
+        import pytest
+        with pytest.raises(ValueError, match="unknown log level"):
+            setup_logging("loudest")

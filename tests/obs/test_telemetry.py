@@ -1,0 +1,222 @@
+"""Unit tests for the cross-process sweep telemetry pipeline.
+
+Covers the aggregator's rollup rules and determinism, every quarantine
+path (corrupt payloads must be kept aside, never raised), the registry
+merge, and the progress/heartbeat/ETA tracker with an injected clock.
+"""
+
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+from repro.obs.telemetry import (
+    TELEMETRY_FORMAT,
+    SweepProgress,
+    TelemetryAggregator,
+    TelemetryConfig,
+)
+
+
+def _trace_event(cycle=1, name="TraqEnqueue"):
+    return {"cycle": cycle, "core": 0, "category": "traq",
+            "severity": "DEBUG", "name": name, "track": "traq0"}
+
+
+class TestTelemetryConfig:
+    def test_round_trip(self):
+        config = TelemetryConfig(capture_trace=True, trace_capacity=128)
+        data = config.to_dict()
+        assert data["format"] == TELEMETRY_FORMAT
+        assert TelemetryConfig.from_dict(data) == config
+
+    def test_defaults_do_not_capture_traces(self):
+        assert TelemetryConfig().capture_trace is False
+
+
+class TestAggregatorIngestion:
+    def test_accepts_snapshot_and_plain_dict(self):
+        agg = TelemetryAggregator()
+        assert agg.ingest("a", metrics=MetricsSnapshot({"machine.cycles": 5}))
+        assert agg.ingest("b", metrics={"machine.cycles": 7})
+        assert agg.labels() == ["a", "b"]
+        assert agg.shard("a").metrics == {"machine.cycles": 5}
+
+    def test_payload_trace_and_stats_are_kept(self):
+        agg = TelemetryAggregator()
+        payload = {"format": TELEMETRY_FORMAT,
+                   "trace": [_trace_event(1), _trace_event(2)],
+                   "trace_stats": {"obs.trace.emitted": 2}}
+        assert agg.ingest("a", metrics={"x": 1}, payload=payload)
+        assert len(agg.shard("a").trace) == 2
+        assert agg.shard("a").trace_stats == {"obs.trace.emitted": 2}
+        assert agg.trace_events() == payload["trace"]
+
+    def test_non_dict_payload_quarantined(self):
+        agg = TelemetryAggregator()
+        assert not agg.ingest("a", metrics={"x": 1}, payload="torn bytes")
+        assert agg.quarantined == [("a", "telemetry payload is str, "
+                                         "not dict")]
+        # The valid metrics half of the shard survives.
+        assert agg.shard("a").metrics == {"x": 1}
+
+    def test_wrong_format_stamp_quarantined(self):
+        agg = TelemetryAggregator()
+        assert not agg.ingest("a", payload={"format": 99, "trace": []})
+        assert "format" in agg.quarantined[0][1]
+        assert agg.shard("a").trace == []
+
+    def test_malformed_trace_quarantined_stats_kept(self):
+        agg = TelemetryAggregator()
+        payload = {"format": TELEMETRY_FORMAT,
+                   "trace": [{"no_name_or_cycle": True}],
+                   "trace_stats": {"obs.trace.emitted": 1}}
+        assert not agg.ingest("a", payload=payload)
+        assert ("a", "malformed trace buffer") in agg.quarantined
+        assert agg.shard("a").trace == []
+        assert agg.shard("a").trace_stats == {"obs.trace.emitted": 1}
+
+    def test_malformed_metrics_quarantined(self):
+        agg = TelemetryAggregator()
+        assert not agg.ingest("a", metrics={"ok": 1, "bad": [1, 2]})
+        assert ("a", "malformed metrics snapshot") in agg.quarantined
+        assert agg.shard("a").metrics == {}
+
+    def test_bool_metric_values_are_rejected(self):
+        agg = TelemetryAggregator()
+        assert not agg.ingest("a", metrics={"flag": True})
+
+    def test_empty_trace_is_fine(self):
+        agg = TelemetryAggregator()
+        assert agg.ingest("a", metrics={"x": 1},
+                          payload={"format": TELEMETRY_FORMAT, "trace": []})
+        assert agg.trace_events() == []
+        assert agg.quarantined == []
+
+
+class TestRollup:
+    def test_suffix_rules(self):
+        agg = TelemetryAggregator()
+        agg.ingest("a", metrics={
+            "hits": 10, "occupancy.count": 4, "occupancy.mean": 2.0,
+            "occupancy.min": 1.0, "occupancy.max": 5.0,
+            "occupancy.stddev": 0.5, "occupancy.p95": 4.0,
+            "rate": 2.0})
+        agg.ingest("b", metrics={
+            "hits": 5, "occupancy.count": 12, "occupancy.mean": 4.0,
+            "occupancy.min": 0.5, "occupancy.max": 9.0,
+            "occupancy.stddev": 1.5, "occupancy.p95": 8.0,
+            "rate": 4.0})
+        rollup = agg.rollup()
+        assert rollup["hits"] == 15                       # int: sum
+        assert rollup["occupancy.count"] == 16            # .count: sum
+        assert rollup["occupancy.min"] == 0.5             # .min
+        assert rollup["occupancy.max"] == 9.0             # .max
+        # .mean: weighted by sibling .count -> (2*4 + 4*12) / 16
+        assert rollup["occupancy.mean"] == (2.0 * 4 + 4.0 * 12) / 16
+        assert rollup["rate"] == 3.0                      # float: average
+        # Order-sensitive keys are dropped, not merged wrongly.
+        assert "occupancy.stddev" not in rollup
+        assert "occupancy.p95" not in rollup
+
+    def test_rollup_is_ingestion_order_independent(self):
+        forward, backward = TelemetryAggregator(), TelemetryAggregator()
+        shards = {"a": {"x": 1, "r": 1.0}, "b": {"x": 2, "r": 3.0},
+                  "c": {"x": 4, "r": 5.0}}
+        for label in sorted(shards):
+            forward.ingest(label, metrics=shards[label])
+        for label in sorted(shards, reverse=True):
+            backward.ingest(label, metrics=shards[label])
+        assert forward.rollup() == backward.rollup()
+
+    def test_string_values_are_skipped(self):
+        agg = TelemetryAggregator()
+        agg.ingest("a", metrics={"x": 1, "version": "1.2"})
+        assert "version" not in agg.rollup()
+
+    def test_per_shard_summary(self):
+        agg = TelemetryAggregator()
+        agg.ingest("a", metrics={"machine.cycles": 100,
+                                 "machine.instructions": 50})
+        summary = agg.per_shard_summary()
+        assert summary["a"]["cycles"] == 100
+        assert summary["a"]["instructions"] == 50
+        assert summary["a"]["trace_events"] == 0
+
+
+class TestMergeInto:
+    def test_registry_keys(self):
+        agg = TelemetryAggregator()
+        agg.ingest("a", metrics={"machine.cycles": 100, "rate": 2.0},
+                   payload={"format": TELEMETRY_FORMAT,
+                            "trace": [_trace_event()]})
+        agg.ingest("b", metrics={"machine.cycles": 40, "rate": 4.0},
+                   payload="bad")
+        registry = MetricsRegistry()
+        agg.merge_into(registry)
+        snapshot = registry.snapshot()
+        assert snapshot["sweep.telemetry.shards"] == 2
+        assert snapshot["sweep.telemetry.quarantined"] == 1
+        assert snapshot["sweep.telemetry.trace_events"] == 1
+        assert snapshot["sweep.rollup.machine.cycles"] == 140
+        assert snapshot["sweep.rollup.rate"] == 3.0
+        assert snapshot["sweep.shard.a.cycles"] == 100
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def advance(self, seconds):
+        self.now += seconds
+
+    def __call__(self):
+        return self.now
+
+
+class TestSweepProgress:
+    def test_recorded_and_cache_hit_lines(self):
+        lines = []
+        clock = FakeClock()
+        progress = SweepProgress(3, emit=lines.append, clock=clock)
+        clock.advance(2.0)
+        progress.shard_done("fft x2 RC", "run", 2.0)
+        progress.shard_done("lu x2 RC", "cache")
+        assert lines[0].startswith("[sweep] fft x2 RC: recorded in 2.0s "
+                                   "(1/3")
+        assert "cache hit (2/3" in lines[1]
+
+    def test_eta_uses_executed_shard_rate(self):
+        lines = []
+        clock = FakeClock()
+        progress = SweepProgress(4, jobs=1, emit=lines.append, clock=clock)
+        clock.advance(10.0)
+        progress.shard_done("a", "run", 10.0)
+        # 1 executed shard in 10s, 3 remaining -> eta 30s.
+        assert "eta 30s" in lines[-1]
+
+    def test_cache_hits_do_not_skew_eta(self):
+        lines = []
+        clock = FakeClock()
+        progress = SweepProgress(4, jobs=1, emit=lines.append, clock=clock)
+        progress.shard_done("a", "cache")
+        # No executed shard yet: no rate, no ETA guess.
+        assert "eta" not in lines[-1]
+
+    def test_heartbeat_due_and_not_due(self):
+        lines = []
+        clock = FakeClock()
+        progress = SweepProgress(2, emit=lines.append, heartbeat_s=30.0,
+                                 clock=clock)
+        clock.advance(10.0)
+        assert progress.heartbeat(in_flight=2) is None
+        clock.advance(25.0)
+        line = progress.heartbeat(in_flight=2)
+        assert line is not None
+        assert "heartbeat" in line and "2 in flight" in line
+        # The emitted line resets the timer.
+        assert progress.heartbeat(in_flight=2) is None
+
+    def test_progress_lines_reset_heartbeat_timer(self):
+        clock = FakeClock()
+        progress = SweepProgress(2, heartbeat_s=30.0, clock=clock)
+        clock.advance(29.0)
+        progress.shard_done("a", "run", 1.0)
+        clock.advance(2.0)
+        assert progress.heartbeat(in_flight=1) is None

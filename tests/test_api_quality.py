@@ -25,7 +25,9 @@ MODULES = [
     "repro.cpu", "repro.cpu.consistency", "repro.cpu.core",
     "repro.cpu.dynops",
     "repro.obs", "repro.obs.events", "repro.obs.exporters",
-    "repro.obs.forensics", "repro.obs.metrics", "repro.obs.tracer",
+    "repro.obs.forensics", "repro.obs.logging", "repro.obs.metrics",
+    "repro.obs.perfdb", "repro.obs.profiler", "repro.obs.telemetry",
+    "repro.obs.tracer",
     "repro.recorder", "repro.recorder.logfmt", "repro.recorder.mrr",
     "repro.recorder.ordering", "repro.recorder.snoop_table",
     "repro.recorder.traq",
