@@ -137,11 +137,33 @@ def _run_command(argv: list[str]) -> int:
                              "JSON (implies --trace)")
     parser.add_argument("--metrics-out", default=None,
                         help="write the flat metrics snapshot as JSON")
+    parser.add_argument("--verify-replay", action="store_true",
+                        help="deterministically replay the recording with "
+                             "checkpoints and verify it (single workload)")
+    parser.add_argument("--forensics-out", default=None,
+                        help="write the replay-verification verdict as JSON "
+                             "— on divergence the full DivergenceReport "
+                             "with nearest checkpoint and causal slice "
+                             "(implies --verify-replay)")
+    parser.add_argument("--checkpoint-every", type=int, default=8,
+                        metavar="N",
+                        help="replay-checkpoint cadence in chunks for "
+                             "--verify-replay (default 8)")
+    parser.add_argument("--inject-fault", action="store_true",
+                        help="corrupt the recorded final memory before "
+                             "verification (forces a divergence; for "
+                             "exercising the forensics pipeline)")
+    parser.add_argument("--result-out", default=None,
+                        help="write the full serialized RunResult as JSON "
+                             "(the repro.tools inspect input; single "
+                             "workload)")
     _add_sweep_flags(parser)
     add_log_level_argument(parser)
     args = parser.parse_args(argv)
     _check_sweep_flags(parser, args)
     setup_logging(args.log_level)
+    if args.forensics_out or args.inject_fault:
+        args.verify_replay = True
 
     workloads = [name.strip() for name in args.workload.split(",")]
     unknown = [name for name in workloads if name not in WORKLOAD_NAMES]
@@ -154,8 +176,10 @@ def _run_command(argv: list[str]) -> int:
                       consistency=consistency)
 
     if len(workloads) > 1:
-        if args.trace or args.trace_out or args.metrics_out:
-            parser.error("--trace/--trace-out/--metrics-out need a single "
+        if (args.trace or args.trace_out or args.metrics_out
+                or args.verify_replay or args.result_out):
+            parser.error("--trace/--trace-out/--metrics-out/--verify-replay/"
+                         "--forensics-out/--result-out need a single "
                          "--workload")
         from .parallel_runner import DEFAULT_CACHE_DIR, ParallelRunner, \
             ResultCache
@@ -183,7 +207,10 @@ def _run_command(argv: list[str]) -> int:
     program = build_workload(workloads[0], num_threads=args.cores,
                              scale=args.scale, seed=args.seed)
     tracer = Tracer() if (args.trace or args.trace_out) else None
-    result = Machine(config).run(program, tracer=tracer)
+    # The load trace makes --verify-replay check every loaded value, not
+    # just the final state.
+    result = Machine(config).run(program, tracer=tracer,
+                                 capture_load_trace=args.verify_replay)
 
     log_kv(_LOG, logging.INFO, "run.recorded", workload=workloads[0],
            instructions=result.total_instructions, cycles=result.cycles,
@@ -200,7 +227,58 @@ def _run_command(argv: list[str]) -> int:
             json.dump(result.metrics.to_dict(), handle, indent=1,
                       sort_keys=True)
         print(f"  metrics -> {args.metrics_out}", file=sys.stderr)
+    if args.result_out:
+        from repro.sim.serialize import run_result_to_dict
+        with open(args.result_out, "w") as handle:
+            json.dump(run_result_to_dict(result), handle, sort_keys=True)
+        print(f"  run result -> {args.result_out}", file=sys.stderr)
+    if args.verify_replay:
+        return _verify_and_report(result, args, workloads[0], tracer)
     return 0
+
+
+def _verify_and_report(result, args, workload: str, tracer) -> int:
+    """Checkpointed replay verification behind ``run --verify-replay``.
+
+    Writes the verdict to ``--forensics-out`` when asked: ``verified`` plus
+    (on divergence) the full :class:`DivergenceReport` dict with its
+    nearest-checkpoint, causal-slice and inspect-hint fields.  Exits 1 on
+    divergence.
+    """
+    from repro.common.errors import ReplayDivergenceError
+    from repro.replay.replayer import replay_recording
+
+    if args.inject_fault:
+        # Flip the low bit of the recorded final memory at the lowest
+        # written address: replay itself stays sound, verification must
+        # then blame the chunk that last wrote that word.
+        addr = min(result.final_memory, default=0x8000)
+        result.final_memory[addr] = result.final_memory.get(addr, 0) ^ 0x1
+        log_kv(_LOG, logging.WARNING, "run.fault_injected", addr=hex(addr))
+
+    payload: dict = {"workload": workload, "variant": "default",
+                     "checkpoint_every": args.checkpoint_every}
+    code = 0
+    try:
+        replay = replay_recording(result, tracer=tracer,
+                                  checkpoint_every=args.checkpoint_every)
+        payload.update(verified=True, report=None,
+                       intervals=replay.counts.intervals)
+        log_kv(_LOG, logging.INFO, "run.replay_verified", workload=workload,
+               intervals=replay.counts.intervals,
+               injected_loads=replay.counts.injected_loads)
+    except ReplayDivergenceError as error:
+        report = getattr(error, "report", None)
+        payload.update(verified=False,
+                       report=None if report is None else report.to_dict())
+        print(report.render() if report is not None else str(error),
+              file=sys.stderr)
+        code = 1
+    if args.forensics_out:
+        with open(args.forensics_out, "w") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+        print(f"  forensics -> {args.forensics_out}", file=sys.stderr)
+    return code
 
 
 def main(argv: list[str] | None = None) -> int:

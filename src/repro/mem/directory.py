@@ -140,14 +140,16 @@ class DirectoryRingBus(SnoopyRingBus):
         self.committed_by_kind[transaction.kind] += 1
 
         # Only involved cores observe the transaction (the crucial
-        # difference from snoopy broadcast, Sections 4.3 / 5.5).
+        # difference from snoopy broadcast, Sections 4.3 / 5.5).  The
+        # requester always hears its own commit: its recorder uses it to
+        # floor interval timestamps above conflict cuts it caused.
         event = SnoopEvent(cycle=cycle, requester=requester,
                            line_addr=line_addr, is_write=kind.is_write)
         if self.tracer is not None:
             self.tracer.emit(event.to_trace_event(kind))
         for listener in self._listeners:
             core_id = getattr(listener, "core_id", None)
-            if core_id is None or core_id in notified:
+            if core_id is None or core_id == requester or core_id in notified:
                 listener.on_transaction(event)
 
         for waiter in transaction.waiters:

@@ -27,12 +27,20 @@ Sweep-scale additions (see ``docs/internals.md``):
   with rolling-baseline regression detection.
 * **Structured logging** (:mod:`.logging`): key=value log lines shared
   by the harness and tools CLIs.
+* **Time-travel inspection** (:mod:`.inspect`, :mod:`.causality`): replay
+  checkpoints every N chunks with restore-and-run-forward state queries
+  (:class:`ReplayInspector`), and the happens-before
+  :class:`CausalityGraph` over recorded chunks with ancestor/slice
+  queries — the engine behind ``repro.tools inspect`` and the
+  checkpoint/causal-cone fields of :class:`DivergenceReport`.
 """
 
+from .causality import CausalityGraph, HBSlice
 from .events import (
     CacheEvictEvent,
     CacheMissEvent,
     Category,
+    CheckpointEvent,
     ChunkCutEvent,
     CoherenceEvent,
     DivergenceEvent,
@@ -52,6 +60,14 @@ from .exporters import (
     export_jsonl,
 )
 from .forensics import DivergenceReport, build_report, raise_divergence
+from .inspect import (
+    AccessLog,
+    CheckpointStore,
+    MemoryAccess,
+    ReplayCheckpoint,
+    ReplayInspector,
+    StateView,
+)
 from .logging import (
     add_log_level_argument,
     get_logger,
@@ -98,6 +114,7 @@ __all__ = [
     "TraqDequeueEvent",
     "ChunkCutEvent",
     "ReplayStepEvent",
+    "CheckpointEvent",
     "DivergenceEvent",
     "Tracer",
     "Counter",
@@ -112,6 +129,14 @@ __all__ = [
     "DivergenceReport",
     "build_report",
     "raise_divergence",
+    "CausalityGraph",
+    "HBSlice",
+    "ReplayCheckpoint",
+    "CheckpointStore",
+    "MemoryAccess",
+    "AccessLog",
+    "StateView",
+    "ReplayInspector",
     "TelemetryConfig",
     "TelemetryAggregator",
     "ShardTelemetry",

@@ -31,6 +31,7 @@ __all__ = [
     "TraqDequeueEvent",
     "ChunkCutEvent",
     "ReplayStepEvent",
+    "CheckpointEvent",
     "DivergenceEvent",
 ]
 
@@ -207,6 +208,15 @@ class ReplayStepEvent(TraceEvent):
     instructions: int = 0
     injected_loads: int = 0
     patched_writes: int = 0
+
+
+@_event(Category.REPLAY, Severity.INFO)
+class CheckpointEvent(TraceEvent):
+    """The replayer captured a restore-and-run-forward checkpoint."""
+
+    variant: str = ""
+    checkpoint_id: int = 0
+    position: int = 0      # intervals committed when the snapshot was taken
 
 
 @_event(Category.REPLAY, Severity.ERROR)

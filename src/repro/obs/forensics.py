@@ -48,6 +48,11 @@ class DivergenceReport:
     interval_end: int | None = None
     recent_events: list[TraceEvent] = field(default_factory=list)
     recent_coherence: list[TraceEvent] = field(default_factory=list)
+    # Time-travel attachments (when replay ran with checkpoints enabled):
+    checkpoint_id: int | None = None       # nearest checkpoint before culprit
+    checkpoint_position: int | None = None  # chunks committed at that snapshot
+    hb_slice: object | None = None         # repro.obs.causality.HBSlice
+    inspect_hint: str | None = None        # ready-to-run repro.tools command
 
     def render(self) -> str:
         lines = [f"replay divergence [{self.variant}] {self.kind}: "
@@ -65,6 +70,15 @@ class DivergenceReport:
                     start = 0 if self.interval_start is None else self.interval_start
                     where += f" (recorded cycles {start}..{self.interval_end})"
             lines.append(where)
+        if self.checkpoint_id is not None:
+            lines.append(f"  nearest checkpoint: #{self.checkpoint_id} at "
+                         f"position {self.checkpoint_position} (restore and "
+                         f"replay forward from there)")
+        if self.hb_slice is not None:
+            lines.extend("  " + line
+                         for line in self.hb_slice.render().splitlines())
+        if self.inspect_hint is not None:
+            lines.append(f"  inspect: {self.inspect_hint}")
         if self.recent_events:
             lines.append(f"  last {len(self.recent_events)} events, "
                          f"core {self.core_id}:")
@@ -94,6 +108,11 @@ class DivergenceReport:
                               for event in self.recent_events],
             "recent_coherence": [event_to_dict(event)
                                  for event in self.recent_coherence],
+            "checkpoint_id": self.checkpoint_id,
+            "checkpoint_position": self.checkpoint_position,
+            "hb_slice": (None if self.hb_slice is None
+                         else self.hb_slice.to_dict()),
+            "inspect_hint": self.inspect_hint,
         }
 
 
@@ -107,11 +126,23 @@ def build_report(*, variant: str, kind: str, detail: str,
                  addr: int | None = None, expected: int | None = None,
                  observed: int | None = None,
                  interval_bounds: tuple[int, int] | None = None,
-                 tracer: Tracer | None = None) -> DivergenceReport:
-    """Assemble a report, pulling recent history from ``tracer`` if given."""
+                 tracer: Tracer | None = None,
+                 checkpoint: tuple[int, int] | None = None,
+                 hb_slice=None,
+                 inspect_hint: str | None = None) -> DivergenceReport:
+    """Assemble a report, pulling recent history from ``tracer`` if given.
+
+    ``checkpoint`` is ``(checkpoint_id, position)`` of the nearest replay
+    checkpoint before the culprit chunk; ``hb_slice`` is the chunk's
+    :class:`~repro.obs.causality.HBSlice`; ``inspect_hint`` is a
+    ready-to-run ``repro.tools inspect`` command line.
+    """
     report = DivergenceReport(variant=variant, kind=kind, detail=detail,
                               core_id=core_id, chunk=chunk, addr=addr,
-                              expected=expected, observed=observed)
+                              expected=expected, observed=observed,
+                              hb_slice=hb_slice, inspect_hint=inspect_hint)
+    if checkpoint is not None:
+        report.checkpoint_id, report.checkpoint_position = checkpoint
     if interval_bounds is not None:
         report.interval_start, report.interval_end = interval_bounds
     if tracer is not None:

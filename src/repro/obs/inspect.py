@@ -1,0 +1,479 @@
+"""Time-travel replay inspection: checkpoints + reverse-debugging queries.
+
+Deterministic replay makes a recording a *queryable database of machine
+states*: any point of the execution can be reconstructed by replaying up
+to it.  Doing that from cycle zero for every question is wasteful, so
+:class:`CheckpointStore` snapshots the full replay state — memory image,
+per-core :class:`~repro.replay.interpreter.ThreadContext`\\ s (captured via
+:mod:`repro.sim.serialize`), CISN watermarks and replay counters — every N
+committed chunks, and queries restore the nearest checkpoint and replay
+forward.  Restore-and-run-forward is observationally invisible: the
+differential suite proves byte-identical final memory, registers and
+counts against straight-line replay.
+
+:class:`ReplayInspector` is the query engine the ``repro.tools inspect``
+CLI and the divergence forensics ride on:
+
+* ``state_at(core, cisn)`` — the whole-machine state right after a chunk
+  committed (registers, PCs, memory, watermarks);
+* ``first_write(addr)`` / ``last_write(addr)`` — write attribution from
+  the replay-order access log;
+* ``who_read(addr, value=None)`` — every read of an address (optionally
+  filtered to the reads that observed one value);
+* ``timeline(core)`` — the per-chunk interval timeline of one core;
+* ``hb_slice(core, cisn)`` — the chunk's happens-before causal cone
+  (:mod:`repro.obs.causality`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..replay.costmodel import ReplayCounts
+from ..replay.replayer import ReplayState, Replayer, _WriterTrackingMemory
+from ..sim.serialize import thread_context_from_dict, thread_context_to_dict
+from .causality import CausalityGraph, HBSlice
+
+__all__ = [
+    "DEFAULT_CHECKPOINT_EVERY",
+    "READ_KINDS",
+    "WRITE_KINDS",
+    "ReplayCheckpoint",
+    "CheckpointStore",
+    "MemoryAccess",
+    "AccessLog",
+    "StateView",
+    "ReplayInspector",
+]
+
+#: Snapshot cadence (committed chunks) when the caller does not choose one.
+DEFAULT_CHECKPOINT_EVERY = 8
+
+#: Access-log kinds that mutate memory.
+WRITE_KINDS = frozenset({"store", "rmw-store", "patched-store"})
+#: Access-log kinds that observe memory (injected loads replay the
+#: recorded value; their address is recomputed deterministically).
+READ_KINDS = frozenset({"load", "rmw-load", "injected-load"})
+
+
+# ------------------------------------------------------------ checkpoints
+
+@dataclass
+class ReplayCheckpoint:
+    """A full replay-state snapshot taken after ``position`` chunks."""
+
+    checkpoint_id: int
+    position: int                       # committed intervals at capture
+    cisn_watermarks: list[int]          # per core: next CISN to commit
+    memory: dict[int, int]
+    writers: dict[int, tuple[int, int]]  # addr -> (core, cisn) last writer
+    contexts: list[dict]                # serialized ThreadContexts
+    counts: ReplayCounts
+
+    def to_dict(self) -> dict:
+        """JSON-able form (rides on :mod:`repro.sim.serialize` idioms)."""
+        from dataclasses import asdict
+
+        return {
+            "checkpoint_id": self.checkpoint_id,
+            "position": self.position,
+            "cisn_watermarks": list(self.cisn_watermarks),
+            "memory": {str(addr): value
+                       for addr, value in self.memory.items()},
+            "writers": {str(addr): [core, cisn]
+                        for addr, (core, cisn) in self.writers.items()},
+            "contexts": [dict(context) for context in self.contexts],
+            "counts": asdict(self.counts),
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "ReplayCheckpoint":
+        return ReplayCheckpoint(
+            checkpoint_id=data["checkpoint_id"],
+            position=data["position"],
+            cisn_watermarks=list(data["cisn_watermarks"]),
+            memory={int(addr): value
+                    for addr, value in data["memory"].items()},
+            writers={int(addr): (core, cisn)
+                     for addr, (core, cisn) in data["writers"].items()},
+            contexts=[dict(context) for context in data["contexts"]],
+            counts=ReplayCounts(**data["counts"]),
+        )
+
+
+class CheckpointStore:
+    """Ordered collection of replay checkpoints with nearest-lookup."""
+
+    def __init__(self):
+        self.checkpoints: list[ReplayCheckpoint] = []
+
+    def __len__(self) -> int:
+        return len(self.checkpoints)
+
+    def capture(self, replayer: Replayer,
+                state: ReplayState) -> ReplayCheckpoint:
+        """Snapshot ``state`` (deep copies; the live replay keeps going)."""
+        checkpoint = ReplayCheckpoint(
+            checkpoint_id=len(self.checkpoints),
+            position=state.position,
+            cisn_watermarks=list(state.cisn_watermarks),
+            memory=dict(state.memory),
+            writers=dict(state.memory.writers),
+            contexts=[thread_context_to_dict(context)
+                      for context in state.contexts],
+            counts=replace(state.counts),
+        )
+        self.checkpoints.append(checkpoint)
+        return checkpoint
+
+    def nearest(self, position: int) -> ReplayCheckpoint | None:
+        """Latest checkpoint at or before ``position`` (None if empty)."""
+        candidates = [checkpoint for checkpoint in self.checkpoints
+                      if checkpoint.position <= position]
+        if not candidates:
+            return None
+        return max(candidates,
+                   key=lambda cp: (cp.position, cp.checkpoint_id))
+
+    def restore(self, checkpoint: ReplayCheckpoint,
+                replayer: Replayer) -> ReplayState:
+        """Rebuild a live :class:`ReplayState` from a snapshot."""
+        memory = _WriterTrackingMemory(checkpoint.memory)
+        memory.writers = dict(checkpoint.writers)
+        contexts = [thread_context_from_dict(data, replayer.program)
+                    for data in checkpoint.contexts]
+        return ReplayState(
+            memory=memory, contexts=contexts,
+            counts=replace(checkpoint.counts),
+            position=checkpoint.position,
+            cisn_watermarks=list(checkpoint.cisn_watermarks))
+
+
+# ------------------------------------------------------------- access log
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One replayed memory access, attributed to its chunk."""
+
+    step: int          # global replay-order ordinal
+    position: int      # interval index in the QuickRec order
+    core_id: int
+    cisn: int
+    kind: str          # load | store | rmw-load | rmw-store |
+    #                    injected-load | patched-store
+    addr: int
+    value: int
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind in WRITE_KINDS
+
+    def to_dict(self) -> dict:
+        return {"step": self.step, "position": self.position,
+                "core": self.core_id, "cisn": self.cisn, "kind": self.kind,
+                "addr": self.addr, "value": self.value}
+
+    def render(self) -> str:
+        return (f"step {self.step}: core {self.core_id} chunk {self.cisn} "
+                f"{self.kind} {self.addr:#x} = {self.value:#x}")
+
+
+class AccessLog:
+    """Replay-order log of every memory access, indexed by address.
+
+    Plugs into :meth:`Replayer.run` as the ``access_sink``.
+    """
+
+    def __init__(self):
+        self.accesses: list[MemoryAccess] = []
+        self._by_addr: dict[int, list[MemoryAccess]] = {}
+        self._position = -1
+        self._core = -1
+        self._cisn = -1
+
+    def __len__(self) -> int:
+        return len(self.accesses)
+
+    # Replayer sink protocol -------------------------------------------
+
+    def begin_interval(self, position: int, interval) -> None:
+        self._position = position
+        self._core = interval.core_id
+        self._cisn = interval.cisn
+
+    def access(self, kind: str, addr: int, value: int) -> None:
+        record = MemoryAccess(step=len(self.accesses),
+                              position=self._position, core_id=self._core,
+                              cisn=self._cisn, kind=kind, addr=addr,
+                              value=value)
+        self.accesses.append(record)
+        self._by_addr.setdefault(addr, []).append(record)
+
+    # Queries ------------------------------------------------------------
+
+    def writes_to(self, addr: int) -> list[MemoryAccess]:
+        return [access for access in self._by_addr.get(addr, ())
+                if access.kind in WRITE_KINDS]
+
+    def reads_of(self, addr: int,
+                 value: int | None = None) -> list[MemoryAccess]:
+        return [access for access in self._by_addr.get(addr, ())
+                if access.kind in READ_KINDS
+                and (value is None or access.value == value)]
+
+    def first_write(self, addr: int) -> MemoryAccess | None:
+        writes = self.writes_to(addr)
+        return writes[0] if writes else None
+
+    def last_write(self, addr: int) -> MemoryAccess | None:
+        writes = self.writes_to(addr)
+        return writes[-1] if writes else None
+
+    def touched_addresses(self) -> list[int]:
+        return sorted(self._by_addr)
+
+
+# ------------------------------------------------------------ state views
+
+@dataclass
+class StateView:
+    """The whole-machine replay state at one position."""
+
+    position: int
+    cisn_watermarks: list[int]
+    memory: dict[int, int]              # nonzero words only
+    cores: list[dict]                   # serialized ThreadContexts
+    counts: ReplayCounts
+    checkpoint_id: int
+    replayed_forward: int               # chunks replayed past the checkpoint
+
+    def to_dict(self) -> dict:
+        from dataclasses import asdict
+
+        return {
+            "position": self.position,
+            "cisn_watermarks": list(self.cisn_watermarks),
+            "memory": {str(addr): value
+                       for addr, value in sorted(self.memory.items())},
+            "cores": [dict(core) for core in self.cores],
+            "counts": asdict(self.counts),
+            "checkpoint_id": self.checkpoint_id,
+            "replayed_forward": self.replayed_forward,
+        }
+
+    def render(self) -> str:
+        lines = [f"state after {self.position} committed chunk(s) "
+                 f"(checkpoint #{self.checkpoint_id} + "
+                 f"{self.replayed_forward} replayed forward)",
+                 "  cisn watermarks: "
+                 + " ".join(f"core{core}={cisn}" for core, cisn
+                            in enumerate(self.cisn_watermarks))]
+        for core in self.cores:
+            touched = {index: value for index, value
+                       in enumerate(core["regs"]) if value}
+            regs = " ".join(f"r{index}={value:#x}"
+                            for index, value in sorted(touched.items()))
+            lines.append(
+                f"  core {core['core_id']}: pc={core['pc']} "
+                f"retired={core['instructions_executed']}"
+                + (" halted" if core["halted"] else "")
+                + (f" {regs}" if regs else ""))
+        lines.append(f"  memory ({len(self.memory)} nonzero words):")
+        for addr, value in sorted(self.memory.items()):
+            lines.append(f"    {addr:#08x} = {value:#x}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------- the inspector
+
+class ReplayInspector:
+    """Reverse-debugging query engine over one recorded variant.
+
+    Construction replays the recording once end to end, capturing
+    checkpoints every ``checkpoint_every`` chunks and indexing every
+    memory access; queries then cost one nearest-checkpoint restore plus
+    a bounded forward replay.
+    """
+
+    def __init__(self, program, per_core_entries: list[list], *,
+                 cisn_bits: int = 16, variant: str = "default",
+                 edges=None,
+                 checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+                 recording_cycles: int | None = None):
+        if checkpoint_every <= 0:
+            raise ValueError("checkpoint_every must be positive")
+        self.variant = variant
+        self.recording_cycles = recording_cycles
+        self.checkpoint_every = checkpoint_every
+        self.replayer = Replayer(program, per_core_entries,
+                                 cisn_bits=cisn_bits, variant=variant)
+        self.checkpoints = CheckpointStore()
+        self.accesses = AccessLog()
+        memory, contexts, counts = self.replayer.replay(
+            checkpoint_every=checkpoint_every,
+            checkpoint_sink=self.checkpoints.capture,
+            access_sink=self.accesses)
+        self.final_memory = {addr: value for addr, value in memory.items()
+                             if value}
+        self.final_writers = dict(memory.writers)
+        self.final_counts = counts
+        self.graph = CausalityGraph.build(
+            self.replayer.intervals_per_core(), edges=edges,
+            order=self.replayer.quickrec_order())
+        self.replayer.checkpoint_store = self.checkpoints
+        self.replayer.hb_graph = self.graph
+
+    # Constructors -------------------------------------------------------
+
+    @classmethod
+    def from_run_result(cls, result, variant: str = "default", *,
+                        checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY
+                        ) -> "ReplayInspector":
+        """Inspector over a live or deserialized
+        :class:`~repro.sim.machine.RunResult`."""
+        outputs = result.recordings[variant]
+        return cls(result.program,
+                   [output.entries for output in outputs],
+                   cisn_bits=outputs[0].config.cisn_bits, variant=variant,
+                   edges=result.dependence_edges.get(variant),
+                   checkpoint_every=checkpoint_every,
+                   recording_cycles=result.cycles)
+
+    @classmethod
+    def from_stored(cls, stored, variant: str | None = None, *,
+                    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY
+                    ) -> "ReplayInspector":
+        """Inspector over a :class:`~repro.storage.StoredRecording`."""
+        from ..common.config import RecorderConfig
+        from ..storage import config_from_dict
+
+        variant = variant or stored.variants[0]
+        entries = stored.log_entries(variant)  # nice error on bad variant
+        meta = stored.manifest["variants"][variant]
+        recorder_config = config_from_dict(RecorderConfig,
+                                           meta["recorder_config"])
+        return cls(stored.program, entries,
+                   cisn_bits=recorder_config.cisn_bits, variant=variant,
+                   edges=stored.edges(variant),
+                   checkpoint_every=checkpoint_every,
+                   recording_cycles=stored.cycles)
+
+    # State queries ------------------------------------------------------
+
+    @property
+    def num_intervals(self) -> int:
+        return len(self.replayer.intervals)
+
+    def _position_of(self, core_id: int, cisn: int) -> int:
+        position = self.replayer.index_of(core_id, cisn)
+        if position is None:
+            raise KeyError(f"no chunk (core {core_id}, cisn {cisn}) in "
+                           f"variant {self.variant!r}")
+        return position
+
+    def state_at(self, core_id: int, cisn: int) -> StateView:
+        """Machine state right after core ``core_id`` committed chunk
+        ``cisn`` (resolves the nearest checkpoint, replays forward)."""
+        return self.state_at_position(self._position_of(core_id, cisn) + 1)
+
+    def state_at_position(self, position: int) -> StateView:
+        """Machine state after ``position`` chunks of the total order."""
+        if not 0 <= position <= self.num_intervals:
+            raise KeyError(f"position {position} outside "
+                           f"0..{self.num_intervals}")
+        checkpoint = self.checkpoints.nearest(position)
+        state = self.checkpoints.restore(checkpoint, self.replayer)
+        self.replayer.run(state, stop=position)
+        return StateView(
+            position=position,
+            cisn_watermarks=list(state.cisn_watermarks),
+            memory={addr: value for addr, value in state.memory.items()
+                    if value},
+            cores=[thread_context_to_dict(context)
+                   for context in state.contexts],
+            counts=replace(state.counts),
+            checkpoint_id=checkpoint.checkpoint_id,
+            replayed_forward=position - checkpoint.position)
+
+    def checkpoint_at(self, core_id: int, cisn: int) -> ReplayCheckpoint:
+        """On-demand checkpoint right after one chunk (cached for reuse)."""
+        position = self._position_of(core_id, cisn) + 1
+        nearest = self.checkpoints.nearest(position)
+        if nearest is not None and nearest.position == position:
+            return nearest
+        state = self.checkpoints.restore(nearest, self.replayer)
+        self.replayer.run(state, stop=position)
+        return self.checkpoints.capture(self.replayer, state)
+
+    # Data-flow queries --------------------------------------------------
+
+    def first_write(self, addr: int) -> MemoryAccess | None:
+        return self.accesses.first_write(addr)
+
+    def last_write(self, addr: int) -> MemoryAccess | None:
+        return self.accesses.last_write(addr)
+
+    def writes_to(self, addr: int) -> list[MemoryAccess]:
+        return self.accesses.writes_to(addr)
+
+    def who_read(self, addr: int,
+                 value: int | None = None) -> list[MemoryAccess]:
+        return self.accesses.reads_of(addr, value)
+
+    # Structure queries --------------------------------------------------
+
+    def timeline(self, core_id: int) -> list[dict]:
+        """Per-chunk interval timeline of one core (replay order)."""
+        if not 0 <= core_id < self.replayer.program.num_threads:
+            raise KeyError(f"core {core_id} out of range "
+                           f"(program has "
+                           f"{self.replayer.program.num_threads} threads)")
+        from ..recorder.logfmt import Dummy, InorderBlock, ReorderedLoad
+        from ..replay.patcher import PatchedWrite
+
+        spans = []
+        for position, interval in enumerate(self.replayer.intervals):
+            if interval.core_id != core_id:
+                continue
+            bounds = self.replayer.interval_bounds(core_id, interval.cisn)
+            instructions = injected = dummies = patched = 0
+            for entry in interval.entries:
+                if isinstance(entry, InorderBlock):
+                    instructions += entry.size
+                elif isinstance(entry, ReorderedLoad):
+                    injected += 1
+                elif isinstance(entry, Dummy):
+                    dummies += 1
+                elif isinstance(entry, PatchedWrite):
+                    patched += 1
+            spans.append({
+                "cisn": interval.cisn,
+                "position": position,
+                "start": bounds[0] if bounds else 0,
+                "end": bounds[1] if bounds else interval.timestamp,
+                "instructions": instructions,
+                "injected_loads": injected,
+                "dummies": dummies,
+                "patched_writes": patched,
+            })
+        return spans
+
+    def hb_slice(self, core_id: int, cisn: int, *,
+                 depth: int | None = None) -> HBSlice:
+        """The chunk's happens-before causal cone."""
+        return self.graph.slice((core_id, cisn), depth=depth)
+
+    def summary(self) -> dict:
+        """JSON-able overview of the inspected recording."""
+        return {
+            "variant": self.variant,
+            "intervals": self.num_intervals,
+            "intervals_per_core": self.replayer.intervals_per_core(),
+            "checkpoints": len(self.checkpoints),
+            "checkpoint_every": self.checkpoint_every,
+            "accesses": len(self.accesses),
+            "touched_addresses": len(self.accesses.touched_addresses()),
+            "hb_source": self.graph.source,
+            "hb_edges": self.graph.num_edges,
+            "recording_cycles": self.recording_cycles,
+        }

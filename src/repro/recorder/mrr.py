@@ -147,6 +147,12 @@ class RelaxReplayRecorder:
         # moved access — inverting same-processor same-address order — so
         # reordered stores clamp their effective perform interval to it.
         self._moved_line_cisn: dict[int, int] = {}
+        # Interval-timestamp floor.  When this core's own transaction
+        # commits at cycle T, any remote interval it conflict-terminates is
+        # stamped T — so the interval containing this access must stamp
+        # strictly later, or the (timestamp, core_id) tie-break could
+        # replay the dependent interval first (hypothesis seed 1679).
+        self._timestamp_floor = 0
 
     # ---------------------------------------------------- core-side events
 
@@ -245,6 +251,8 @@ class RelaxReplayRecorder:
         """Observe a committed coherence transaction: update the Snoop
         Table and terminate the interval on a signature conflict."""
         if event.requester == self.core_id:
+            self._timestamp_floor = max(self._timestamp_floor,
+                                        event.cycle + 1)
             return
         if self.dependence_tracker is not None:
             # Weak ordering edge: the requester follows everything this
@@ -298,13 +306,14 @@ class RelaxReplayRecorder:
             # Nothing happened: no ordering obligation, keep CISN stable so
             # logged frames stay consecutive.
             return
+        timestamp = max(cycle, self._timestamp_floor)
         if self.tracer is not None:
             self.tracer.emit(ChunkCutEvent(
-                cycle=cycle, core_id=self.core_id, variant=self.name,
+                cycle=timestamp, core_id=self.core_id, variant=self.name,
                 cisn=self.cisn, reason=reason,
                 entries=self.entries_in_interval,
                 instructions=self.counted_in_interval))
-        self._append(IntervalFrame(self.cisn, cycle))
+        self._append(IntervalFrame(self.cisn, timestamp))
         self.stats.frames += 1
         self.cisn += 1
         self.read_sig.clear()

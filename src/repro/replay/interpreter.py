@@ -29,6 +29,11 @@ class ThreadContext:
         self.instructions_executed = 0
         # Loaded values in program order (for trace-level verification).
         self.load_values: list[int] = []
+        # Optional callable ``(kind, addr, value)`` observing every memory
+        # access replayed through this context; None (the default) keeps
+        # the hot path a single attribute test.  Used by the time-travel
+        # inspector (:mod:`repro.obs.inspect`) to index reads and writes.
+        self.access_sink = None
 
     # ------------------------------------------------------------ helpers
 
@@ -50,20 +55,31 @@ class ThreadContext:
         instr = self.current_instruction()
         opcode = instr.opcode
         if opcode is Opcode.LOAD:
-            value = memory.get(self._address(instr), 0)
+            address = self._address(instr)
+            value = memory.get(address, 0)
             self.regs[instr.dst] = value
             self.load_values.append(value)
+            if self.access_sink is not None:
+                self.access_sink("load", address, value)
             self.pc += 1
         elif opcode is Opcode.STORE:
-            memory[self._address(instr)] = self.regs[instr.src1] & MASK64
+            address = self._address(instr)
+            value = self.regs[instr.src1] & MASK64
+            memory[address] = value
+            if self.access_sink is not None:
+                self.access_sink("store", address, value)
             self.pc += 1
         elif opcode is Opcode.RMW:
             address = self._address(instr)
             old = memory.get(address, 0)
             operand = self.regs[instr.src1] if instr.src1 is not None else None
-            memory[address] = eval_rmw(instr.rmw_op, old, operand, instr.imm)
+            new = eval_rmw(instr.rmw_op, old, operand, instr.imm)
+            memory[address] = new
             self.regs[instr.dst] = old
             self.load_values.append(old)
+            if self.access_sink is not None:
+                self.access_sink("rmw-load", address, old)
+                self.access_sink("rmw-store", address, new)
             self.pc += 1
         elif opcode is Opcode.ALU:
             b = self.regs[instr.src2] if instr.src2 is not None else instr.imm
@@ -96,6 +112,12 @@ class ThreadContext:
             raise ReplayDivergenceError(
                 f"core {self.core_id}: ReorderedLoad entry at pc={self.pc} but "
                 f"instruction is {instr.opcode.value}")
+        if self.access_sink is not None:
+            # Address operands are program-order-prior state (read before
+            # the destination register is written), so the deterministic
+            # replay recomputes the recorded address exactly.
+            self.access_sink("injected-load", self._address(instr),
+                             value & MASK64)
         self.regs[instr.dst] = value & MASK64
         self.load_values.append(value & MASK64)
         self.pc += 1

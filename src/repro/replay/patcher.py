@@ -56,10 +56,13 @@ class ReplayInterval:
     def sort_key(self) -> tuple[int, int]:
         """QuickRec total order: global timestamp, core id as tie-break.
 
-        Intervals of different cores terminated by the same bus transaction
-        share a timestamp; they are mutually dependence-free (any dependence
-        would have terminated one of them earlier), so the tie-break is
-        arbitrary but must be deterministic.
+        The recorder guarantees dependent intervals never share a
+        timestamp: an interval containing an access whose transaction
+        conflict-terminated a remote interval at cycle T is stamped at
+        least T+1 (the timestamp floor in ``RelaxReplayRecorder``).
+        Intervals of different cores that still tie — e.g. victims of the
+        same bus transaction — are mutually dependence-free, so the
+        tie-break is arbitrary but must be deterministic.
         """
         return (self.timestamp, self.core_id)
 

@@ -15,12 +15,12 @@ mismatch.  The property-based test-suite leans on this heavily.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..common.errors import LogFormatError
 from ..isa.instructions import MASK64
 from ..isa.program import Program
-from ..obs.events import DivergenceEvent, ReplayStepEvent
+from ..obs.events import CheckpointEvent, DivergenceEvent, ReplayStepEvent
 from ..obs.forensics import build_report, raise_divergence
 from ..obs.tracer import Tracer
 from ..recorder.logfmt import Dummy, InorderBlock, ReorderedLoad
@@ -29,7 +29,7 @@ from .costmodel import ReplayCounts, ReplayTime, estimate_replay_time
 from .interpreter import ThreadContext
 from .patcher import PatchedWrite, ReplayInterval, group_intervals, patch_intervals
 
-__all__ = ["ReplayResult", "Replayer", "replay_recording"]
+__all__ = ["ReplayResult", "ReplayState", "Replayer", "replay_recording"]
 
 
 class _WriterTrackingMemory(dict):
@@ -52,6 +52,24 @@ class _WriterTrackingMemory(dict):
         if self.current is not None:
             self.writers[addr] = self.current
         super().__setitem__(addr, value)
+
+
+@dataclass
+class ReplayState:
+    """Mid-replay machine state: resumable, checkpointable.
+
+    ``position`` counts the intervals already committed in the QuickRec
+    total order (an index into ``Replayer.intervals``); ``cisn_watermarks``
+    holds, per core, the CISN the core will commit next.  A state captured
+    after interval *p-1* and run forward is byte-identical to straight-line
+    replay — the differential checkpoint suite proves it.
+    """
+
+    memory: "_WriterTrackingMemory"
+    contexts: list[ThreadContext]
+    counts: ReplayCounts
+    position: int = 0
+    cisn_watermarks: list[int] = field(default_factory=list)
 
 
 @dataclass
@@ -97,61 +115,162 @@ class Replayer:
             intervals.extend(per_core)
         intervals.sort(key=ReplayInterval.sort_key)
         self.intervals = intervals
+        # Global replay position of each (core, cisn) chunk.
+        self._index: dict[tuple[int, int], int] = {
+            (interval.core_id, interval.cisn): position
+            for position, interval in enumerate(intervals)}
+        # Optional introspection attachments (duck-typed to avoid import
+        # cycles): a CheckpointStore with ``nearest(position)`` and an HB
+        # graph with ``has_node``/``slice`` (see repro.obs.inspect /
+        # repro.obs.causality).  When present, divergence reports name the
+        # nearest checkpoint and the culprit chunk's causal cone.
+        self.checkpoint_store = None
+        self.hb_graph = None
 
     def interval_bounds(self, core_id: int, cisn: int) -> tuple[int, int] | None:
         """Recording cycles (start, end) spanned by a core's chunk."""
         return self._bounds.get((core_id, cisn))
 
-    def replay(self) -> tuple[dict[int, int], list[ThreadContext], ReplayCounts]:
-        """Run the replay; returns (memory, contexts, counts)."""
+    def index_of(self, core_id: int, cisn: int) -> int | None:
+        """Global replay position of one chunk (None if not in the log)."""
+        return self._index.get((core_id, cisn))
+
+    def intervals_per_core(self) -> list[int]:
+        """Number of committed intervals per core."""
+        counts = [0] * self.program.num_threads
+        for interval in self.intervals:
+            counts[interval.core_id] = max(counts[interval.core_id],
+                                           interval.cisn + 1)
+        return counts
+
+    def quickrec_order(self) -> list[tuple[int, int]]:
+        """The (core, cisn) chunks in the QuickRec total replay order."""
+        return [(interval.core_id, interval.cisn)
+                for interval in self.intervals]
+
+    def initial_state(self) -> ReplayState:
+        """Fresh pre-replay state (program entry, initial memory image)."""
         memory = _WriterTrackingMemory(
             {addr: value & MASK64 for addr, value
              in self.program.initial_memory.items()})
         contexts = [ThreadContext(core_id, self.program.threads[core_id])
                     for core_id in range(self.program.num_threads)]
-        counts = ReplayCounts()
-        for interval in self.intervals:
-            # In the real system the OS waits here for all predecessor
-            # intervals; sequential replay makes that wait implicit.
-            counts.intervals += 1
-            memory.current = (interval.core_id, interval.cisn)
-            context = contexts[interval.core_id]
-            instructions = injected = patched = 0
-            for entry in interval.entries:
-                if isinstance(entry, InorderBlock):
-                    for _ in range(entry.size):
-                        context.step(memory)
-                    instructions += entry.size
-                    counts.instructions += entry.size
-                    counts.inorder_blocks += 1
-                elif isinstance(entry, ReorderedLoad):
-                    context.inject_load_value(entry.value)
-                    injected += 1
-                    counts.injected_loads += 1
-                elif isinstance(entry, Dummy):
-                    context.skip_store()
-                    counts.dummies += 1
-                elif isinstance(entry, PatchedWrite):
-                    memory[entry.addr] = entry.value & MASK64
-                    patched += 1
-                    counts.patched_writes += 1
-                else:
-                    raise LogFormatError(
-                        f"unpatched or unknown entry {entry!r} during replay")
-            if self.tracer is not None:
-                self.tracer.emit(ReplayStepEvent(
-                    cycle=interval.timestamp, core_id=interval.core_id,
-                    variant=self.variant, cisn=interval.cisn,
-                    timestamp=interval.timestamp, instructions=instructions,
-                    injected_loads=injected, patched_writes=patched))
-        memory.current = None
-        return memory, contexts, counts
+        return ReplayState(memory=memory, contexts=contexts,
+                           counts=ReplayCounts(),
+                           position=0,
+                           cisn_watermarks=[0] * self.program.num_threads)
+
+    def run(self, state: ReplayState, *, stop: int | None = None,
+            access_sink=None, on_interval_end=None) -> ReplayState:
+        """Advance ``state`` through intervals ``[state.position, stop)``.
+
+        ``access_sink`` (see :mod:`repro.obs.inspect`) observes every memory
+        access: it gets ``begin_interval(position, interval)`` before each
+        chunk and ``access(kind, addr, value)`` per access.
+        ``on_interval_end(state, interval)`` fires after each commit (the
+        checkpoint hook).  Both default to None and cost nothing then.
+        """
+        end = len(self.intervals) if stop is None else stop
+        if not state.position <= end <= len(self.intervals):
+            raise LogFormatError(
+                f"replay range {state.position}..{end} outside the log's "
+                f"{len(self.intervals)} intervals")
+        memory, contexts, counts = state.memory, state.contexts, state.counts
+        if access_sink is not None:
+            for context in contexts:
+                context.access_sink = access_sink.access
+        try:
+            for position in range(state.position, end):
+                interval = self.intervals[position]
+                # In the real system the OS waits here for all predecessor
+                # intervals; sequential replay makes that wait implicit.
+                counts.intervals += 1
+                memory.current = (interval.core_id, interval.cisn)
+                if access_sink is not None:
+                    access_sink.begin_interval(position, interval)
+                context = contexts[interval.core_id]
+                instructions = injected = patched = 0
+                for entry in interval.entries:
+                    if isinstance(entry, InorderBlock):
+                        for _ in range(entry.size):
+                            context.step(memory)
+                        instructions += entry.size
+                        counts.instructions += entry.size
+                        counts.inorder_blocks += 1
+                    elif isinstance(entry, ReorderedLoad):
+                        context.inject_load_value(entry.value)
+                        injected += 1
+                        counts.injected_loads += 1
+                    elif isinstance(entry, Dummy):
+                        context.skip_store()
+                        counts.dummies += 1
+                    elif isinstance(entry, PatchedWrite):
+                        memory[entry.addr] = entry.value & MASK64
+                        if access_sink is not None:
+                            access_sink.access("patched-store", entry.addr,
+                                               entry.value & MASK64)
+                        patched += 1
+                        counts.patched_writes += 1
+                    else:
+                        raise LogFormatError(
+                            f"unpatched or unknown entry {entry!r} during "
+                            f"replay")
+                if self.tracer is not None:
+                    self.tracer.emit(ReplayStepEvent(
+                        cycle=interval.timestamp, core_id=interval.core_id,
+                        variant=self.variant, cisn=interval.cisn,
+                        timestamp=interval.timestamp,
+                        instructions=instructions,
+                        injected_loads=injected, patched_writes=patched))
+                state.position = position + 1
+                state.cisn_watermarks[interval.core_id] = interval.cisn + 1
+                if on_interval_end is not None:
+                    on_interval_end(state, interval)
+        finally:
+            if access_sink is not None:
+                for context in contexts:
+                    context.access_sink = None
+            memory.current = None
+        return state
+
+    def replay(self, *, checkpoint_every: int | None = None,
+               checkpoint_sink=None, access_sink=None
+               ) -> tuple[dict[int, int], list[ThreadContext], ReplayCounts]:
+        """Run the full replay; returns (memory, contexts, counts).
+
+        With ``checkpoint_sink`` (a callable ``(replayer, state) ->
+        checkpoint``, e.g. :meth:`repro.obs.inspect.CheckpointStore.capture`)
+        a snapshot is taken before the first interval and after every
+        ``checkpoint_every`` committed chunks.
+        """
+        state = self.initial_state()
+        on_interval_end = None
+        if checkpoint_sink is not None:
+            every = checkpoint_every or 1
+            self._emit_checkpoint(checkpoint_sink(self, state), cycle=0)
+
+            def on_interval_end(state, interval):
+                if state.position % every == 0:
+                    self._emit_checkpoint(checkpoint_sink(self, state),
+                                          cycle=interval.timestamp)
+
+        self.run(state, access_sink=access_sink,
+                 on_interval_end=on_interval_end)
+        return state.memory, state.contexts, state.counts
+
+    def _emit_checkpoint(self, checkpoint, *, cycle: int) -> None:
+        if self.tracer is not None and checkpoint is not None:
+            self.tracer.emit(CheckpointEvent(
+                cycle=cycle, core_id=-1, variant=self.variant,
+                checkpoint_id=checkpoint.checkpoint_id,
+                position=checkpoint.position))
 
 
 def replay_recording(result: RunResult, variant: str = "default", *,
                      verify: bool = True,
                      verify_load_trace: bool = True,
-                     tracer: Tracer | None = None) -> ReplayResult:
+                     tracer: Tracer | None = None,
+                     checkpoint_every: int | None = None) -> ReplayResult:
     """Replay a :class:`~repro.sim.machine.RunResult` variant and verify it.
 
     ``verify`` checks final memory and final architectural registers against
@@ -160,13 +279,29 @@ def replay_recording(result: RunResult, variant: str = "default", *,
     the raised :class:`ReplayDivergenceError` carries a
     :class:`~repro.obs.forensics.DivergenceReport` (with recent history
     when ``tracer`` is given) naming the culprit core/chunk/address.
+
+    ``checkpoint_every`` additionally captures a replay checkpoint every N
+    committed chunks and builds the happens-before graph, so a divergence
+    report also names the nearest checkpoint, the culprit chunk's causal
+    cone, and a ready-to-run ``repro.tools inspect`` command line.
     """
     outputs = result.recordings[variant]
     replayer = Replayer(result.program,
                         [output.entries for output in outputs],
                         cisn_bits=outputs[0].config.cisn_bits,
                         variant=variant, tracer=tracer)
-    memory, contexts, counts = replayer.replay()
+    checkpoint_sink = None
+    if checkpoint_every is not None:
+        from ..obs.causality import CausalityGraph
+        from ..obs.inspect import CheckpointStore
+        replayer.checkpoint_store = CheckpointStore()
+        replayer.hb_graph = CausalityGraph.build(
+            replayer.intervals_per_core(),
+            edges=result.dependence_edges.get(variant),
+            order=replayer.quickrec_order())
+        checkpoint_sink = replayer.checkpoint_store.capture
+    memory, contexts, counts = replayer.replay(
+        checkpoint_every=checkpoint_every, checkpoint_sink=checkpoint_sink)
 
     if verify:
         _verify_memory(memory, result.final_memory, replayer)
@@ -198,6 +333,7 @@ def _diverge(replayer: "Replayer | str", *, kind: str, detail: str,
     ``replayer`` may be a bare variant name (legacy call shape): the report
     then carries attribution but no interval bounds or trace history.
     """
+    checkpoint = hb_slice = inspect_hint = None
     if isinstance(replayer, str):
         variant, tracer, bounds = replayer, None, None
     else:
@@ -205,6 +341,20 @@ def _diverge(replayer: "Replayer | str", *, kind: str, detail: str,
         tracer = replayer.tracer
         bounds = (replayer.interval_bounds(core_id, chunk)
                   if core_id is not None and chunk is not None else None)
+        if core_id is not None and chunk is not None:
+            inspect_hint = (
+                f"python -m repro.tools inspect <run.json> "
+                f"--variant {variant} --state-at {core_id}:{chunk} "
+                f"--hb-slice {core_id}:{chunk}")
+            graph = replayer.hb_graph
+            if graph is not None and graph.has_node((core_id, chunk)):
+                hb_slice = graph.slice((core_id, chunk))
+            store = replayer.checkpoint_store
+            position = replayer.index_of(core_id, chunk)
+            if store is not None and position is not None:
+                nearest = store.nearest(position + 1)
+                if nearest is not None:
+                    checkpoint = (nearest.checkpoint_id, nearest.position)
     if tracer is not None:
         tracer.emit(DivergenceEvent(
             cycle=bounds[1] if bounds else 0,
@@ -216,7 +366,8 @@ def _diverge(replayer: "Replayer | str", *, kind: str, detail: str,
     raise_divergence(build_report(
         variant=variant, kind=kind, detail=detail, core_id=core_id,
         chunk=chunk, addr=addr, expected=expected, observed=observed,
-        interval_bounds=bounds, tracer=tracer))
+        interval_bounds=bounds, tracer=tracer, checkpoint=checkpoint,
+        hb_slice=hb_slice, inspect_hint=inspect_hint))
 
 
 def _verify_memory(replayed: dict[int, int], recorded: dict[int, int],

@@ -40,6 +40,7 @@ __all__ = [
     "histogram_to_dict", "histogram_from_dict",
     "recorder_stats_to_dict", "recorder_stats_from_dict",
     "metrics_snapshot_to_dict", "metrics_snapshot_from_dict",
+    "thread_context_to_dict", "thread_context_from_dict",
     "run_result_to_dict", "run_result_from_dict",
 ]
 
@@ -122,6 +123,41 @@ def metrics_snapshot_to_dict(snapshot: MetricsSnapshot | None) -> dict | None:
 def metrics_snapshot_from_dict(data: dict | None) -> MetricsSnapshot | None:
     """Rebuild a snapshot from :func:`metrics_snapshot_to_dict`."""
     return None if data is None else MetricsSnapshot.from_dict(data)
+
+
+# -------------------------------------------------------- thread contexts
+
+def thread_context_to_dict(context) -> dict:
+    """JSON-able snapshot of a replay :class:`ThreadContext`.
+
+    The full architectural state of one replayed thread — everything the
+    replay-checkpoint machinery (:mod:`repro.obs.inspect`) must capture so
+    a restored context is indistinguishable from one that ran straight
+    through, including the load-value trace the verifier compares.
+    """
+    return {
+        "core_id": context.core_id,
+        "pc": context.pc,
+        "regs": list(context.regs),
+        "halted": context.halted,
+        "instructions_executed": context.instructions_executed,
+        "load_values": list(context.load_values),
+    }
+
+
+def thread_context_from_dict(data: dict, program):
+    """Rebuild a :class:`ThreadContext` written by
+    :func:`thread_context_to_dict` against ``program``'s thread code."""
+    from ..replay.interpreter import ThreadContext
+
+    context = ThreadContext(data["core_id"],
+                            program.threads[data["core_id"]])
+    context.pc = data["pc"]
+    context.regs = list(data["regs"])
+    context.halted = data["halted"]
+    context.instructions_executed = data["instructions_executed"]
+    context.load_values = list(data["load_values"])
+    return context
 
 
 # ------------------------------------------------------------ run results

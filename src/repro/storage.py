@@ -288,6 +288,15 @@ class StoredRecording:
         meta = self.manifest["variants"][variant]
         return sum(core["bit_length"] for core in meta["cores"])
 
+    def inspector(self, variant: str | None = None, *,
+                  checkpoint_every: int = 8):
+        """Time-travel :class:`~repro.obs.inspect.ReplayInspector` over one
+        stored variant (default: the first)."""
+        from .obs.inspect import ReplayInspector
+
+        return ReplayInspector.from_stored(
+            self, variant, checkpoint_every=checkpoint_every)
+
     def replay(self, variant: str, *, verify: bool = True) -> ReplayResult:
         """Replay a stored variant, verifying against the stored execution."""
         meta = self.manifest["variants"][variant]

@@ -32,6 +32,8 @@ rolling baseline and fails on regression — the CI perf gate.
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
 from dataclasses import replace
 from pathlib import Path
@@ -42,6 +44,12 @@ from .common.config import (
     MachineConfig,
     RecorderConfig,
     RecorderMode,
+)
+from .common.errors import (
+    ConfigError,
+    LogFormatError,
+    ReplayDivergenceError,
+    WorkloadError,
 )
 from .obs.logging import add_log_level_argument, setup_logging
 from .recorder.logfmt import IntervalFrame
@@ -77,18 +85,29 @@ def cmd_record(args) -> int:
     if args.trace or args.trace_out:
         from .obs import Tracer
         tracer = Tracer()
+    if not args.out and not args.result_out:
+        print("error: record needs --out and/or --result-out",
+              file=sys.stderr)
+        return 2
     result = machine.run(
         program, collect_dependence_edges=args.edges, tracer=tracer,
         kernel=args.kernel)
-    root = save_recording(result, args.out)
+    where = []
+    if args.out:
+        where.append(str(save_recording(result, args.out)))
+    if args.result_out:
+        from .sim.serialize import run_result_to_dict
+        with open(args.result_out, "w") as handle:
+            json.dump(run_result_to_dict(result), handle, sort_keys=True)
+        where.append(args.result_out)
     print(f"recorded {result.total_instructions} instructions "
-          f"({result.cycles} cycles, {len(result.cores)} cores) -> {root}")
+          f"({result.cycles} cycles, {len(result.cores)} cores) -> "
+          + ", ".join(where))
     if args.trace_out:
         from .obs import export_chrome_trace
         export_chrome_trace(tracer.events(), args.trace_out)
         print(f"  trace ({len(tracer)} events) -> {args.trace_out}")
     if args.metrics_out:
-        import json
         with open(args.metrics_out, "w") as handle:
             json.dump(result.metrics.to_dict(), handle, indent=1,
                       sort_keys=True)
@@ -130,8 +149,28 @@ def cmd_replay(args) -> int:
     return 0
 
 
-def cmd_inspect(args) -> int:
-    stored = load_recording(args.recording)
+def _parse_chunk(text: str) -> tuple[int, int]:
+    """Parse a ``CORE:CISN`` chunk reference."""
+    core, sep, cisn = text.partition(":")
+    try:
+        if not sep:
+            raise ValueError
+        return int(core, 0), int(cisn, 0)
+    except ValueError:
+        raise ValueError(f"expected CORE:CISN, got {text!r}") from None
+
+
+def _parse_addr_value(text: str) -> tuple[int, int | None]:
+    """Parse an ``ADDR`` or ``ADDR=VALUE`` reference (0x… accepted)."""
+    addr_part, sep, value_part = text.partition("=")
+    try:
+        return int(addr_part, 0), (int(value_part, 0) if sep else None)
+    except ValueError:
+        raise ValueError(f"expected ADDR[=VALUE], got {text!r}") from None
+
+
+def _summarize_directory(stored, args) -> int:
+    """The classic recording-directory summary (no replay needed)."""
     config = stored.config
     print(f"recording: {stored.root}")
     print(f"  program : {stored.program.name} "
@@ -162,6 +201,87 @@ def cmd_inspect(args) -> int:
             profile = merge_profiles(profile_log(core) for core in per_core)
             print(render_profile(profile, name=variant), end="")
             print(render_timeline(per_core), end="")
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    queries = any(value is not None for value in (
+        args.state_at, args.first_write, args.last_write, args.who_read,
+        args.timeline, args.hb_slice))
+    path = Path(args.recording)
+    if path.is_dir():
+        stored = load_recording(path)
+        if not queries and not args.json:
+            return _summarize_directory(stored, args)
+        inspector = stored.inspector(args.variant,
+                                     checkpoint_every=args.checkpoint_every)
+    else:
+        from .obs.inspect import ReplayInspector
+        from .sim.serialize import run_result_from_dict
+
+        result = run_result_from_dict(json.loads(path.read_text()))
+        variant = args.variant or sorted(result.recordings)[0]
+        inspector = ReplayInspector.from_run_result(
+            result, variant, checkpoint_every=args.checkpoint_every)
+
+    payload: dict = {"summary": inspector.summary()}
+    blocks: list[str] = []
+    if args.state_at is not None:
+        core, cisn = _parse_chunk(args.state_at)
+        view = inspector.state_at(core, cisn)
+        payload["state"] = view.to_dict()
+        blocks.append(view.render())
+    if args.first_write is not None:
+        addr, _ = _parse_addr_value(args.first_write)
+        access = inspector.first_write(addr)
+        payload["first_write"] = None if access is None else access.to_dict()
+        blocks.append(f"first write to {addr:#x}: "
+                      + (access.render() if access else "never written"))
+    if args.last_write is not None:
+        addr, _ = _parse_addr_value(args.last_write)
+        access = inspector.last_write(addr)
+        payload["last_write"] = None if access is None else access.to_dict()
+        blocks.append(f"last write to {addr:#x}: "
+                      + (access.render() if access else "never written"))
+    if args.who_read is not None:
+        addr, value = _parse_addr_value(args.who_read)
+        reads = inspector.who_read(addr, value)
+        payload["who_read"] = [access.to_dict() for access in reads]
+        header = (f"reads of {addr:#x}"
+                  + (f" = {value:#x}" if value is not None else ""))
+        blocks.append(f"{header}: {len(reads)}\n"
+                      + "\n".join(f"  {access.render()}"
+                                  for access in reads))
+    if args.timeline is not None:
+        spans = inspector.timeline(args.timeline)
+        payload["timeline"] = spans
+        lines = [f"core {args.timeline} timeline ({len(spans)} chunks):"]
+        for span in spans:
+            lines.append(
+                f"  chunk {span['cisn']:>4} pos {span['position']:>4} "
+                f"cycles {span['start']}..{span['end']}: "
+                f"{span['instructions']} instr, "
+                f"{span['injected_loads']} injected, "
+                f"{span['dummies']} dummies, "
+                f"{span['patched_writes']} patched")
+        blocks.append("\n".join(lines))
+    if args.hb_slice is not None:
+        core, cisn = _parse_chunk(args.hb_slice)
+        hb = inspector.hb_slice(core, cisn, depth=args.hb_depth)
+        payload["hb_slice"] = hb.to_dict()
+        blocks.append(hb.render())
+
+    if args.json:
+        print(json.dumps(payload, indent=1, sort_keys=True))
+        return 0
+    summary = payload["summary"]
+    print(f"inspect [{summary['variant']}]: {summary['intervals']} chunks, "
+          f"{summary['checkpoints']} checkpoints "
+          f"(every {summary['checkpoint_every']}), "
+          f"{summary['accesses']} accesses, "
+          f"HB {summary['hb_source']} ({summary['hb_edges']} edges)")
+    for block in blocks:
+        print(block)
     return 0
 
 
@@ -366,6 +486,9 @@ def cmd_perf_report(args) -> int:
     from .obs.perfdb import (DEFAULT_TOLERANCE, DEFAULT_WINDOW, load_history,
                              regression_report)
 
+    if not Path(args.history).exists():
+        print(f"error: no bench history at {args.history}", file=sys.stderr)
+        return 2
     records, skipped = load_history(args.history)
     if not records:
         print(f"perf report: no usable history in {args.history} "
@@ -403,7 +526,11 @@ def main(argv: list[str] | None = None) -> int:
     record.add_argument("--edges", action="store_true",
                         help="collect pairwise edges (enables parallel "
                              "replay; snoopy only)")
-    record.add_argument("--out", required=True)
+    record.add_argument("--out",
+                        help="recording directory to write")
+    record.add_argument("--result-out",
+                        help="write the full serialized RunResult as JSON "
+                             "(the repro.tools inspect input)")
     record.add_argument("--trace", action="store_true",
                         help="attach the structured trace bus")
     record.add_argument("--trace-out",
@@ -524,16 +651,60 @@ def main(argv: list[str] | None = None) -> int:
                                   "enforced even without history")
     perf_report.set_defaults(func=cmd_perf_report)
 
-    inspect = sub.add_parser("inspect", help="summarize a stored recording")
-    inspect.add_argument("recording")
+    inspect = sub.add_parser(
+        "inspect",
+        help="summarize a recording or run time-travel replay queries")
+    inspect.add_argument("recording",
+                         help="recording directory or serialized RunResult "
+                              "JSON (record --result-out)")
     inspect.add_argument("--verbose", "-v", action="store_true")
     inspect.add_argument("--analyze", "-a", action="store_true",
-                         help="print log profiles and interval timelines")
+                         help="print log profiles and interval timelines "
+                              "(directory summaries only)")
+    inspect.add_argument("--variant", default=None,
+                         help="recorder variant to inspect (default: first)")
+    inspect.add_argument("--checkpoint-every", type=int, default=8,
+                         metavar="N",
+                         help="replay-checkpoint cadence in chunks "
+                              "(default 8)")
+    inspect.add_argument("--json", action="store_true",
+                         help="emit one sorted JSON object instead of "
+                              "tables")
+    inspect.add_argument("--state-at", metavar="CORE:CISN",
+                         help="machine state right after a chunk committed")
+    inspect.add_argument("--first-write", metavar="ADDR",
+                         help="first chunk that wrote an address")
+    inspect.add_argument("--last-write", metavar="ADDR",
+                         help="last chunk that wrote an address")
+    inspect.add_argument("--who-read", metavar="ADDR[=VALUE]",
+                         help="every read of an address (optionally only "
+                              "reads that observed VALUE)")
+    inspect.add_argument("--timeline", type=int, metavar="CORE",
+                         help="one core's per-chunk interval timeline")
+    inspect.add_argument("--hb-slice", metavar="CORE:CISN",
+                         help="a chunk's happens-before causal cone")
+    inspect.add_argument("--hb-depth", type=int, default=None,
+                         help="bound the --hb-slice BFS to N hops")
     inspect.set_defaults(func=cmd_inspect)
 
     args = parser.parse_args(argv)
     setup_logging(args.log_level)
-    return args.func(args)
+    logger = logging.getLogger("repro.tools")
+    try:
+        return args.func(args)
+    except ReplayDivergenceError as error:
+        report = getattr(error, "report", None)
+        print(report.render() if report is not None else str(error),
+              file=sys.stderr)
+        logger.debug("replay divergence", exc_info=True)
+        return 1
+    except (OSError, json.JSONDecodeError, LogFormatError, ConfigError,
+            WorkloadError, KeyError, ValueError) as error:
+        message = (error.args[0] if error.args and
+                   isinstance(error.args[0], str) else str(error))
+        print(f"error: {message}", file=sys.stderr)
+        logger.debug("command failed", exc_info=True)
+        return 2
 
 
 if __name__ == "__main__":

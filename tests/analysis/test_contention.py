@@ -1,0 +1,83 @@
+"""Unit tests for repro.analysis.contention (hot lines + communication)."""
+
+import pytest
+
+from repro.analysis.contention import (
+    ContentionReport,
+    HotLine,
+    analyze_contention,
+    render_contention,
+)
+from repro.common.config import MachineConfig
+from repro.isa.builder import ThreadBuilder
+from repro.isa.program import Program
+from repro.sim.machine import Machine
+
+
+@pytest.fixture(scope="module")
+def contended():
+    """Two cores ping-ponging one line: guaranteed conflict terminations."""
+    def thread(tid):
+        builder = ThreadBuilder(f"t{tid}")
+        for index in range(30):
+            builder.load(1, offset=0x1000)
+            builder.addi(1, 1, 1)
+            builder.store(1, offset=0x1000)
+        builder.store(1, offset=0x2000 + tid * 8)
+        return builder.build()
+
+    program = Program([thread(t) for t in range(2)], name="pingpong")
+    return Machine(MachineConfig(num_cores=2)).run(
+        program, collect_dependence_edges=True)
+
+
+class TestAnalyzeContention:
+    def test_hot_lines_are_sorted_and_cover_terminations(self, contended):
+        report = analyze_contention(contended, "default")
+        assert isinstance(report, ContentionReport)
+        assert report.total_terminations > 0
+        counts = [hot.terminations for hot in report.hot_lines]
+        assert counts == sorted(counts, reverse=True)
+        # The ping-pong line dominates.
+        line_bytes = contended.config.l1.line_bytes
+        assert report.hot_lines[0].line_addr == 0x1000 // line_bytes
+
+    def test_communication_matrix_mirrors_edges(self, contended):
+        report = analyze_contention(contended, "default")
+        edges = contended.dependence_edges["default"]
+        total = sum(count for row in report.communication.values()
+                    for count in row.values())
+        assert total == len(edges)
+        for edge in edges:
+            assert report.communication[edge.src_core][edge.dst_core] >= 1
+
+    def test_region_attribution(self, contended):
+        line_bytes = contended.config.l1.line_bytes
+        regions = {"counter": (0x1000, 1)}
+        report = analyze_contention(contended, "default", regions=regions)
+        hottest = report.hot_lines[0]
+        assert hottest.region == "counter"
+        # Lines outside every region stay unlabeled.
+        assert all(hot.region is None for hot in report.hot_lines
+                   if hot.line_addr * line_bytes >= 0x2000)
+
+    def test_top_limits_the_list(self, contended):
+        report = analyze_contention(contended, "default")
+        assert report.top(1) == report.hot_lines[:1]
+
+
+class TestRenderContention:
+    def test_render_mentions_lines_and_matrix(self, contended):
+        report = analyze_contention(contended, "default",
+                                    regions={"counter": (0x1000, 1)})
+        text = render_contention(report, top=3)
+        assert "conflict terminations" in text
+        assert "hottest lines:" in text
+        assert "[counter]" in text
+        assert "dependence edges" in text
+
+    def test_render_empty_report(self):
+        report = ContentionReport(variant="v", total_terminations=0)
+        text = render_contention(report)
+        assert "0 conflict terminations" in text
+        assert "hottest" not in text

@@ -1,0 +1,73 @@
+"""Unit tests for repro.analysis.diff (Base-vs-Opt variant diffing)."""
+
+import pytest
+
+from repro.analysis.diff import VariantDiff, diff_variants, render_diff
+from repro.common.config import MachineConfig, RecorderConfig, RecorderMode
+from repro.isa.builder import ThreadBuilder
+from repro.isa.program import Program
+from repro.sim.machine import Machine
+
+
+@pytest.fixture(scope="module")
+def dual_recording():
+    """One execution recorded by Base and Opt simultaneously."""
+    def thread(tid):
+        builder = ThreadBuilder(f"t{tid}")
+        for index in range(25):
+            addr = 0x1000 + ((index * 3 + tid * 5) % 16) * 8
+            builder.load(1, offset=addr)
+            builder.xori(2, 1, index)
+            builder.store(2, offset=addr)
+        builder.store(2, offset=0x3000 + tid * 8)
+        return builder.build()
+
+    program = Program([thread(t) for t in range(2)], name="dual")
+    machine = Machine(MachineConfig(num_cores=2), {
+        "base": RecorderConfig(mode=RecorderMode.BASE),
+        "opt": RecorderConfig(mode=RecorderMode.OPT),
+    })
+    return machine.run(program)
+
+
+class TestDiffVariants:
+    def test_opt_never_logs_more_reordered_entries(self, dual_recording):
+        diff = diff_variants(dual_recording, "base", "opt")
+        assert isinstance(diff, VariantDiff)
+        # The Snoop Table can only rescue accesses, never create them.
+        assert diff.rescued_accesses >= 0
+
+    def test_bit_accounting_is_consistent(self, dual_recording):
+        diff = diff_variants(dual_recording, "base", "opt")
+        assert diff.bits_saved == diff.left_bits - diff.right_bits
+        assert diff.left_bits > 0 and diff.right_bits > 0
+        assert diff.bits_saved_fraction == \
+            diff.bits_saved / diff.left_bits
+
+    def test_self_diff_is_zero(self, dual_recording):
+        diff = diff_variants(dual_recording, "opt", "opt")
+        assert diff.rescued_accesses == 0
+        assert diff.interval_delta == 0
+        assert diff.bits_saved == 0
+        assert diff.bits_saved_fraction == 0.0
+
+    def test_fraction_of_empty_left_is_zero(self):
+        diff = VariantDiff(left="a", right="b", rescued_accesses=0,
+                           interval_delta=0, block_delta=0, bits_saved=0,
+                           left_bits=0, right_bits=0)
+        assert diff.bits_saved_fraction == 0.0
+
+
+class TestRenderDiff:
+    def test_render_names_both_variants(self, dual_recording):
+        diff = diff_variants(dual_recording, "base", "opt")
+        text = render_diff(diff)
+        assert "opt vs base" in text
+        assert f"rescued {diff.rescued_accesses}" in text
+        assert ("saves" in text) or ("costs" in text)
+
+    def test_render_negative_savings_says_costs(self):
+        diff = VariantDiff(left="a", right="b", rescued_accesses=0,
+                           interval_delta=0, block_delta=0, bits_saved=-8,
+                           left_bits=100, right_bits=108)
+        assert "costs 8 log bits" in render_diff(diff)

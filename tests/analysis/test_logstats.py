@@ -1,0 +1,93 @@
+"""Unit tests for repro.analysis.logstats (log profiling)."""
+
+from repro.analysis.logstats import (
+    ascii_histogram,
+    merge_profiles,
+    profile_log,
+    render_profile,
+)
+from repro.common.config import RecorderConfig
+from repro.recorder.logfmt import (
+    Dummy,
+    InorderBlock,
+    IntervalFrame,
+    ReorderedLoad,
+    ReorderedStore,
+    entry_bit_size,
+)
+
+_ENTRIES = [
+    InorderBlock(size=10),
+    ReorderedLoad(value=7),
+    InorderBlock(size=3),
+    ReorderedStore(addr=0x40, value=1, offset=2),
+    Dummy(),
+    IntervalFrame(cisn=0, timestamp=100),
+    InorderBlock(size=5),
+    IntervalFrame(cisn=1, timestamp=180),
+]
+
+
+class TestProfileLog:
+    def test_counts_and_instruction_coverage(self):
+        profile = profile_log(list(_ENTRIES))
+        assert profile.intervals == 2
+        assert profile.entries == len(_ENTRIES)
+        # 10 + 3 + 5 in blocks, plus one load, one store, one dummy.
+        assert profile.instructions == 21
+        assert profile.reordered_loads == 1
+        assert profile.reordered_stores == 1
+        assert profile.reordered_rmws == 0
+        assert profile.reordered_total == 2
+
+    def test_distributions(self):
+        profile = profile_log(list(_ENTRIES))
+        assert profile.block_sizes.count == 3
+        assert profile.block_sizes.minimum == 3
+        assert profile.block_sizes.maximum == 10
+        assert profile.interval_instructions.mean == 21 / 2
+        assert profile.store_offsets.mean == 2
+
+    def test_bits_match_the_encoder_accounting(self):
+        config = RecorderConfig()
+        profile = profile_log(list(_ENTRIES), config)
+        assert profile.bits == sum(entry_bit_size(entry, config)
+                                   for entry in _ENTRIES)
+        assert profile.bits == sum(profile.bits_by_type.values())
+
+    def test_empty_log(self):
+        profile = profile_log([])
+        assert profile.intervals == 0
+        assert profile.bits_per_kilo_instruction() == 0.0
+
+
+class TestMergeProfiles:
+    def test_merge_is_additive(self):
+        left = profile_log(list(_ENTRIES))
+        right = profile_log(list(_ENTRIES))
+        merged = merge_profiles([left, right])
+        assert merged.intervals == 2 * left.intervals
+        assert merged.bits == 2 * left.bits
+        assert merged.instructions == 2 * left.instructions
+        assert merged.block_sizes.count == 2 * left.block_sizes.count
+        assert merged.interval_instructions.mean == \
+            left.interval_instructions.mean
+
+    def test_merge_of_nothing_is_empty(self):
+        merged = merge_profiles([])
+        assert merged.entries == 0
+
+
+class TestRendering:
+    def test_render_profile_mentions_the_headline_numbers(self):
+        profile = profile_log(list(_ENTRIES))
+        text = render_profile(profile, name="unit")
+        assert "profile: unit" in text
+        assert "intervals            : 2" in text
+        assert "1 loads, 1 stores, 0 RMWs" in text
+
+    def test_ascii_histogram_shapes(self):
+        assert "(empty)" in ascii_histogram({}, label="empty")
+        text = ascii_histogram({0: 1, 8: 4}, width=8, label="hist")
+        assert text.startswith("hist")
+        assert text.count("|") == 2

@@ -1,0 +1,95 @@
+"""Unit tests for the happens-before causality graph."""
+
+import json
+
+import pytest
+
+from repro.obs.causality import CausalityGraph, HBSlice, _compress_ranges
+from repro.recorder.ordering import IntervalEdge
+
+
+class TestBuild:
+    def test_program_order_only(self):
+        graph = CausalityGraph.build([3, 2])
+        assert graph.source == "timestamps"
+        assert graph.num_nodes == 5
+        assert graph.parents((0, 2)) == [(0, 1)]
+        assert graph.children((0, 0)) == [(0, 1)]
+        # No cross-core information at all without edges or an order.
+        assert graph.ancestors((1, 1)) == {(1, 0)}
+
+    def test_recorded_edges_cross_cores(self):
+        edges = [IntervalEdge(0, 0, 1, 1)]
+        graph = CausalityGraph.build([2, 2], edges=edges)
+        assert graph.source == "edges"
+        assert (0, 0) in graph.ancestors((1, 1))
+        # Transitivity through program order.
+        assert graph.ancestors((1, 1)) == {(0, 0), (1, 0)}
+        assert graph.descendants((0, 0)) == {(0, 1), (1, 1)}
+
+    def test_edges_outside_the_recording_are_dropped(self):
+        edges = [IntervalEdge(0, 9, 1, 0), IntervalEdge(5, 0, 1, 0)]
+        graph = CausalityGraph.build([2, 2], edges=edges)
+        assert graph.parents((1, 0)) == []
+
+    def test_quickrec_fallback_chains_the_total_order(self):
+        order = [(0, 0), (1, 0), (0, 1), (1, 1)]
+        graph = CausalityGraph.build([2, 2], order=order)
+        assert graph.source == "timestamps"
+        # Every earlier chunk of the total order is an ancestor.
+        assert graph.ancestors((1, 1)) == {(0, 0), (1, 0), (0, 1)}
+        assert graph.ancestors((1, 0)) == {(0, 0)}
+
+    def test_empty_edges_fall_back_to_order(self):
+        graph = CausalityGraph.build([1, 1], edges=[], order=[(0, 0), (1, 0)])
+        assert graph.source == "timestamps"
+        assert graph.ancestors((1, 0)) == {(0, 0)}
+
+
+class TestQueries:
+    def test_depth_bounds_the_cone(self):
+        order = [(0, 0), (1, 0), (0, 1), (1, 1)]
+        graph = CausalityGraph.build([2, 2], order=order)
+        assert graph.ancestors((1, 1), depth=1) == {(0, 1), (1, 0)}
+        assert graph.ancestors((1, 1), depth=0) == set()
+
+    def test_unknown_node_raises_keyerror(self):
+        graph = CausalityGraph.build([2, 2])
+        with pytest.raises(KeyError):
+            graph.ancestors((2, 0))
+        with pytest.raises(KeyError):
+            graph.slice((0, 5))
+
+    def test_slice_is_sorted_and_json_safe(self):
+        order = [(0, 0), (1, 0), (0, 1), (1, 1)]
+        graph = CausalityGraph.build([2, 2], order=order)
+        hb = graph.slice((1, 1))
+        assert isinstance(hb, HBSlice)
+        assert hb.ancestors == sorted(hb.ancestors)
+        out = hb.to_dict()
+        json.dumps(out)
+        assert out["core"] == 1 and out["cisn"] == 1
+        assert out["ancestor_count"] == 3
+        assert out["source"] == "timestamps"
+
+    def test_render_compresses_ranges(self):
+        graph = CausalityGraph.build([5])
+        text = graph.slice((0, 4)).render()
+        assert "core0[0-3]" in text
+
+    def test_graph_to_dict_lists_edges(self):
+        graph = CausalityGraph.build([2, 1],
+                                     edges=[IntervalEdge(1, 0, 0, 1)])
+        out = graph.to_dict()
+        json.dumps(out)
+        assert [1, 0, 0, 1] in out["edges"]
+        assert [0, 0, 0, 1] in out["edges"]  # program order
+        assert out["nodes"] == 3
+
+
+class TestCompressRanges:
+    def test_shapes(self):
+        assert _compress_ranges([]) == ""
+        assert _compress_ranges([4]) == "4"
+        assert _compress_ranges([0, 1, 2, 3]) == "0-3"
+        assert _compress_ranges([0, 1, 3, 7, 8]) == "0-1,3,7-8"

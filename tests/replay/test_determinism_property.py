@@ -73,6 +73,16 @@ class TestDeterminismSweep:
                                  sharing=0.75, lock_probability=0.0)
         record_and_verify(program)
 
+    def test_timestamp_tie_vs_rescued_load_regression(self):
+        """Regression for the interval-timestamp floor: a size-cap cut on
+        the storing core landed on the same cycle as the conflict cut it
+        caused on the reading core, and the (timestamp, core_id) tie-break
+        replayed the store before the Opt-rescued load that had performed
+        earlier (hypothesis seed 1679)."""
+        program = random_program(4, ops_per_thread=30, seed=1679,
+                                 sharing=0.375, lock_probability=0.0)
+        record_and_verify(program)
+
     def test_two_threads_tiny(self):
         program = random_program(2, ops_per_thread=5, seed=3)
         record_and_verify(program)

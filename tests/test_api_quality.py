@@ -24,7 +24,8 @@ MODULES = [
     "repro.mem.directory", "repro.mem.memsys",
     "repro.cpu", "repro.cpu.consistency", "repro.cpu.core",
     "repro.cpu.dynops",
-    "repro.obs", "repro.obs.events", "repro.obs.exporters",
+    "repro.obs", "repro.obs.causality", "repro.obs.events",
+    "repro.obs.exporters", "repro.obs.inspect",
     "repro.obs.forensics", "repro.obs.logging", "repro.obs.metrics",
     "repro.obs.perfdb", "repro.obs.profiler", "repro.obs.telemetry",
     "repro.obs.tracer",
