@@ -86,10 +86,14 @@ class BloomSignature:
         """Total storage of the signature in bits (hardware cost)."""
         return self.banks * self.bits_per_bank
 
+    @property
+    def set_bits(self) -> int:
+        """Number of set bits across all banks."""
+        return sum(bits.bit_count() for bits in self._bank_bits)
+
     def occupancy(self) -> float:
         """Fraction of set bits across all banks — a saturation indicator."""
-        set_bits = sum(bits.bit_count() for bits in self._bank_bits)
-        return set_bits / (self.banks * self.bits_per_bank)
+        return self.set_bits / (self.banks * self.bits_per_bank)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"BloomSignature(banks={self.banks}, bits_per_bank={self.bits_per_bank}, "

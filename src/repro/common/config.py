@@ -176,6 +176,13 @@ class RecorderConfig:
     # transactions on the line (this reproduction's interval-ordering
     # adaptation of Section 4.3; see DESIGN.md).
     dirty_eviction_terminates: bool = False
+    # Floor the interval timestamp past this core's own commits so the
+    # (timestamp, core_id) tie-break can never replay a dependent interval
+    # before the interval its Opt-rescued access performed in (hypothesis
+    # seed 1679).  Disabling this re-introduces that determinism bug; the
+    # switch exists ONLY as a fuzzer/CI test hook proving the adversarial
+    # pipeline catches and minimizes it.  Never disable it in real runs.
+    interval_timestamp_floor: bool = True
 
     def validate(self) -> None:
         for name in ("signature_banks", "signature_bits_per_bank", "traq_entries",

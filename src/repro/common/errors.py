@@ -9,6 +9,7 @@ __all__ = [
     "LogFormatError",
     "ReplayDivergenceError",
     "WorkloadError",
+    "FuzzError",
 ]
 
 
@@ -53,3 +54,7 @@ class ReplayDivergenceError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised for malformed workload programs (e.g. a jump out of range)."""
+
+
+class FuzzError(ReproError):
+    """Raised for malformed fuzzer genomes or corrupt corpus entries."""

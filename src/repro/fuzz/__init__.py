@@ -1,0 +1,78 @@
+"""``repro.fuzz`` — the coverage-guided adversarial litmus fuzzer.
+
+Random property testing finds shallow recorder bugs; the bugs worth
+hunting hide in *rare recorder states* — a signature-aliasing cut
+followed by an Opt rescue at an interval boundary, a snoop-table
+eviction racing a size cut.  This package steers program generation
+toward those states:
+
+* :mod:`.corpus` — genomes (:class:`FuzzSpec`): random-program parameter
+  vectors or litmus shapes + staggers, JSON round-trippable, materialized
+  deterministically.
+* :mod:`.coverage` — AFL-style bucketing of the recorder-state signals
+  :func:`repro.obs.coverage.coverage_signals` extracts from each run.
+* :mod:`.mutate` — structured genome mutations (splice threads, densify
+  sharing, inject fences/atomics/locks, retune interval caps, ...).
+* :mod:`.oracles` — the differential stack every candidate must pass:
+  bit-exact record→replay per recorder variant, event-vs-lockstep kernel
+  equality, and litmus outcome legality per consistency model.
+* :mod:`.minimize` — deterministic delta debugging of failures down to a
+  minimal genome.
+* :mod:`.scheduler` — the session driver: energy-scheduled seed pool,
+  parallel candidate evaluation through the harness
+  :class:`~repro.harness.parallel_runner.ShardPool`, automatic
+  minimization + regression emission.  ``repro.tools fuzz`` is the CLI.
+
+With a fixed seed and a count budget every session is bit-for-bit
+reproducible at any ``--jobs`` width.
+"""
+
+from __future__ import annotations
+
+from .corpus import (CORPUS_FORMAT, CorpusEntry, FuzzSpec, build_program,
+                     entry_from_dict, entry_to_dict, load_corpus_dir,
+                     save_entry, seed_entries, spec_from_dict, spec_key,
+                     spec_size, spec_to_dict)
+from .coverage import CoverageMap, bucket_of, bucket_signals
+from .minimize import MinimizeResult, minimize, reductions
+from .mutate import MUTATORS, mutate
+from .oracles import (OracleReport, OracleVerdict, evaluate_shard,
+                      evaluate_spec, forensic_replay, recorder_variants)
+from .scheduler import (FuzzConfig, FuzzFailure, FuzzReport, FuzzSession,
+                        random_baseline, random_spec)
+
+__all__ = [
+    "CORPUS_FORMAT",
+    "CorpusEntry",
+    "FuzzSpec",
+    "build_program",
+    "entry_from_dict",
+    "entry_to_dict",
+    "load_corpus_dir",
+    "save_entry",
+    "seed_entries",
+    "spec_from_dict",
+    "spec_key",
+    "spec_size",
+    "spec_to_dict",
+    "CoverageMap",
+    "bucket_of",
+    "bucket_signals",
+    "MinimizeResult",
+    "minimize",
+    "reductions",
+    "MUTATORS",
+    "mutate",
+    "OracleReport",
+    "OracleVerdict",
+    "evaluate_shard",
+    "evaluate_spec",
+    "forensic_replay",
+    "recorder_variants",
+    "FuzzConfig",
+    "FuzzFailure",
+    "FuzzReport",
+    "FuzzSession",
+    "random_baseline",
+    "random_spec",
+]

@@ -1,0 +1,250 @@
+"""Fuzzer genomes and the on-disk corpus format.
+
+The fuzzer never mutates instruction streams directly — a random byte
+flip in a program is overwhelmingly either invalid or boring.  It mutates
+*genomes*: a :class:`FuzzSpec` names everything needed to rebuild a
+candidate deterministically — either a
+:class:`~repro.workloads.random_programs.RandomProgramParams` (the
+``random`` kind) or a litmus shape plus start-up staggers (the ``litmus``
+kind), together with the consistency model and the recorder interval cap
+the candidate is recorded under.  :func:`build_program` materializes the
+genome; equal genomes materialize byte-identical programs (the
+random-program determinism contract).
+
+Corpus entries persist a genome *and* the program it materialized to, so
+a corpus directory is self-describing and tamper-evident:
+:func:`entry_from_dict` rebuilds the program from the genome and refuses
+the entry if the embedded program does not match bit-exactly (a stale
+entry from before a generator change must never silently fuzz a
+different program than its genome claims).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from ..common.config import ConsistencyModel
+from ..common.errors import FuzzError
+from ..common.hashing import stable_digest
+from ..isa.program import Program
+from ..workloads.litmus import LITMUS_TESTS, litmus_program
+from ..workloads.random_programs import (RandomProgramParams, params_from_dict,
+                                         params_to_dict,
+                                         random_program_from_params)
+
+__all__ = ["CORPUS_FORMAT", "FuzzSpec", "CorpusEntry", "build_program",
+           "spec_to_dict", "spec_from_dict", "spec_key", "spec_size",
+           "entry_to_dict", "entry_from_dict", "load_corpus_dir",
+           "save_entry", "seed_entries", "SEEDS_DIR"]
+
+#: Bumped when the corpus entry layout changes.
+CORPUS_FORMAT = 1
+
+#: Packaged seed corpus shipped with the library (regression genomes
+#: promoted from the property-based test-suite's past finds).
+SEEDS_DIR = Path(__file__).parent / "seeds"
+
+#: Interval caps a genome may select (small caps force many interval
+#: boundaries on tiny fuzz programs, which is where the recorder's
+#: cut/rescue/timestamp machinery actually gets exercised).
+INTERVAL_CAPS = (16, 32, 64, 128, 256)
+
+
+@dataclass(frozen=True)
+class FuzzSpec:
+    """One fuzz candidate's genome.
+
+    ``kind`` selects the generator: ``random`` rebuilds via
+    :func:`~repro.workloads.random_programs.random_program_from_params`
+    from ``params``; ``litmus`` rebuilds via
+    :func:`~repro.workloads.litmus.litmus_program` from ``litmus`` and
+    ``staggers`` (and its oracle additionally checks the observed outcome
+    against the model's allowed set).
+    """
+
+    kind: str                                    # "random" | "litmus"
+    consistency: ConsistencyModel = ConsistencyModel.RC
+    interval_cap: int = 64
+    params: RandomProgramParams | None = None    # random kind
+    litmus: str = ""                             # litmus kind
+    staggers: tuple[int, ...] = ()
+
+    def validate(self) -> None:
+        if self.kind == "random":
+            if self.params is None:
+                raise FuzzError("random FuzzSpec needs params")
+            self.params.validate()
+        elif self.kind == "litmus":
+            test = LITMUS_TESTS.get(self.litmus)
+            if test is None:
+                raise FuzzError(f"unknown litmus test {self.litmus!r}")
+            if len(self.staggers) != len(test.threads):
+                raise FuzzError(
+                    f"litmus {self.litmus} has {len(test.threads)} threads, "
+                    f"got {len(self.staggers)} staggers")
+            if any(s < 0 for s in self.staggers):
+                raise FuzzError("staggers must be non-negative")
+        else:
+            raise FuzzError(f"unknown FuzzSpec kind {self.kind!r}")
+        if self.interval_cap <= 0:
+            raise FuzzError("interval_cap must be positive")
+
+    def describe(self) -> str:
+        """Short human-readable label for progress and error lines."""
+        if self.kind == "random":
+            return (f"random[{self.params.num_threads}t"
+                    f"x{self.params.total_ops()}op"
+                    f" cap{self.interval_cap}"
+                    f" {self.consistency.value} {spec_key(self)[:10]}]")
+        return (f"litmus[{self.litmus} stag={','.join(map(str, self.staggers))}"
+                f" cap{self.interval_cap} {self.consistency.value}]")
+
+
+def build_program(spec: FuzzSpec) -> Program:
+    """Materialize the genome (deterministic: equal specs, equal bytes)."""
+    spec.validate()
+    if spec.kind == "random":
+        return random_program_from_params(spec.params)
+    return litmus_program(LITMUS_TESTS[spec.litmus], spec.staggers)
+
+
+def spec_size(spec: FuzzSpec) -> tuple:
+    """Lexicographic genome size, strictly decreased by every reduction
+    the minimizer tries (which is what guarantees it terminates)."""
+    if spec.kind == "random":
+        params = spec.params
+        knob_mass = sum(
+            (t.sharing > 0) + (t.lock_probability > 0)
+            + (t.fence_probability > 0) + (t.atomic_probability > 0)
+            for t in params.threads)
+        return (params.total_ops(), params.num_threads, knob_mass,
+                params.shared_words + params.private_words, 0)
+    return (0, 0, 0, 0, sum(spec.staggers))
+
+
+# ------------------------------------------------------------ serialization
+
+def spec_to_dict(spec: FuzzSpec) -> dict:
+    """JSON-able genome form (inverse of :func:`spec_from_dict`)."""
+    return {
+        "kind": spec.kind,
+        "consistency": spec.consistency.value,
+        "interval_cap": spec.interval_cap,
+        "params": (None if spec.params is None
+                   else params_to_dict(spec.params)),
+        "litmus": spec.litmus,
+        "staggers": list(spec.staggers),
+    }
+
+
+def spec_from_dict(data: dict) -> FuzzSpec:
+    """Rebuild (and validate) a genome from its JSON form."""
+    spec = FuzzSpec(
+        kind=data["kind"],
+        consistency=ConsistencyModel(data["consistency"]),
+        interval_cap=data["interval_cap"],
+        params=(None if data.get("params") is None
+                else params_from_dict(data["params"])),
+        litmus=data.get("litmus", ""),
+        staggers=tuple(data.get("staggers", ())))
+    spec.validate()
+    return spec
+
+
+def spec_key(spec: FuzzSpec) -> str:
+    """Content address of a genome (dedup key; stable across runs)."""
+    return stable_digest(spec_to_dict(spec))
+
+
+# ------------------------------------------------------------------ entries
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One persisted corpus member: genome + provenance."""
+
+    spec: FuzzSpec
+    origin: str = ""        # "seed" | "mutation:<op>" | "minimized" | ...
+    notes: str = ""
+    failure: dict = field(default_factory=dict)  # regression entries only
+
+    def describe(self) -> str:
+        return self.spec.describe()
+
+
+def entry_to_dict(entry: CorpusEntry) -> dict:
+    """Self-describing JSON form (embeds the materialized program)."""
+    from ..storage import program_to_dict
+
+    return {
+        "corpus_format": CORPUS_FORMAT,
+        "origin": entry.origin,
+        "notes": entry.notes,
+        "failure": dict(entry.failure),
+        "spec": spec_to_dict(entry.spec),
+        "program": program_to_dict(build_program(entry.spec)),
+    }
+
+
+def entry_from_dict(data: dict, *, verify: bool = True) -> CorpusEntry:
+    """Rebuild an entry; with ``verify`` prove the genome still
+    materializes the embedded program bit-exactly."""
+    from ..storage import program_to_dict
+
+    if data.get("corpus_format") != CORPUS_FORMAT:
+        raise FuzzError(f"corpus entry format {data.get('corpus_format')!r}, "
+                        f"expected {CORPUS_FORMAT}")
+    entry = CorpusEntry(spec=spec_from_dict(data["spec"]),
+                        origin=data.get("origin", ""),
+                        notes=data.get("notes", ""),
+                        failure=dict(data.get("failure", {})))
+    if verify:
+        rebuilt = json.dumps(program_to_dict(build_program(entry.spec)),
+                             sort_keys=True)
+        stored = json.dumps(data["program"], sort_keys=True)
+        if rebuilt != stored:
+            raise FuzzError(
+                f"corpus entry {entry.describe()} is stale: the genome no "
+                f"longer materializes the embedded program bit-exactly")
+    return entry
+
+
+# ---------------------------------------------------------------- directory
+
+def save_entry(directory: str | Path, name: str, entry: CorpusEntry) -> Path:
+    """Persist one entry as ``<directory>/<name>.json`` (pretty-printed,
+    so regression files read well in review)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.json"
+    path.write_text(json.dumps(entry_to_dict(entry), indent=2,
+                               sort_keys=True) + "\n")
+    return path
+
+
+def load_corpus_dir(directory: str | Path, *,
+                    verify: bool = True) -> list[CorpusEntry]:
+    """Load every ``*.json`` entry under ``directory`` (sorted by name,
+    so corpus iteration order never depends on the filesystem)."""
+    directory = Path(directory)
+    entries = []
+    for path in sorted(directory.glob("*.json")):
+        if path.name.endswith(".forensics.json"):
+            continue    # companion bundles, not corpus entries
+        try:
+            data = json.loads(path.read_text())
+            entries.append(entry_from_dict(data, verify=verify))
+        except (OSError, ValueError, KeyError, FuzzError) as exc:
+            raise FuzzError(f"corrupt corpus entry {path}: {exc}") from exc
+    return entries
+
+
+def seed_entries() -> list[CorpusEntry]:
+    """The packaged seed corpus (promoted past regression genomes)."""
+    return load_corpus_dir(SEEDS_DIR)
+
+
+def with_params(spec: FuzzSpec, params: RandomProgramParams) -> FuzzSpec:
+    """A copy of ``spec`` carrying ``params`` (mutation helper)."""
+    return replace(spec, params=params)

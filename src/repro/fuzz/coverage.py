@@ -1,0 +1,63 @@
+"""Coverage bucketing: recorder-state signals -> novelty buckets.
+
+:func:`repro.obs.coverage.coverage_signals` distills one recorded
+execution into a flat ``{signal: value}`` dict; this module discretizes
+each signal into a power-of-two *bucket* (AFL's hit-count bucketing,
+applied to recorder internals instead of edge counters).  A candidate is
+*novel* exactly when it lands a ``signal:bucket`` pair the session has
+never seen — e.g. the first program whose ``opt_cap.cut.alias`` count
+reaches the 8–15 band, or whose ``opt_cap.rescued`` first becomes
+non-zero.
+
+Bucketing is pure arithmetic on the signal values, so it is identical
+in-process and across fuzz worker processes.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["bucket_of", "bucket_signals", "CoverageMap"]
+
+
+def bucket_of(value: float) -> str:
+    """Power-of-two band of one signal value.
+
+    ``0`` is its own bucket (zero vs non-zero is the single most
+    informative distinction for rare-event counters); positive values
+    band by ``floor(log2(value))``, clamped to [-8, 32] so degenerate
+    fractions cannot mint unbounded buckets.
+    """
+    if value <= 0:
+        return "0"
+    return str(min(32, max(-8, math.floor(math.log2(value)))))
+
+
+def bucket_signals(signals: dict[str, float]) -> tuple[str, ...]:
+    """The sorted ``signal:bucket`` pairs one execution occupies."""
+    return tuple(f"{name}:{bucket_of(value)}"
+                 for name, value in sorted(signals.items()))
+
+
+class CoverageMap:
+    """Session-global map of every bucket seen, with hit counts."""
+
+    def __init__(self):
+        self.counts: dict[str, int] = {}
+
+    def observe(self, buckets: tuple[str, ...]) -> tuple[str, ...]:
+        """Fold one execution's buckets in; return the novel ones."""
+        new = tuple(b for b in buckets if b not in self.counts)
+        for bucket in buckets:
+            self.counts[bucket] = self.counts.get(bucket, 0) + 1
+        return new
+
+    def __len__(self) -> int:
+        return len(self.counts)
+
+    def __contains__(self, bucket: str) -> bool:
+        return bucket in self.counts
+
+    def to_dict(self) -> dict:
+        return {bucket: self.counts[bucket]
+                for bucket in sorted(self.counts)}

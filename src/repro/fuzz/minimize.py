@@ -1,0 +1,124 @@
+"""Delta-debugging minimizer for failing fuzz candidates.
+
+Given a genome and a *failing predicate* (usually "the oracle that
+rejected the original candidate still rejects this one"), the minimizer
+greedily applies genome reductions — drop a thread, halve a thread's op
+count, zero a probability knob, shrink the address regions, shrink the
+litmus staggers — keeping a reduction exactly when the candidate still
+fails, and restarting the scan after every acceptance.
+
+Two properties hold by construction (and are locked down by a hypothesis
+property test):
+
+* the returned genome satisfies the failing predicate (it is only ever
+  replaced by candidates that do), and
+* it is never larger than the input: every candidate a reduction yields
+  strictly decreases :func:`~repro.fuzz.corpus.spec_size`'s lexicographic
+  measure, which also bounds the total number of acceptances and thereby
+  guarantees termination.
+
+Reductions are generated in a fixed order and contain no randomness, so
+minimization of the same failure is reproducible run to run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .corpus import FuzzSpec, spec_size
+
+__all__ = ["MinimizeResult", "reductions", "minimize"]
+
+
+@dataclass(frozen=True)
+class MinimizeResult:
+    """Outcome of one minimization."""
+
+    spec: FuzzSpec            # smallest failing genome found
+    steps: int                # accepted reductions
+    tested: int               # candidates evaluated (predicate calls)
+    size_before: tuple
+    size_after: tuple
+
+
+def _thread_reductions(spec: FuzzSpec):
+    params = spec.params
+    # Drop whole threads first: the single biggest reduction available.
+    if params.num_threads > 1:
+        for index in range(params.num_threads):
+            threads = params.threads[:index] + params.threads[index + 1:]
+            yield replace(spec, params=replace(params, threads=threads))
+    # Halve, then decrement, per-thread op counts.
+    for index, thread in enumerate(params.threads):
+        smaller_ops = []
+        if thread.ops // 2 >= 1:
+            smaller_ops.append(thread.ops // 2)
+        if thread.ops > 1 and thread.ops - 1 not in smaller_ops:
+            smaller_ops.append(thread.ops - 1)
+        for ops in smaller_ops:
+            threads = (params.threads[:index]
+                       + (replace(thread, ops=ops),)
+                       + params.threads[index + 1:])
+            yield replace(spec, params=replace(params, threads=threads))
+    # Zero probability knobs one at a time (keeps total_ops, shrinks the
+    # knob-mass component of the size measure).
+    for index, thread in enumerate(params.threads):
+        for knob in ("lock_probability", "fence_probability",
+                     "atomic_probability", "sharing"):
+            if getattr(thread, knob) > 0:
+                threads = (params.threads[:index]
+                           + (replace(thread, **{knob: 0.0}),)
+                           + params.threads[index + 1:])
+                yield replace(spec, params=replace(params, threads=threads))
+    # Shrink the address regions.
+    if params.shared_words > 1:
+        yield replace(spec, params=replace(
+            params, shared_words=params.shared_words // 2))
+    if params.private_words > 1:
+        yield replace(spec, params=replace(
+            params, private_words=params.private_words // 2))
+
+
+def _stagger_reductions(spec: FuzzSpec):
+    for index, stagger in enumerate(spec.staggers):
+        if stagger > 0:
+            staggers = (spec.staggers[:index] + (stagger // 2,)
+                        + spec.staggers[index + 1:])
+            yield replace(spec, staggers=staggers)
+
+
+def reductions(spec: FuzzSpec):
+    """Candidate reductions of ``spec``, each strictly smaller under
+    :func:`spec_size`, in a fixed deterministic order."""
+    if spec.kind == "random":
+        yield from _thread_reductions(spec)
+    else:
+        yield from _stagger_reductions(spec)
+
+
+def minimize(spec: FuzzSpec, failing, *,
+             max_tests: int = 500) -> MinimizeResult:
+    """Greedily shrink ``spec`` while ``failing(candidate)`` stays True.
+
+    ``failing`` must accept the input spec (callers check before
+    minimizing); ``max_tests`` caps predicate calls so a pathologically
+    expensive oracle cannot stall a fuzz session — on exhaustion the
+    smallest failing genome found so far is returned.
+    """
+    current = spec
+    steps = tested = 0
+    progressed = True
+    while progressed and tested < max_tests:
+        progressed = False
+        for candidate in reductions(current):
+            if tested >= max_tests:
+                break
+            tested += 1
+            if failing(candidate):
+                current = candidate
+                steps += 1
+                progressed = True
+                break
+    return MinimizeResult(spec=current, steps=steps, tested=tested,
+                          size_before=spec_size(spec),
+                          size_after=spec_size(current))

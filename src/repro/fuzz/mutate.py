@@ -1,0 +1,222 @@
+"""Structured mutation operators over fuzz genomes.
+
+Every operator is a pure function ``(spec, rng, pool) -> FuzzSpec | None``
+(None when inapplicable — e.g. splicing with an empty pool, dropping a
+thread from a single-thread genome).  Operators mutate the *genome*, so
+every output materializes to a valid program by construction; mutation
+randomness flows exclusively through the passed ``random.Random``, which
+is what keeps a fuzz session with a fixed seed fully deterministic.
+
+The operator set maps directly to the recorder states worth steering
+toward: densifying sharing and shrinking the shared region raise conflict
+and aliasing cut rates, fence/atomic injection exercises interval
+boundaries at synchronization, cap retuning moves the size-cut/rescue
+balance, and thread splicing recombines two parents' communication
+patterns (the only crossover-style operator).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+
+from ..common.config import ConsistencyModel
+from ..workloads.litmus import LITMUS_TESTS
+from ..workloads.random_programs import RandomProgramParams, ThreadParams
+from .corpus import INTERVAL_CAPS, FuzzSpec
+
+__all__ = ["MUTATORS", "mutate"]
+
+_MAX_THREADS = 6
+_MAX_OPS = 120
+
+
+def _pick_thread(params: RandomProgramParams,
+                 rng: random.Random) -> int:
+    return rng.randrange(params.num_threads)
+
+
+def _replace_thread(spec: FuzzSpec, index: int,
+                    thread: ThreadParams) -> FuzzSpec:
+    params = spec.params
+    threads = params.threads[:index] + (thread,) + params.threads[index + 1:]
+    return replace(spec, params=replace(params, threads=threads))
+
+
+def _bump(value: float, rng: random.Random, *, step: float = 0.15) -> float:
+    """Raise a probability knob by a quantized random increment."""
+    return min(1.0, round(value + step + 0.3 * rng.random(), 3))
+
+
+# ---------------------------------------------------------------- operators
+
+def splice_threads(spec, rng, pool):
+    """Crossover: replace one thread with a thread from another parent."""
+    if spec.kind != "random":
+        return None
+    donors = [s for s in pool
+              if s.kind == "random" and s.params is not spec.params]
+    if not donors:
+        return None
+    donor = donors[rng.randrange(len(donors))]
+    donated = donor.params.threads[rng.randrange(donor.params.num_threads)]
+    return _replace_thread(spec, _pick_thread(spec.params, rng), donated)
+
+
+def densify_sharing(spec, rng, pool):
+    if spec.kind != "random":
+        return None
+    index = _pick_thread(spec.params, rng)
+    thread = spec.params.threads[index]
+    return _replace_thread(spec, index, replace(
+        thread, sharing=_bump(thread.sharing, rng)))
+
+
+def inject_fences(spec, rng, pool):
+    if spec.kind != "random":
+        return None
+    index = _pick_thread(spec.params, rng)
+    thread = spec.params.threads[index]
+    return _replace_thread(spec, index, replace(
+        thread, fence_probability=_bump(thread.fence_probability, rng,
+                                        step=0.1)))
+
+
+def inject_atomics(spec, rng, pool):
+    if spec.kind != "random":
+        return None
+    index = _pick_thread(spec.params, rng)
+    thread = spec.params.threads[index]
+    return _replace_thread(spec, index, replace(
+        thread, atomic_probability=_bump(thread.atomic_probability, rng,
+                                         step=0.1)))
+
+
+def inject_locks(spec, rng, pool):
+    if spec.kind != "random":
+        return None
+    index = _pick_thread(spec.params, rng)
+    thread = spec.params.threads[index]
+    return _replace_thread(spec, index, replace(
+        thread, lock_probability=_bump(thread.lock_probability, rng,
+                                       step=0.1)))
+
+
+def reseed_thread(spec, rng, pool):
+    if spec.kind != "random":
+        return None
+    index = _pick_thread(spec.params, rng)
+    thread = spec.params.threads[index]
+    return _replace_thread(spec, index, replace(
+        thread, seed=rng.getrandbits(32)))
+
+
+def clone_thread(spec, rng, pool):
+    """Add a thread: a reseeded copy of an existing one (more cores, same
+    communication style)."""
+    if spec.kind != "random" or spec.params.num_threads >= _MAX_THREADS:
+        return None
+    params = spec.params
+    template = params.threads[_pick_thread(params, rng)]
+    threads = params.threads + (replace(template,
+                                        seed=rng.getrandbits(32)),)
+    return replace(spec, params=replace(params, threads=threads))
+
+
+def drop_thread(spec, rng, pool):
+    if spec.kind != "random" or spec.params.num_threads <= 1:
+        return None
+    params = spec.params
+    index = _pick_thread(params, rng)
+    threads = params.threads[:index] + params.threads[index + 1:]
+    return replace(spec, params=replace(params, threads=threads))
+
+
+def grow_ops(spec, rng, pool):
+    if spec.kind != "random":
+        return None
+    index = _pick_thread(spec.params, rng)
+    thread = spec.params.threads[index]
+    if thread.ops >= _MAX_OPS:
+        return None
+    return _replace_thread(spec, index, replace(
+        thread, ops=min(_MAX_OPS, thread.ops + 5 + rng.randrange(15))))
+
+
+def shrink_shared(spec, rng, pool):
+    """Fewer shared words -> the same traffic lands on fewer lines."""
+    if spec.kind != "random" or spec.params.shared_words <= 1:
+        return None
+    params = spec.params
+    return replace(spec, params=replace(
+        params, shared_words=max(1, params.shared_words // 2)))
+
+
+def retune_cap(spec, rng, pool):
+    choices = [cap for cap in INTERVAL_CAPS if cap != spec.interval_cap]
+    return replace(spec, interval_cap=choices[rng.randrange(len(choices))])
+
+
+def flip_consistency(spec, rng, pool):
+    choices = [m for m in ConsistencyModel if m is not spec.consistency]
+    return replace(spec, consistency=choices[rng.randrange(len(choices))])
+
+
+_STAGGERS = (0, 5, 20, 60, 120, 200, 480)
+
+
+def perturb_stagger(spec, rng, pool):
+    if spec.kind != "litmus":
+        return None
+    index = rng.randrange(len(spec.staggers))
+    choices = [s for s in _STAGGERS if s != spec.staggers[index]]
+    staggers = (spec.staggers[:index]
+                + (choices[rng.randrange(len(choices))],)
+                + spec.staggers[index + 1:])
+    return replace(spec, staggers=staggers)
+
+
+def swap_litmus(spec, rng, pool):
+    """Jump to a different litmus shape (staggers reset to zero)."""
+    if spec.kind != "litmus":
+        return None
+    choices = sorted(name for name in LITMUS_TESTS if name != spec.litmus)
+    name = choices[rng.randrange(len(choices))]
+    return replace(spec, litmus=name,
+                   staggers=(0,) * len(LITMUS_TESTS[name].threads))
+
+
+#: Registry, in a fixed order (iteration order is part of determinism).
+MUTATORS: dict[str, object] = {
+    "splice_threads": splice_threads,
+    "densify_sharing": densify_sharing,
+    "inject_fences": inject_fences,
+    "inject_atomics": inject_atomics,
+    "inject_locks": inject_locks,
+    "reseed_thread": reseed_thread,
+    "clone_thread": clone_thread,
+    "drop_thread": drop_thread,
+    "grow_ops": grow_ops,
+    "shrink_shared": shrink_shared,
+    "retune_cap": retune_cap,
+    "flip_consistency": flip_consistency,
+    "perturb_stagger": perturb_stagger,
+    "swap_litmus": swap_litmus,
+}
+
+
+def mutate(spec: FuzzSpec, rng: random.Random,
+           pool: list[FuzzSpec]) -> tuple[str, FuzzSpec]:
+    """Apply one randomly chosen applicable operator.
+
+    Returns ``(operator_name, mutated_spec)``; the output is validated.
+    Operators that decline (return None) are retried with fresh draws —
+    at least ``retune_cap`` always applies, so this terminates.
+    """
+    names = list(MUTATORS)
+    while True:
+        name = names[rng.randrange(len(names))]
+        mutated = MUTATORS[name](spec, rng, pool)
+        if mutated is not None:
+            mutated.validate()
+            return name, mutated

@@ -16,6 +16,7 @@ from .figures import (
 from .parallel_runner import (
     ParallelRunner,
     ResultCache,
+    ShardPool,
     SweepError,
     cache_key,
 )
@@ -46,6 +47,7 @@ __all__ = [
     "render_sweep_summary",
     "ParallelRunner",
     "ResultCache",
+    "ShardPool",
     "SweepError",
     "cache_key",
     "VARIANT_ORDER",

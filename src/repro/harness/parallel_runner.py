@@ -63,7 +63,7 @@ from .runner import VARIANTS, RunKey, execute_run
 _LOG = get_logger("harness.sweep")
 
 __all__ = ["CACHE_FORMAT", "DEFAULT_CACHE_DIR", "SweepError", "cache_key",
-           "ResultCache", "ShardOutcome", "ParallelRunner"]
+           "ResultCache", "ShardOutcome", "ShardPool", "ParallelRunner"]
 
 #: Bumped when the cache envelope layout changes.
 CACHE_FORMAT = 1
@@ -233,6 +233,150 @@ class ShardOutcome:
     wall_seconds: float
 
 
+class ShardPool:
+    """Generic sharded map executor (the engine under the sweep runner).
+
+    Maps a picklable ``worker`` over a list of items through a
+    ``concurrent.futures.ProcessPoolExecutor`` — with a per-shard
+    timeout, a retry budget, and a serial in-process fallback at
+    ``jobs=1`` — and returns the replies **in submission order**, so a
+    caller folding them is deterministic no matter how completions
+    interleave.  :class:`ParallelRunner` drives its sweeps through this;
+    the fuzzer (:mod:`repro.fuzz.scheduler`) drives candidate evaluation
+    through the very same pool with its own worker body.
+
+    ``map`` callbacks (all optional) fire as shards progress:
+    ``on_complete(index, item, reply)`` per success (completion order),
+    ``on_retry(item, attempt, reason)`` before each re-submission,
+    ``on_timeout(item, attempt)`` per timed-out attempt,
+    ``observe_seconds(seconds)`` per finished/expired attempt, and
+    ``heartbeat(in_flight)`` every ``heartbeat_s`` of pool silence.
+    Shards that exhaust their retries raise :class:`SweepError`.
+    """
+
+    def __init__(self, *, jobs: int = 1, worker, timeout_s: float | None = None,
+                 retries: int = 1):
+        self.jobs = max(1, jobs)
+        self.worker = worker
+        self.timeout_s = timeout_s
+        self.retries = max(0, retries)
+
+    def map(self, items, *, payload, describe=str, on_complete=None,
+            on_retry=None, on_timeout=None, observe_seconds=None,
+            heartbeat=None, heartbeat_s: float | None = None) -> list:
+        """Run ``worker(payload(item, attempt))`` for every item.
+
+        ``payload`` builds the (picklable) attempt payload; ``describe``
+        renders an item for error and retry lines.
+        """
+        items = list(items)
+        replies: list = [None] * len(items)
+
+        def complete(index: int, reply) -> None:
+            replies[index] = reply
+            if on_complete is not None:
+                on_complete(index, items[index], reply)
+
+        if self.jobs == 1:
+            self._map_serial(items, payload, describe, complete, on_retry,
+                             observe_seconds)
+        else:
+            self._map_pool(items, payload, describe, complete, on_retry,
+                           on_timeout, observe_seconds, heartbeat,
+                           heartbeat_s)
+        return replies
+
+    def _map_serial(self, items, payload, describe, complete, on_retry,
+                    observe_seconds) -> None:
+        for index, item in enumerate(items):
+            attempt = 0
+            while True:
+                started = time.perf_counter()
+                try:
+                    reply = self.worker(payload(item, attempt))
+                except Exception as exc:
+                    attempt += 1
+                    if attempt > self.retries:
+                        raise SweepError(
+                            f"shard {describe(item)} failed after "
+                            f"{attempt} attempts: {exc}") from exc
+                    if on_retry is not None:
+                        on_retry(item, attempt,
+                                 f"attempt {attempt} failed ({exc})")
+                    continue
+                finally:
+                    if observe_seconds is not None:
+                        observe_seconds(time.perf_counter() - started)
+                complete(index, reply)
+                break
+
+    def _map_pool(self, items, payload, describe, complete, on_retry,
+                  on_timeout, observe_seconds, heartbeat,
+                  heartbeat_s) -> None:
+        failures: list[str] = []
+        with ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(items))) as pool:
+            states: dict = {}
+
+            def submit(index: int, attempt: int) -> None:
+                future = pool.submit(self.worker,
+                                     payload(items[index], attempt))
+                deadline = (None if self.timeout_s is None
+                            else time.monotonic() + self.timeout_s)
+                states[future] = (index, attempt, time.monotonic(), deadline)
+
+            def handle_failure(index: int, attempt: int, reason: str) -> None:
+                if attempt < self.retries:
+                    if on_retry is not None:
+                        on_retry(items[index], attempt + 1, reason)
+                    submit(index, attempt + 1)
+                else:
+                    failures.append(f"{describe(items[index])}: {reason}")
+
+            for index in range(len(items)):
+                submit(index, 0)
+            while states:
+                # Cap the wait at the heartbeat period so long-running
+                # shards still produce liveness lines.
+                timeout = heartbeat_s or None
+                if self.timeout_s is not None:
+                    deadlines = [d for (_, _, _, d) in states.values()
+                                 if d is not None]
+                    budget = max(0.0, min(deadlines) - time.monotonic())
+                    timeout = budget if timeout is None else min(timeout,
+                                                                 budget)
+                done, _ = wait(set(states), timeout=timeout,
+                               return_when=FIRST_COMPLETED)
+                now = time.monotonic()
+                if not done and heartbeat is not None:
+                    heartbeat(len(states))
+                for future in done:
+                    index, attempt, shard_started, _ = states.pop(future)
+                    if observe_seconds is not None:
+                        observe_seconds(now - shard_started)
+                    exc = future.exception()
+                    if exc is None:
+                        complete(index, future.result())
+                    else:
+                        handle_failure(index, attempt,
+                                       f"{type(exc).__name__}: {exc}")
+                for future in [f for f in list(states)
+                               if states[f][3] is not None
+                               and states[f][3] <= now]:
+                    index, attempt, shard_started, _ = states.pop(future)
+                    future.cancel()
+                    if on_timeout is not None:
+                        on_timeout(items[index], attempt)
+                    if observe_seconds is not None:
+                        observe_seconds(now - shard_started)
+                    handle_failure(
+                        index, attempt,
+                        f"timed out after {self.timeout_s:.1f}s")
+        if failures:
+            raise SweepError("sweep shards failed:\n  " +
+                             "\n  ".join(failures))
+
+
 class ParallelRunner:
     """Process-pool executor for (workload x cores x model) sweep grids.
 
@@ -329,10 +473,7 @@ class ParallelRunner:
         sweep.counter("cache_hits").inc(len(ordered) - len(pending))
 
         if pending:
-            if self.jobs == 1:
-                self._run_serial(pending, results)
-            else:
-                self._run_pool(pending, results)
+            self._execute(pending, results)
         if self.cache is not None:
             self.registry.set_counters(self.cache.counters(),
                                        prefix="sweep.cache")
@@ -344,92 +485,29 @@ class ParallelRunner:
         self.aggregator.merge_into(self.registry)
         return results
 
-    def _run_serial(self, pending, results) -> None:
-        for key in pending:
-            attempt = 0
-            while True:
-                shard_started = time.perf_counter()
-                try:
-                    payload = self._payload(key, attempt)
-                    self._accept(key, self.worker(payload), results)
-                    break
-                except Exception as exc:
-                    attempt += 1
-                    if attempt > self.retries:
-                        raise SweepError(
-                            f"shard {key.describe()} failed after "
-                            f"{attempt} attempts: {exc}") from exc
-                    self.registry.scoped("sweep").counter("retried").inc()
-                    self._note(f"[sweep] {key.describe()}: attempt "
-                               f"{attempt} failed ({exc}); retrying")
-                finally:
-                    self.registry.scoped("sweep").distribution(
-                        "shard_seconds").observe(
-                            time.perf_counter() - shard_started)
-
-    def _run_pool(self, pending, results) -> None:
+    def _execute(self, pending, results) -> None:
+        """Drive the outstanding shards through a :class:`ShardPool`."""
         sweep = self.registry.scoped("sweep")
-        failures: list[str] = []
-        with ProcessPoolExecutor(
-                max_workers=min(self.jobs, len(pending))) as pool:
-            states: dict = {}
+        pool = ShardPool(jobs=self.jobs, worker=self.worker,
+                         timeout_s=self.timeout_s, retries=self.retries)
 
-            def submit(key: RunKey, attempt: int) -> None:
-                future = pool.submit(self.worker, self._payload(key, attempt))
-                deadline = (None if self.timeout_s is None
-                            else time.monotonic() + self.timeout_s)
-                states[future] = (key, attempt, time.monotonic(), deadline)
+        def on_retry(key: RunKey, attempt: int, reason: str) -> None:
+            sweep.counter("retried").inc()
+            self._note(f"[sweep] {key.describe()}: {reason}; retrying")
 
-            def handle_failure(key: RunKey, attempt: int, reason: str) -> None:
-                if attempt < self.retries:
-                    sweep.counter("retried").inc()
-                    self._note(f"[sweep] {key.describe()}: {reason}; "
-                               f"retrying")
-                    submit(key, attempt + 1)
-                else:
-                    failures.append(f"{key.describe()}: {reason}")
-
-            for key in pending:
-                submit(key, 0)
-            while states:
-                # Cap the wait at the heartbeat period so long-running
-                # shards still produce liveness lines.
-                timeout = self._progress_tracker.heartbeat_s or None
-                if self.timeout_s is not None:
-                    deadlines = [d for (_, _, _, d) in states.values()
-                                 if d is not None]
-                    budget = max(0.0, min(deadlines) - time.monotonic())
-                    timeout = budget if timeout is None else min(timeout,
-                                                                 budget)
-                done, _ = wait(set(states), timeout=timeout,
-                               return_when=FIRST_COMPLETED)
-                now = time.monotonic()
-                if not done:
-                    self._progress_tracker.heartbeat(len(states))
-                for future in done:
-                    key, attempt, shard_started, _ = states.pop(future)
-                    sweep.distribution("shard_seconds").observe(
-                        now - shard_started)
-                    exc = future.exception()
-                    if exc is None:
-                        self._accept(key, future.result(), results)
-                    else:
-                        handle_failure(key, attempt,
-                                       f"{type(exc).__name__}: {exc}")
-                for future in [f for f in list(states)
-                               if states[f][3] is not None
-                               and states[f][3] <= now]:
-                    key, attempt, shard_started, _ = states.pop(future)
-                    future.cancel()
-                    sweep.counter("timeouts").inc()
-                    sweep.distribution("shard_seconds").observe(
-                        now - shard_started)
-                    handle_failure(
-                        key, attempt,
-                        f"timed out after {self.timeout_s:.1f}s")
-        if failures:
-            raise SweepError("sweep shards failed:\n  " +
-                             "\n  ".join(failures))
+        pool.map(
+            pending,
+            payload=self._payload,
+            describe=RunKey.describe,
+            on_complete=lambda index, key, reply:
+                self._accept(key, reply, results),
+            on_retry=on_retry,
+            on_timeout=lambda key, attempt:
+                sweep.counter("timeouts").inc(),
+            observe_seconds=sweep.distribution("shard_seconds").observe,
+            heartbeat=lambda in_flight:
+                self._progress_tracker.heartbeat(in_flight),
+            heartbeat_s=self.telemetry.heartbeat_s)
 
     # ------------------------------------------------------------ plumbing
 

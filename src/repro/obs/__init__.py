@@ -36,6 +36,7 @@ Sweep-scale additions (see ``docs/internals.md``):
 """
 
 from .causality import CausalityGraph, HBSlice
+from .coverage import coverage_signals
 from .events import (
     CacheEvictEvent,
     CacheMissEvent,
@@ -131,6 +132,7 @@ __all__ = [
     "raise_divergence",
     "CausalityGraph",
     "HBSlice",
+    "coverage_signals",
     "ReplayCheckpoint",
     "CheckpointStore",
     "MemoryAccess",

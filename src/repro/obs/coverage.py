@@ -1,0 +1,66 @@
+"""Coverage-signal snapshots of recorded executions.
+
+The adversarial fuzzer (:mod:`repro.fuzz`) steers program mutation toward
+*rare recorder states*; this module defines what "recorder state" means:
+a flat ``{signal_name: value}`` dict distilled from one
+:class:`~repro.sim.machine.RunResult` — interval cut-reason mix (conflict
+/ size-cap / eviction / pure-aliasing cuts), Opt rescue counts
+(perform events moved across interval boundaries), reordered-access mix,
+signature-bank occupancy at cut time, Snoop Table traffic, interval-length
+shape and TRAQ occupancy percentiles.
+
+The snapshot is computed from the result object alone (recorder stats +
+per-core TRAQ histograms), so it works identically on live results and on
+results deserialized from the sweep wire format — which is what lets fuzz
+workers evaluate candidates out-of-process and ship the signals home.
+Discretizing signals into novelty *buckets* is the fuzzer's job
+(:mod:`repro.fuzz.coverage`); this layer only names and extracts them.
+"""
+
+from __future__ import annotations
+
+__all__ = ["coverage_signals"]
+
+
+def coverage_signals(result) -> dict[str, float]:
+    """Flat coverage-signal snapshot of one recorded execution.
+
+    Keys are ``<variant>.<signal>`` for per-recorder-variant signals plus
+    a few machine-wide ``machine.*`` / ``traq.*`` signals.  Values are
+    plain numbers; insertion order is deterministic (sorted variants).
+    """
+    signals: dict[str, float] = {}
+    for variant in sorted(result.recordings):
+        stats = result.recording_stats(variant)
+        prefix = variant + "."
+        frames = stats.frames
+        signals[prefix + "cut.conflict"] = stats.conflict_terminations
+        signals[prefix + "cut.size"] = stats.size_terminations
+        signals[prefix + "cut.eviction"] = stats.eviction_terminations
+        signals[prefix + "cut.alias"] = stats.signature_alias_terminations
+        signals[prefix + "rescued"] = stats.moved_across_intervals
+        signals[prefix + "reordered.loads"] = stats.reordered_loads
+        signals[prefix + "reordered.stores"] = stats.reordered_stores
+        signals[prefix + "reordered.rmws"] = stats.reordered_rmws
+        signals[prefix + "frames"] = frames
+        signals[prefix + "interval_instructions.mean"] = (
+            stats.instructions_counted / frames if frames else 0.0)
+        signals[prefix + "signature_set_bits.mean"] = (
+            stats.signature_set_bits / frames if frames else 0.0)
+        signals[prefix + "snoop_observed"] = stats.snoop_observed
+        signals[prefix + "log_bits_per_ki"] = (
+            stats.bits_per_kilo_instruction())
+
+    ooo = result.ooo_fraction()
+    signals["machine.ooo_fraction.total"] = ooo["total"]
+    signals["machine.forwarded_loads"] = sum(
+        core.forwarded_loads for core in result.cores)
+    signals["traq.stall_cycles"] = sum(
+        core.traq_stall_cycles for core in result.cores)
+    signals["traq.occupancy.p95"] = max(
+        (core.traq_histogram.percentile(95.0) for core in result.cores),
+        default=0.0)
+    signals["traq.occupancy.max"] = max(
+        (core.traq_occupancy.maximum if core.traq_occupancy.count else 0.0
+         for core in result.cores), default=0.0)
+    return signals

@@ -56,6 +56,13 @@ class RecorderStats:
     conflict_terminations: int = 0
     size_terminations: int = 0
     eviction_terminations: int = 0
+    # Coverage signals for the adversarial fuzzer (repro.fuzz): summed
+    # read+write signature set-bit count sampled at every interval cut
+    # (occupancy), conflict cuts whose line was NOT in the exact address
+    # sets (pure Bloom aliasing), and Snoop Table transaction observations.
+    signature_set_bits: int = 0
+    signature_alias_terminations: int = 0
+    snoop_observed: int = 0
     entry_bits_by_type: dict[str, int] = field(default_factory=dict)
     # Line address -> number of conflicting incoming transactions that
     # terminated an interval because of it (contention hot spots).
@@ -67,7 +74,8 @@ class RecorderStats:
         "moved_across_intervals", "reordered_loads", "reordered_stores",
         "reordered_rmws", "inorder_blocks", "frames", "log_bits",
         "conflict_terminations", "size_terminations",
-        "eviction_terminations",
+        "eviction_terminations", "signature_set_bits",
+        "signature_alias_terminations", "snoop_observed",
     )
     #: Dict-valued fields merged key-wise.
     DICT_FIELDS = ("entry_bits_by_type", "conflict_lines")
@@ -152,7 +160,14 @@ class RelaxReplayRecorder:
         # stamped T — so the interval containing this access must stamp
         # strictly later, or the (timestamp, core_id) tie-break could
         # replay the dependent interval first (hypothesis seed 1679).
+        # config.interval_timestamp_floor=False (fuzzer test hook only)
+        # re-introduces the pre-fix behavior.
         self._timestamp_floor = 0
+        # Exact per-interval line sets shadowing the Bloom signatures —
+        # statistics only (signature aliasing detection); correctness
+        # always goes through the signatures.
+        self._exact_read_lines: set[int] = set()
+        self._exact_write_lines: set[int] = set()
 
     # ---------------------------------------------------- core-side events
 
@@ -170,11 +185,15 @@ class RelaxReplayRecorder:
     def _insert_signature(self, dyn: DynInstr, line: int) -> None:
         if dyn.opcode is Opcode.LOAD:
             self.read_sig.insert(line)
+            self._exact_read_lines.add(line)
         elif dyn.opcode is Opcode.STORE:
             self.write_sig.insert(line)
+            self._exact_write_lines.add(line)
         else:  # RMW reads and writes
             self.read_sig.insert(line)
             self.write_sig.insert(line)
+            self._exact_read_lines.add(line)
+            self._exact_write_lines.add(line)
 
     def on_count(self, entry: TraqEntry, cycle: int) -> None:
         """The in-order counting step (Section 3.3): classify the entry as
@@ -251,8 +270,9 @@ class RelaxReplayRecorder:
         """Observe a committed coherence transaction: update the Snoop
         Table and terminate the interval on a signature conflict."""
         if event.requester == self.core_id:
-            self._timestamp_floor = max(self._timestamp_floor,
-                                        event.cycle + 1)
+            if self.config.interval_timestamp_floor:
+                self._timestamp_floor = max(self._timestamp_floor,
+                                            event.cycle + 1)
             return
         if self.dependence_tracker is not None:
             # Weak ordering edge: the requester follows everything this
@@ -261,11 +281,19 @@ class RelaxReplayRecorder:
                 self.core_id, self.cisn - 1, event.requester)
         if self.snoop_table is not None:
             self.snoop_table.observe(event.line_addr)
+            self.stats.snoop_observed += 1
         conflict = self.write_sig.may_contain(event.line_addr)
         if not conflict and event.is_write:
             conflict = self.read_sig.may_contain(event.line_addr)
         if conflict:
             self.stats.conflict_terminations += 1
+            if (event.line_addr not in self._exact_write_lines
+                    and not (event.is_write and event.line_addr
+                             in self._exact_read_lines)):
+                # The signatures fired but the exact sets say the line was
+                # never touched: a pure Bloom false positive cut an
+                # interval early (rare-state coverage signal).
+                self.stats.signature_alias_terminations += 1
             lines = self.stats.conflict_lines
             lines[event.line_addr] = lines.get(event.line_addr, 0) + 1
             if self.dependence_tracker is not None:
@@ -306,7 +334,10 @@ class RelaxReplayRecorder:
             # Nothing happened: no ordering obligation, keep CISN stable so
             # logged frames stay consecutive.
             return
-        timestamp = max(cycle, self._timestamp_floor)
+        timestamp = (max(cycle, self._timestamp_floor)
+                     if self.config.interval_timestamp_floor else cycle)
+        self.stats.signature_set_bits += (self.read_sig.set_bits
+                                          + self.write_sig.set_bits)
         if self.tracer is not None:
             self.tracer.emit(ChunkCutEvent(
                 cycle=timestamp, core_id=self.core_id, variant=self.name,
@@ -318,6 +349,8 @@ class RelaxReplayRecorder:
         self.cisn += 1
         self.read_sig.clear()
         self.write_sig.clear()
+        self._exact_read_lines.clear()
+        self._exact_write_lines.clear()
         self.counted_in_interval = 0
         self.performs_in_interval = 0
         self.entries_in_interval = 0

@@ -45,7 +45,9 @@ __all__ = [
 ]
 
 #: Bumped whenever the wire format changes; part of the cache key salt.
-SERIALIZATION_VERSION = 1
+#: v2: RecorderStats gained the fuzzer coverage counters
+#: (signature_set_bits, signature_alias_terminations, snoop_observed).
+SERIALIZATION_VERSION = 2
 
 
 @dataclass(frozen=True)

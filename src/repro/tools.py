@@ -11,6 +11,8 @@ Usage::
         --out BENCH_kernel.json --min-speedup 1.5
     python -m repro.tools profile --workload fft --cores 16
     python -m repro.tools perf-report --history BENCH_history.jsonl
+    python -m repro.tools fuzz --budget 200 --seed 0 --jobs 2 \\
+        --emit-regressions fuzz-out/
 
 ``record`` runs a named workload (or a saved ``program.json``) under the
 configured machine and saves the recording directory; ``replay``
@@ -26,7 +28,11 @@ report and appends one record per workload to the append-only
 simulated core-cycle of one run to busy/stall-reason buckets and the
 host wall time to kernel components (:mod:`repro.obs.profiler`).
 ``perf-report`` compares the newest bench-history records against a
-rolling baseline and fails on regression — the CI perf gate.
+rolling baseline and fails on regression — the CI perf gate.  ``fuzz``
+runs the coverage-guided adversarial fuzzer (:mod:`repro.fuzz`): mutated
+program genomes are driven toward rare recorder states and checked by
+the differential oracle stack, with failures auto-minimized into
+ready-to-commit regression entries.
 """
 
 from __future__ import annotations
@@ -47,6 +53,7 @@ from .common.config import (
 )
 from .common.errors import (
     ConfigError,
+    FuzzError,
     LogFormatError,
     ReplayDivergenceError,
     WorkloadError,
@@ -504,6 +511,98 @@ def cmd_perf_report(args) -> int:
     return 0 if report.passed else 1
 
 
+#: Known-bad recorder configurations the fuzz harness can deliberately
+#: re-introduce (``--inject-bug``) to prove it still catches them.
+INJECTED_BUGS = {
+    "timestamp-floor-off": {"interval_timestamp_floor": False},
+}
+
+
+def _parse_fuzz_budget(text: str) -> dict:
+    """``NNN`` = candidate count (deterministic); ``NNNs`` = wall seconds."""
+    if text.endswith("s"):
+        return {"budget": None, "wall_budget_s": float(text[:-1])}
+    return {"budget": int(text)}
+
+
+def cmd_fuzz(args) -> int:
+    from .fuzz import (FuzzConfig, FuzzSession, load_corpus_dir,
+                       random_baseline)
+
+    overrides = dict(INJECTED_BUGS[args.inject_bug]) if args.inject_bug else {}
+    config = FuzzConfig(seed=args.seed, jobs=args.jobs, batch=args.batch,
+                        overrides=overrides,
+                        emit_dir=args.emit_regressions,
+                        max_failures=args.max_failures,
+                        **_parse_fuzz_budget(args.budget))
+    if args.baseline_random and config.budget is None:
+        print("error: --baseline-random needs a count budget "
+              "(wall-clock budgets are not comparable)", file=sys.stderr)
+        return 2
+    extra = (load_corpus_dir(args.corpus_dir) if args.corpus_dir else None)
+
+    def note(line: str) -> None:
+        print(line, file=sys.stderr)
+
+    session = FuzzSession(config, extra_corpus=extra, note=note)
+    report = session.run()
+    print(f"fuzz: evaluated {report.evaluated} candidates "
+          f"({report.seed_candidates} seeds) in {report.wall_seconds:.1f}s")
+    print(f"fuzz: coverage {report.coverage_buckets} buckets "
+          f"({report.mutation_new_buckets} found post-seed), "
+          f"pool {report.pool_size}, "
+          f"minimize evals {report.minimize_evals}")
+    for failure in report.failures:
+        line = (f"fuzz: FAILURE {failure.oracle} [{failure.origin}] "
+                f"minimized {failure.spec.describe()} -> "
+                f"{failure.minimized_spec.describe()} "
+                f"({failure.minimize_steps} steps)")
+        if failure.regression_path:
+            line += f" -> {failure.regression_path}"
+        print(line)
+
+    baseline = None
+    if args.baseline_random:
+        baseline = random_baseline(replace(
+            config, overrides={}, emit_dir=None, minimize_failures=False))
+        print(f"fuzz: random baseline reached {baseline.coverage_buckets} "
+              f"buckets at equal budget "
+              f"(guided {report.coverage_buckets})")
+
+    if args.out:
+        payload = {"report": report.to_dict()}
+        if baseline is not None:
+            payload["baseline"] = baseline.to_dict()
+        Path(args.out).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    ok = True
+    if args.inject_bug:
+        # Harness self-test mode: the injected bug MUST be caught.
+        caught = [f for f in report.failures if f.oracle.startswith("replay:")]
+        if not caught:
+            print(f"fuzz: injected bug {args.inject_bug!r} was NOT caught",
+                  file=sys.stderr)
+            ok = False
+        else:
+            print(f"fuzz: injected bug {args.inject_bug!r} caught and "
+                  f"minimized ({len(caught)} failure(s))")
+    elif report.failures:
+        ok = False
+    if (args.min_new_buckets is not None
+            and report.mutation_new_buckets < args.min_new_buckets):
+        print(f"fuzz: only {report.mutation_new_buckets} new coverage "
+              f"buckets post-seed (required {args.min_new_buckets})",
+              file=sys.stderr)
+        ok = False
+    if baseline is not None and not (report.coverage_buckets
+                                     > baseline.coverage_buckets):
+        print("fuzz: guided coverage did not beat the random baseline",
+              file=sys.stderr)
+        ok = False
+    return 0 if ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.tools",
                                      description=__doc__)
@@ -687,6 +786,41 @@ def main(argv: list[str] | None = None) -> int:
                          help="bound the --hb-slice BFS to N hops")
     inspect.set_defaults(func=cmd_inspect)
 
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="coverage-guided fuzzing of the recorder via differential "
+             "oracles")
+    fuzz.add_argument("--budget", default="100", metavar="N|Ns",
+                      help="candidate evaluations (deterministic), or wall "
+                           "seconds with an 's' suffix, e.g. 60s "
+                           "(default 100)")
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--jobs", type=int, default=1,
+                      help="worker processes (any width gives identical "
+                           "results under a count budget)")
+    fuzz.add_argument("--batch", type=int, default=None,
+                      help="candidates per generation (default max(4, jobs))")
+    fuzz.add_argument("--corpus-dir",
+                      help="extra corpus directory to seed from")
+    fuzz.add_argument("--emit-regressions", metavar="DIR",
+                      help="write minimized failures as ready-to-commit "
+                           "regression entries + forensics bundles")
+    fuzz.add_argument("--inject-bug", choices=sorted(INJECTED_BUGS),
+                      help="re-introduce a known-bad recorder config; exit 0 "
+                           "iff the fuzzer catches it (harness self-test)")
+    fuzz.add_argument("--max-failures", type=int, default=5,
+                      help="stop minimizing/emitting past this many failures")
+    fuzz.add_argument("--min-new-buckets", type=int, default=None,
+                      help="fail unless at least N coverage buckets were "
+                           "first reached after the seed batch")
+    fuzz.add_argument("--baseline-random", action="store_true",
+                      help="also run the pure-random control at equal "
+                           "budget; fail unless guided coverage beats it")
+    fuzz.add_argument("--out",
+                      help="write the session report (and baseline, if any) "
+                           "as JSON")
+    fuzz.set_defaults(func=cmd_fuzz)
+
     args = parser.parse_args(argv)
     setup_logging(args.log_level)
     logger = logging.getLogger("repro.tools")
@@ -699,7 +833,7 @@ def main(argv: list[str] | None = None) -> int:
         logger.debug("replay divergence", exc_info=True)
         return 1
     except (OSError, json.JSONDecodeError, LogFormatError, ConfigError,
-            WorkloadError, KeyError, ValueError) as error:
+            WorkloadError, FuzzError, KeyError, ValueError) as error:
         message = (error.args[0] if error.args and
                    isinstance(error.args[0], str) else str(error))
         print(f"error: {message}", file=sys.stderr)

@@ -21,8 +21,11 @@ from .nbody import (
     build_water_nsquared,
     build_water_spatial,
 )
-from .litmus import LITMUS_TESTS, LitmusResult, LitmusTest, litmus_program, run_litmus
-from .random_programs import random_program
+from .litmus import (LITMUS_TESTS, LitmusResult, LitmusTest, litmus_program,
+                     outcome_of, run_litmus)
+from .random_programs import (RandomProgramParams, ThreadParams,
+                              params_for, random_program,
+                              random_program_from_params)
 from .scientific import build_cholesky, build_fft, build_lu, build_ocean
 
 WORKLOADS = {
@@ -60,10 +63,15 @@ __all__ = [
     "WORKLOAD_NAMES",
     "build_workload",
     "random_program",
+    "random_program_from_params",
+    "RandomProgramParams",
+    "ThreadParams",
+    "params_for",
     "LITMUS_TESTS",
     "LitmusResult",
     "LitmusTest",
     "litmus_program",
+    "outcome_of",
     "run_litmus",
     "Allocator",
     "KernelThread",

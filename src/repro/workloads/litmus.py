@@ -39,7 +39,7 @@ from ..isa.program import Program
 from ..sim import Machine
 
 __all__ = ["LitmusTest", "LitmusResult", "LITMUS_TESTS", "run_litmus",
-           "litmus_program"]
+           "litmus_program", "outcome_of"]
 
 _X = 0x1000
 _Y = 0x2000  # different cache lines
@@ -353,6 +353,13 @@ def litmus_program(test: LitmusTest, staggers: tuple[int, ...], *,
     return Program(threads, name=f"litmus_{test.name}")
 
 
+def outcome_of(test: LitmusTest, final_memory: dict[int, int]
+               ) -> tuple[int, ...]:
+    """Classify the outcome a finished litmus execution published."""
+    return tuple(1 if final_memory.get(_OUT + slot * 8, 0) else 0
+                 for slot in range(test.outcome_slots))
+
+
 _STAGGER_AXIS = (0, 20, 60, 120, 200, 320, 480, 700, 1000, 1400)
 
 
@@ -384,8 +391,7 @@ def run_litmus(test: LitmusTest, model: ConsistencyModel, *,
                          for index in range(num_threads))
         program = litmus_program(test, staggers)
         run = machine.run(program)
-        outcome = tuple(1 if run.final_memory.get(_OUT + slot * 8, 0) else 0
-                        for slot in range(test.outcome_slots))
+        outcome = outcome_of(test, run.final_memory)
         result.observed[outcome] = result.observed.get(outcome, 0) + 1
         if record_variant is not None:
             recordings.append(run)

@@ -6,60 +6,163 @@ acquire/release flags, fences and atomic counters, with all control flow
 bounded (straight-line plus finite retry loops) so every program terminates.
 The property tests record them under every recorder variant and verify
 bit-exact deterministic replay.
+
+Two entry points build the same programs:
+
+* :func:`random_program` — the historical scalar interface (one seed, one
+  set of probabilities shared by every thread).
+* :func:`random_program_from_params` — the fuzzer's mutation hook: an
+  explicit :class:`RandomProgramParams` genome with *per-thread*
+  :class:`ThreadParams`, so :mod:`repro.fuzz` can splice threads between
+  parents, densify sharing on one thread, or inject fences/atomics without
+  touching the others.
+
+Determinism contract (tested, including under ``PYTHONHASHSEED``
+variation): generation threads ALL randomness through explicit
+``random.Random`` instances — a master ``random.Random(seed)`` drawing one
+32-bit per-thread seed per thread, then one ``random.Random(thread_seed)``
+per thread (installed as the :class:`~repro.workloads.base.KernelThread`'s
+``rng`` so every fragment shares the stream).  Two calls with equal
+arguments therefore produce byte-identical programs in any interpreter
+run; nothing ever consults the salted ``hash()`` or global ``random``
+state.
 """
 
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass, field
 
+from ..common.errors import WorkloadError
 from ..isa.instructions import WORD_BYTES
 from ..isa.program import Program
 from .base import Allocator, KernelThread, WorkloadSpec, make_program
 
-__all__ = ["random_program"]
+__all__ = ["ThreadParams", "RandomProgramParams", "random_program",
+           "random_program_from_params", "params_for", "params_to_dict",
+           "params_from_dict"]
 
 
-def random_program(num_threads: int, ops_per_thread: int, seed: int, *,
-                   shared_words: int = 16, private_words: int = 32,
-                   lock_probability: float = 0.1,
-                   fence_probability: float = 0.05,
-                   sharing: float = 0.5) -> Program:
-    """Generate a terminating adversarial program.
+@dataclass(frozen=True)
+class ThreadParams:
+    """One thread's slice of the generation genome.
 
-    ``sharing`` is the probability an access targets the shared region (the
-    same few cache lines for every thread), maximizing races and
-    interval-boundary crossings.
+    ``seed`` fully determines the thread's instruction stream given the
+    probability knobs; the knobs are per-thread so mutations can make one
+    thread lock-heavy or fence-dense while leaving the rest untouched.
     """
-    spec = WorkloadSpec(num_threads=num_threads, scale=1.0, seed=seed)
+
+    seed: int
+    ops: int
+    sharing: float = 0.5
+    lock_probability: float = 0.1
+    fence_probability: float = 0.05
+    atomic_probability: float = 0.08
+
+    def validate(self) -> None:
+        if self.ops <= 0:
+            raise WorkloadError("ThreadParams.ops must be positive")
+        if not 0 <= self.seed < (1 << 32):
+            raise WorkloadError("ThreadParams.seed must be a 32-bit value")
+        for name in ("sharing", "lock_probability", "fence_probability",
+                     "atomic_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise WorkloadError(
+                    f"ThreadParams.{name} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class RandomProgramParams:
+    """The full generation genome: per-thread params plus the shared layout.
+
+    This is the unit :mod:`repro.fuzz` mutates and minimizes; it is
+    JSON-round-trippable through :func:`params_to_dict` /
+    :func:`params_from_dict` (the fuzzer corpus format embeds it alongside
+    the materialized program).
+    """
+
+    threads: tuple[ThreadParams, ...]
+    shared_words: int = 16
+    private_words: int = 32
+    seed: int = 0                # naming/metadata only; threads carry RNG
+    name: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def num_threads(self) -> int:
+        return len(self.threads)
+
+    def total_ops(self) -> int:
+        """Genome size measure used by the fuzzer's minimizer."""
+        return sum(thread.ops for thread in self.threads)
+
+    def validate(self) -> None:
+        if not self.threads:
+            raise WorkloadError("RandomProgramParams needs >= 1 thread")
+        if self.shared_words <= 0 or self.private_words <= 0:
+            raise WorkloadError("region sizes must be positive")
+        for thread in self.threads:
+            thread.validate()
+
+
+def params_for(num_threads: int, ops_per_thread: int, seed: int, *,
+               shared_words: int = 16, private_words: int = 32,
+               lock_probability: float = 0.1,
+               fence_probability: float = 0.05,
+               sharing: float = 0.5) -> RandomProgramParams:
+    """The genome :func:`random_program` expands these scalars into."""
+    master = random.Random(seed)
+    threads = tuple(
+        ThreadParams(seed=master.getrandbits(32), ops=ops_per_thread,
+                     sharing=sharing, lock_probability=lock_probability,
+                     fence_probability=fence_probability)
+        for _ in range(num_threads))
+    return RandomProgramParams(
+        threads=threads, shared_words=shared_words,
+        private_words=private_words, seed=seed, name=f"random_{seed}",
+        metadata={"ops_per_thread": ops_per_thread, "sharing": sharing})
+
+
+def random_program_from_params(params: RandomProgramParams) -> Program:
+    """Generate a terminating adversarial program from an explicit genome."""
+    params.validate()
+    spec = WorkloadSpec(num_threads=params.num_threads, scale=1.0,
+                        seed=params.seed)
     alloc = Allocator()
-    shared = alloc.array("shared", shared_words)
-    privates = [alloc.array(f"private{t}", private_words)
-                for t in range(num_threads)]
+    shared = alloc.array("shared", params.shared_words)
+    privates = [alloc.array(f"private{t}", params.private_words)
+                for t in range(params.num_threads)]
     locks = [alloc.word(f"lock{i}") for i in range(2)]
     counter = alloc.word("counter")
-    results = alloc.array("results", num_threads)
-    master = random.Random(seed)
-    thread_seeds = [master.getrandbits(32) for _ in range(num_threads)]
+    results = alloc.array("results", params.num_threads)
+    shared_words = params.shared_words
+    private_words = params.private_words
 
     def build(k: KernelThread) -> None:
-        rng = random.Random(thread_seeds[k.thread_id])
+        t = params.threads[k.thread_id]
+        # Every fragment shares this stream (the documented determinism
+        # contract): replace the KernelThread's default rng rather than
+        # keeping a second, differently-seeded generator on the side.
+        rng = k.rng = random.Random(t.seed)
         own = privates[k.thread_id]
-        for _ in range(ops_per_thread):
+        for _ in range(t.ops):
             roll = rng.random()
-            if roll < lock_probability:
+            if roll < t.lock_probability:
                 lock = locks[rng.randrange(len(locks))]
                 k.locked_update(lock, shared + rng.randrange(shared_words)
                                 * WORD_BYTES, words=1)
                 continue
-            if roll < lock_probability + fence_probability:
+            if roll < t.lock_probability + t.fence_probability:
                 k.builder.fence()
                 continue
-            if roll < lock_probability + fence_probability + 0.08:
+            if roll < (t.lock_probability + t.fence_probability
+                       + t.atomic_probability):
                 k.movi(8, 1)
                 k.atomic_add(counter, 8, 9)
                 k.xor(10, 10, 9)
                 continue
-            if rng.random() < sharing:
+            if rng.random() < t.sharing:
                 base, words = shared, shared_words
             else:
                 base, words = own, private_words
@@ -80,6 +183,56 @@ def random_program(num_threads: int, ops_per_thread: int, seed: int, *,
             k.compute(rng.randrange(3))
         k.finalize(results)
 
-    return make_program(f"random_{seed}", spec, build,
-                        metadata={"ops_per_thread": ops_per_thread,
-                                  "sharing": sharing})
+    return make_program(params.name or f"random_{params.seed}", spec, build,
+                        metadata=dict(params.metadata))
+
+
+def random_program(num_threads: int, ops_per_thread: int, seed: int, *,
+                   shared_words: int = 16, private_words: int = 32,
+                   lock_probability: float = 0.1,
+                   fence_probability: float = 0.05,
+                   sharing: float = 0.5) -> Program:
+    """Generate a terminating adversarial program.
+
+    ``sharing`` is the probability an access targets the shared region (the
+    same few cache lines for every thread), maximizing races and
+    interval-boundary crossings.  Equal arguments yield byte-identical
+    programs in every interpreter run (see the module docstring).
+    """
+    return random_program_from_params(params_for(
+        num_threads, ops_per_thread, seed, shared_words=shared_words,
+        private_words=private_words, lock_probability=lock_probability,
+        fence_probability=fence_probability, sharing=sharing))
+
+
+# ----------------------------------------------------------- serialization
+
+def params_to_dict(params: RandomProgramParams) -> dict:
+    """JSON-able genome (the fuzzer corpus embeds this next to the
+    materialized program so candidates survive a disk round trip)."""
+    return {
+        "shared_words": params.shared_words,
+        "private_words": params.private_words,
+        "seed": params.seed,
+        "name": params.name,
+        "metadata": dict(params.metadata),
+        "threads": [
+            {"seed": t.seed, "ops": t.ops, "sharing": t.sharing,
+             "lock_probability": t.lock_probability,
+             "fence_probability": t.fence_probability,
+             "atomic_probability": t.atomic_probability}
+            for t in params.threads],
+    }
+
+
+def params_from_dict(data: dict) -> RandomProgramParams:
+    """Rebuild (and validate) a genome written by :func:`params_to_dict`."""
+    params = RandomProgramParams(
+        threads=tuple(ThreadParams(**thread) for thread in data["threads"]),
+        shared_words=data["shared_words"],
+        private_words=data["private_words"],
+        seed=data.get("seed", 0),
+        name=data.get("name", ""),
+        metadata=dict(data.get("metadata", {})))
+    params.validate()
+    return params

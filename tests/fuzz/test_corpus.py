@@ -1,0 +1,129 @@
+"""Genome + corpus format contracts: round trips, tamper detection, and
+the packaged seed corpus (including the promoted hypothesis-seed-1679
+regression genome, which must survive a bit-exact JSON round trip)."""
+
+import json
+
+import pytest
+
+from repro.common.config import ConsistencyModel
+from repro.common.errors import FuzzError
+from repro.fuzz import (
+    CorpusEntry,
+    FuzzSpec,
+    build_program,
+    entry_from_dict,
+    entry_to_dict,
+    load_corpus_dir,
+    save_entry,
+    seed_entries,
+    spec_from_dict,
+    spec_key,
+    spec_size,
+    spec_to_dict,
+)
+from repro.fuzz.corpus import SEEDS_DIR
+from repro.storage import program_to_dict
+from repro.workloads.random_programs import params_for
+
+
+def _random_spec(seed=7, threads=3, ops=12):
+    return FuzzSpec(kind="random", interval_cap=32,
+                    params=params_for(threads, ops, seed, sharing=0.5))
+
+
+def _litmus_spec():
+    return FuzzSpec(kind="litmus", litmus="SB", staggers=(0, 5),
+                    consistency=ConsistencyModel.TSO, interval_cap=16)
+
+
+class TestSpec:
+    @pytest.mark.parametrize("spec", [_random_spec(), _litmus_spec()])
+    def test_round_trip_is_bit_exact(self, spec):
+        wire = json.dumps(spec_to_dict(spec), sort_keys=True)
+        back = spec_from_dict(json.loads(wire))
+        assert back == spec
+        assert json.dumps(spec_to_dict(back), sort_keys=True) == wire
+        assert spec_key(back) == spec_key(spec)
+
+    def test_equal_specs_materialize_identical_programs(self):
+        a = build_program(_random_spec())
+        b = build_program(_random_spec())
+        assert (json.dumps(program_to_dict(a), sort_keys=True)
+                == json.dumps(program_to_dict(b), sort_keys=True))
+
+    def test_validate_rejects_bad_genomes(self):
+        with pytest.raises(FuzzError):
+            FuzzSpec(kind="random").validate()          # no params
+        with pytest.raises(FuzzError):
+            FuzzSpec(kind="litmus", litmus="NOPE",
+                     staggers=(0, 0)).validate()
+        with pytest.raises(FuzzError):
+            FuzzSpec(kind="litmus", litmus="SB",
+                     staggers=(0,)).validate()          # thread count
+        with pytest.raises(FuzzError):
+            FuzzSpec(kind="litmus", litmus="SB",
+                     staggers=(0, -1)).validate()
+        with pytest.raises(FuzzError):
+            FuzzSpec(kind="wat").validate()
+        with pytest.raises(FuzzError):
+            _litmus_spec().__class__(
+                kind="litmus", litmus="SB", staggers=(0, 0),
+                interval_cap=0).validate()
+
+    def test_spec_size_orders_random_by_ops_first(self):
+        small = _random_spec(ops=8)
+        large = _random_spec(ops=20)
+        assert spec_size(small) < spec_size(large)
+        assert spec_size(_litmus_spec())[0] == 0
+
+
+class TestEntries:
+    def test_save_load_round_trip(self, tmp_path):
+        entry = CorpusEntry(spec=_random_spec(), origin="seed", notes="x")
+        save_entry(tmp_path, "one", entry)
+        loaded = load_corpus_dir(tmp_path)
+        assert loaded == [entry]
+
+    def test_tampered_program_is_refused(self, tmp_path):
+        path = save_entry(tmp_path, "one",
+                          CorpusEntry(spec=_random_spec(), origin="seed"))
+        data = json.loads(path.read_text())
+        data["program"]["threads"][0]["instructions"] = []
+        with pytest.raises(FuzzError, match="stale"):
+            entry_from_dict(data)
+        path.write_text(json.dumps(data))
+        with pytest.raises(FuzzError, match="corrupt corpus entry"):
+            load_corpus_dir(tmp_path)
+
+    def test_wrong_format_version_is_refused(self):
+        data = entry_to_dict(CorpusEntry(spec=_litmus_spec()))
+        data["corpus_format"] = 999
+        with pytest.raises(FuzzError, match="format"):
+            entry_from_dict(data)
+
+    def test_forensics_bundles_are_skipped(self, tmp_path):
+        save_entry(tmp_path, "one", CorpusEntry(spec=_litmus_spec()))
+        (tmp_path / "one.forensics.json").write_text("{not json")
+        assert len(load_corpus_dir(tmp_path)) == 1
+
+
+class TestPackagedSeeds:
+    def test_seed_corpus_loads_and_verifies(self):
+        entries = seed_entries()
+        assert entries, "packaged seed corpus is empty"
+        assert all(entry.origin == "seed" for entry in entries)
+
+    def test_hypothesis_seed_1679_round_trips_bit_exactly(self):
+        """The PR-5 divergence genome, promoted to the seed corpus: the
+        on-disk JSON must be exactly what re-serializing the loaded
+        entry produces, byte for byte."""
+        path = SEEDS_DIR / "hypothesis_seed_1679.json"
+        original = path.read_text()
+        entry = entry_from_dict(json.loads(original))  # verify=True
+        assert entry.spec.params.seed == 1679
+        assert entry.spec.params.num_threads == 4
+        assert entry.spec.interval_cap == 64
+        rewritten = json.dumps(entry_to_dict(entry), indent=2,
+                               sort_keys=True) + "\n"
+        assert rewritten == original

@@ -1,0 +1,52 @@
+"""Coverage bucketing: power-of-two bucket math and novelty accounting."""
+
+from repro.fuzz import CoverageMap, bucket_of, bucket_signals
+
+
+class TestBucketOf:
+    def test_zero_and_negatives_share_the_zero_bucket(self):
+        assert bucket_of(0) == "0"
+        assert bucket_of(-3) == "0"
+        assert bucket_of(0.0) == "0"
+
+    def test_power_of_two_boundaries(self):
+        assert bucket_of(1) == "0"
+        assert bucket_of(2) == "1"
+        assert bucket_of(3) == "1"
+        assert bucket_of(4) == "2"
+        assert bucket_of(1023) == "9"
+        assert bucket_of(1024) == "10"
+
+    def test_fractions_get_negative_buckets_clamped(self):
+        assert bucket_of(0.5) == "-1"
+        assert bucket_of(0.25) == "-2"
+        assert bucket_of(1e-9) == "-8"     # clamp floor
+
+    def test_huge_values_clamp_at_32(self):
+        assert bucket_of(2 ** 40) == "32"
+
+
+class TestBucketSignals:
+    def test_sorted_and_prefixed(self):
+        buckets = bucket_signals({"b_metric": 4, "a_metric": 0})
+        assert buckets == ("a_metric:0", "b_metric:2")
+
+    def test_equal_signals_equal_buckets(self):
+        signals = {"x": 17, "y": 0.3}
+        assert bucket_signals(signals) == bucket_signals(dict(signals))
+
+
+class TestCoverageMap:
+    def test_observe_reports_only_novelty(self):
+        cov = CoverageMap()
+        assert cov.observe(("a:1", "b:2")) == ("a:1", "b:2")
+        assert cov.observe(("a:1", "b:3")) == ("b:3",)
+        assert cov.observe(("a:1", "b:2")) == ()
+        assert len(cov) == 3
+        assert "b:3" in cov
+
+    def test_to_dict_counts_every_observation(self):
+        cov = CoverageMap()
+        cov.observe(("a:1",))
+        cov.observe(("a:1", "b:2"))
+        assert cov.to_dict() == {"a:1": 2, "b:2": 1}

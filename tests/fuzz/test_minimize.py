@@ -1,0 +1,128 @@
+"""Delta-debugging properties: for *arbitrary* genomes and failure
+predicates, minimization must preserve the failing verdict, never grow
+the genome, stay within its test budget, and be deterministic."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import ConsistencyModel
+from repro.fuzz import FuzzSpec, minimize, reductions, spec_key, spec_size
+from repro.fuzz.corpus import INTERVAL_CAPS
+from repro.workloads.random_programs import params_for
+
+
+@st.composite
+def random_specs(draw):
+    threads = draw(st.integers(1, 4))
+    ops = draw(st.integers(1, 40))
+    seed = draw(st.integers(0, 2 ** 16))
+    return FuzzSpec(
+        kind="random",
+        consistency=draw(st.sampled_from(list(ConsistencyModel))),
+        interval_cap=draw(st.sampled_from(INTERVAL_CAPS)),
+        params=params_for(threads, ops, seed,
+                          sharing=draw(st.sampled_from(
+                              (0.0, 0.25, 0.5, 0.875))),
+                          lock_probability=draw(st.sampled_from(
+                              (0.0, 0.1)))))
+
+
+@st.composite
+def predicates(draw):
+    """A deterministic, genome-content-driven predicate family."""
+    kind = draw(st.sampled_from(("ops-floor", "thread-floor", "key-bits")))
+    if kind == "ops-floor":
+        frac = draw(st.floats(0.0, 1.0))
+        return kind, lambda base: (
+            lambda s: s.params.total_ops()
+            >= max(1, int(base.params.total_ops() * frac)))
+    if kind == "thread-floor":
+        return kind, lambda base: (
+            lambda s: s.params.num_threads >= base.params.num_threads)
+    modulus = draw(st.integers(2, 5))
+    return kind, lambda base: (
+        lambda s: int(spec_key(s), 16) % modulus
+        == int(spec_key(base), 16) % modulus)
+
+
+@settings(max_examples=30, deadline=None)
+@given(spec=random_specs(), predicate=predicates(),
+       budget=st.integers(1, 80))
+def test_minimize_preserves_verdict_and_never_grows(spec, predicate,
+                                                    budget):
+    _, make = predicate
+    failing = make(spec)
+    assert failing(spec)            # predicate fails on its base genome
+    result = minimize(spec, failing, max_tests=budget)
+    assert failing(result.spec), "minimization lost the failing verdict"
+    assert spec_size(result.spec) <= spec_size(spec), \
+        "minimization produced a larger genome"
+    assert result.tested <= budget
+    assert result.size_before == spec_size(spec)
+    assert result.size_after == spec_size(result.spec)
+    if result.steps == 0:
+        assert result.spec == spec
+
+
+@settings(max_examples=15, deadline=None)
+@given(spec=random_specs(), predicate=predicates())
+def test_minimize_is_deterministic(spec, predicate):
+    _, make = predicate
+    first = minimize(spec, make(spec), max_tests=60)
+    second = minimize(spec, make(spec), max_tests=60)
+    assert first == second
+
+
+@settings(max_examples=30, deadline=None)
+@given(spec=random_specs())
+def test_reductions_strictly_shrink_and_validate(spec):
+    size = spec_size(spec)
+    candidates = list(reductions(spec))
+    assert candidates == list(reductions(spec))     # deterministic order
+    for candidate in candidates:
+        candidate.validate()
+        assert spec_size(candidate) < size
+
+
+def test_always_failing_random_genome_bottoms_out():
+    spec = FuzzSpec(kind="random", interval_cap=64,
+                    params=params_for(4, 30, 1679, sharing=0.375))
+    result = minimize(spec, lambda s: True, max_tests=500)
+    # Fully reduced: nothing strictly smaller remains.
+    assert not list(reductions(result.spec))
+    assert result.spec.params.num_threads == 1
+    assert result.spec.params.total_ops() == 1
+
+
+def test_litmus_staggers_minimize_to_zero():
+    spec = FuzzSpec(kind="litmus", litmus="MP", staggers=(120, 480),
+                    interval_cap=64)
+    result = minimize(spec, lambda s: True, max_tests=100)
+    assert result.spec.staggers == (0, 0)
+
+
+def test_budget_zero_means_no_work():
+    spec = FuzzSpec(kind="random", interval_cap=64,
+                    params=params_for(2, 10, 3))
+    calls = []
+
+    def failing(candidate):
+        calls.append(candidate)
+        return True
+
+    result = minimize(spec, failing, max_tests=0)
+    assert result.spec == spec and result.steps == 0
+    assert not calls
+
+
+def test_minimizer_never_calls_predicate_on_the_input(monkeypatch):
+    """The contract: callers verified the input fails; every predicate
+    call is on a strictly smaller candidate."""
+    spec = FuzzSpec(kind="random", interval_cap=64,
+                    params=params_for(3, 12, random.Random(0).getrandbits(16)))
+    seen = []
+    minimize(spec, lambda s: seen.append(s) or False, max_tests=100)
+    assert spec not in seen
+    assert all(spec_size(s) < spec_size(spec) for s in seen)

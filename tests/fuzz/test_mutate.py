@@ -1,0 +1,91 @@
+"""Per-operator mutation contracts: every operator either declines
+(None) or produces a *valid*, *different* genome; mutation randomness is
+fully captured by the passed ``random.Random``."""
+
+import random
+
+import pytest
+
+from repro.common.config import ConsistencyModel
+from repro.fuzz import MUTATORS, FuzzSpec, mutate, spec_key
+from repro.workloads.random_programs import params_for
+
+_RANDOM = FuzzSpec(kind="random", interval_cap=64,
+                   params=params_for(3, 12, 42, sharing=0.4))
+_SINGLE = FuzzSpec(kind="random", interval_cap=64,
+                   params=params_for(1, 10, 7))
+_LITMUS = FuzzSpec(kind="litmus", litmus="MP", staggers=(0, 20),
+                   consistency=ConsistencyModel.RC, interval_cap=64)
+_POOL = [_RANDOM, _LITMUS,
+         FuzzSpec(kind="random", interval_cap=32,
+                  params=params_for(2, 8, 99, sharing=0.9))]
+
+
+@pytest.mark.parametrize("name", sorted(MUTATORS))
+@pytest.mark.parametrize("base", [_RANDOM, _SINGLE, _LITMUS],
+                         ids=["random", "single-thread", "litmus"])
+def test_operator_output_is_valid_and_different(name, base):
+    operator = MUTATORS[name]
+    applied = 0
+    for trial in range(24):
+        mutated = operator(base, random.Random(trial), list(_POOL))
+        if mutated is None:
+            continue
+        applied += 1
+        mutated.validate()          # raises FuzzError on a broken genome
+        assert mutated != base, f"{name} returned the genome unchanged"
+    # Every operator must apply to at least one of the base kinds; that
+    # is asserted across the matrix by test_every_operator_applies.
+    if base.kind == "litmus" and name in ("perturb_stagger", "swap_litmus"):
+        assert applied > 0
+    if name in ("retune_cap", "flip_consistency"):
+        assert applied > 0          # kind-agnostic operators always apply
+
+
+def test_every_operator_applies_somewhere():
+    for name, operator in MUTATORS.items():
+        applied = any(
+            operator(base, random.Random(trial), list(_POOL)) is not None
+            for base in (_RANDOM, _SINGLE, _LITMUS)
+            for trial in range(24))
+        assert applied, f"{name} never applied to any base genome"
+
+
+def test_decline_cases():
+    rng = random.Random(0)
+    assert MUTATORS["drop_thread"](_SINGLE, rng, []) is None
+    assert MUTATORS["splice_threads"](_RANDOM, rng, []) is None
+    assert MUTATORS["perturb_stagger"](_RANDOM, rng, []) is None
+    assert MUTATORS["swap_litmus"](_RANDOM, rng, []) is None
+    assert MUTATORS["densify_sharing"](_LITMUS, rng, []) is None
+
+
+def test_mutate_always_returns_a_named_valid_genome():
+    rng = random.Random(5)
+    for base in (_RANDOM, _SINGLE, _LITMUS):
+        for _ in range(20):
+            name, mutated = mutate(base, rng, list(_POOL))
+            assert name in MUTATORS
+            mutated.validate()
+            assert spec_key(mutated) != spec_key(base)
+
+
+def test_mutate_is_deterministic_under_a_fixed_rng_seed():
+    first = [mutate(_RANDOM, random.Random(11), list(_POOL))
+             for _ in range(10)]
+    second = [mutate(_RANDOM, random.Random(11), list(_POOL))
+              for _ in range(10)]
+    assert first == second
+
+
+def test_splice_pulls_a_thread_from_a_donor():
+    donor = _POOL[2]
+    mutated = None
+    for trial in range(32):
+        mutated = MUTATORS["splice_threads"](
+            _RANDOM, random.Random(trial), [donor])
+        if mutated is not None:
+            break
+    assert mutated is not None
+    assert any(thread in donor.params.threads
+               for thread in mutated.params.threads)

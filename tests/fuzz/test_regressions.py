@@ -1,0 +1,48 @@
+"""Auto-run every checked-in fuzz regression.
+
+``tests/fuzz/regressions/`` holds corpus entries the fuzzer minimized
+from real failures.  Each entry records the recorder overrides that made
+it fail and the oracle that rejected it; this suite proves each one
+*still fails* when its bug is re-introduced and *passes* under the
+current (fixed) recorder — so a fix regression flips these tests red.
+
+To add a regression: copy the ``--emit-regressions`` output file here.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import evaluate_spec, load_corpus_dir
+
+REGRESSIONS_DIR = Path(__file__).parent / "regressions"
+ENTRIES = load_corpus_dir(REGRESSIONS_DIR)
+
+
+def _ids():
+    return [f"{e.failure['oracle']}:{e.spec.describe()}" for e in ENTRIES]
+
+
+def test_regression_corpus_is_not_empty():
+    assert ENTRIES, "no checked-in fuzz regressions found"
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=_ids())
+def test_fixed_recorder_passes(entry):
+    report = evaluate_spec(entry.spec)
+    assert report.ok, (
+        f"regression {entry.describe()} fails even WITHOUT its bug "
+        f"re-introduced: {[v.oracle for v in report.failures()]}")
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=_ids())
+def test_recorded_bug_still_reproduces(entry):
+    overrides = entry.failure.get("overrides") or None
+    if not overrides:
+        pytest.skip("regression has no overrides to re-introduce")
+    report = evaluate_spec(entry.spec, overrides=overrides)
+    failed = {v.oracle for v in report.failures()}
+    assert entry.failure["oracle"] in failed, (
+        f"regression {entry.describe()} no longer reproduces "
+        f"{entry.failure['oracle']} under {overrides} — if the bug class "
+        f"became impossible, retire this entry deliberately")

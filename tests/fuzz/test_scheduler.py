@@ -1,0 +1,138 @@
+"""Fuzz-session contracts: fixed-seed determinism at any job width,
+guided coverage beating the pure-random control at equal budget, and the
+injected-bug catch → minimize → emit pipeline end to end."""
+
+import json
+
+import pytest
+
+from repro.common.errors import FuzzError
+from repro.fuzz import (
+    FuzzConfig,
+    FuzzSession,
+    build_program,
+    evaluate_spec,
+    load_corpus_dir,
+    random_baseline,
+    spec_size,
+)
+
+BUGGY = {"interval_timestamp_floor": False}
+
+
+def _comparable(report) -> str:
+    data = report.to_dict()
+    del data["wall_seconds"]            # the only wall-clock field
+    return json.dumps(data, sort_keys=True)
+
+
+class TestDeterminism:
+    def test_fixed_seed_runs_are_byte_identical(self):
+        first = FuzzSession(FuzzConfig(budget=14, seed=3)).run()
+        second = FuzzSession(FuzzConfig(budget=14, seed=3)).run()
+        assert _comparable(first) == _comparable(second)
+        assert first.evaluated == 14
+
+    def test_job_width_does_not_change_results(self):
+        serial = FuzzSession(FuzzConfig(budget=14, seed=3, jobs=1)).run()
+        sharded = FuzzSession(FuzzConfig(budget=14, seed=3, jobs=2)).run()
+        assert _comparable(serial) == _comparable(sharded)
+
+    def test_different_seeds_explore_differently(self):
+        a = FuzzSession(FuzzConfig(budget=14, seed=0)).run()
+        b = FuzzSession(FuzzConfig(budget=14, seed=4)).run()
+        assert _comparable(a) != _comparable(b)
+
+
+class TestGuidance:
+    def test_guided_beats_pure_random_at_equal_budget(self):
+        config = FuzzConfig(budget=60, seed=0)
+        guided = FuzzSession(config).run()
+        control = random_baseline(FuzzConfig(budget=60, seed=0))
+        assert guided.evaluated == control.evaluated == 60
+        assert not guided.failures and not control.failures
+        assert guided.coverage_buckets > control.coverage_buckets, (
+            f"guided reached {guided.coverage_buckets} buckets, random "
+            f"control reached {control.coverage_buckets}")
+
+    def test_mutations_reach_buckets_the_seeds_did_not(self):
+        report = FuzzSession(FuzzConfig(budget=30, seed=0)).run()
+        assert report.mutation_new_buckets > 0
+        assert report.pool_size > report.seed_candidates
+
+
+class TestInjectedBug:
+    @pytest.fixture(scope="class")
+    def catch(self, tmp_path_factory):
+        emit = tmp_path_factory.mktemp("regressions")
+        notes = []
+        config = FuzzConfig(budget=8, seed=0, overrides=dict(BUGGY),
+                            max_failures=1, minimize_budget=40,
+                            emit_dir=emit)
+        report = FuzzSession(config, note=notes.append).run()
+        return {"report": report, "emit": emit, "notes": notes}
+
+    def test_bug_is_caught_and_attributed(self, catch):
+        failures = catch["report"].failures
+        assert failures, "injected timestamp-floor bug was not caught"
+        failure = failures[0]
+        assert failure.oracle == "replay:opt_cap"
+        assert "diverged" in failure.detail
+        assert any("FAILURE" in line for line in catch["notes"])
+
+    def test_failure_was_minimized(self, catch):
+        failure = catch["report"].failures[0]
+        assert failure.minimize_steps > 0
+        assert (spec_size(failure.minimized_spec)
+                < spec_size(failure.spec))
+        # The minimized report still pins the same oracle failing.
+        verdicts = failure.report["verdicts"]
+        assert any(v["oracle"] == "replay:opt_cap" and not v["ok"]
+                   for v in verdicts)
+
+    def test_forensics_bundle_names_the_inspect_command(self, catch):
+        forensics = catch["report"].failures[0].forensics
+        assert forensics is not None
+        assert "repro.tools inspect" in forensics["inspect_hint"]
+        assert "--variant opt_cap" in forensics["inspect_hint"]
+
+    def test_emitted_regression_is_loadable_and_still_fails(self, catch):
+        failure = catch["report"].failures[0]
+        assert failure.regression_path is not None
+        entries = load_corpus_dir(catch["emit"])
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry.origin == "minimized"
+        assert entry.failure["oracle"] == "replay:opt_cap"
+        assert entry.failure["overrides"] == BUGGY
+        build_program(entry.spec)       # materializes
+        buggy = evaluate_spec(entry.spec, overrides=BUGGY)
+        assert any(v.oracle == "replay:opt_cap" for v in buggy.failures())
+        assert evaluate_spec(entry.spec).ok     # fixed config passes
+
+    def test_forensics_companion_file_sits_next_to_the_entry(self, catch):
+        path = catch["report"].failures[0].regression_path
+        bundles = list(catch["emit"].glob("*.forensics.json"))
+        assert len(bundles) == 1
+        bundle = json.loads(bundles[0].read_text())
+        assert bundle["failure"]["oracle"] == "replay:opt_cap"
+        assert path.endswith(".json")
+
+
+class TestCorpusPlumbing:
+    def test_extra_corpus_seeds_join_the_pool(self, tmp_path):
+        base = FuzzSession(FuzzConfig(budget=10, seed=0))
+        extra = load_corpus_dir(
+            __import__("repro.fuzz.corpus", fromlist=["SEEDS_DIR"])
+            .SEEDS_DIR)
+        widened = FuzzSession(FuzzConfig(budget=10, seed=0),
+                              extra_corpus=extra)
+        # Duplicates of packaged seeds are deduped, not double-counted.
+        assert len(widened.seeds) == len(base.seeds) + len(extra)
+        report = widened.run()
+        assert report.seed_candidates == len(base.seeds)
+
+    def test_corrupt_corpus_dir_raises_fuzz_error(self, tmp_path):
+        (tmp_path / "bad.json").write_text("{broken")
+        with pytest.raises(FuzzError, match="corrupt"):
+            load_corpus_dir(tmp_path)

@@ -24,8 +24,8 @@ MODULES = [
     "repro.mem.directory", "repro.mem.memsys",
     "repro.cpu", "repro.cpu.consistency", "repro.cpu.core",
     "repro.cpu.dynops",
-    "repro.obs", "repro.obs.causality", "repro.obs.events",
-    "repro.obs.exporters", "repro.obs.inspect",
+    "repro.obs", "repro.obs.causality", "repro.obs.coverage",
+    "repro.obs.events", "repro.obs.exporters", "repro.obs.inspect",
     "repro.obs.forensics", "repro.obs.logging", "repro.obs.metrics",
     "repro.obs.perfdb", "repro.obs.profiler", "repro.obs.telemetry",
     "repro.obs.tracer",
@@ -36,6 +36,9 @@ MODULES = [
     "repro.replay.parallel", "repro.replay.patcher", "repro.replay.replayer",
     "repro.baselines", "repro.baselines.chunk",
     "repro.baselines.value_loggers",
+    "repro.fuzz", "repro.fuzz.corpus", "repro.fuzz.coverage",
+    "repro.fuzz.minimize", "repro.fuzz.mutate", "repro.fuzz.oracles",
+    "repro.fuzz.scheduler",
     "repro.analysis", "repro.analysis.contention", "repro.analysis.diff",
     "repro.analysis.logstats", "repro.analysis.timeline",
     "repro.workloads", "repro.workloads.base", "repro.workloads.irregular",

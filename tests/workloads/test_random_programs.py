@@ -1,8 +1,16 @@
 """Tests for the random-program generator used by property tests."""
 
+import json
+import os
+import subprocess
+import sys
+
 import pytest
 
-from repro.workloads import random_program
+from repro.storage import program_to_dict
+from repro.workloads import (RandomProgramParams, ThreadParams, params_for,
+                             random_program, random_program_from_params)
+from repro.workloads.random_programs import params_from_dict, params_to_dict
 
 
 class TestRandomPrograms:
@@ -43,3 +51,94 @@ class TestRandomPrograms:
         program = random_program(2, 25, seed=9, lock_probability=0.3)
         result = Machine(MachineConfig(num_cores=2)).run(program)
         assert result.total_instructions > 0
+
+
+def _fingerprint(program) -> str:
+    return json.dumps(program_to_dict(program), sort_keys=True)
+
+
+class TestDeterminismContract:
+    """The documented byte-identity guarantee of random_program."""
+
+    def test_byte_identical_for_equal_args(self):
+        a = random_program(4, 30, seed=1679, sharing=0.375,
+                           lock_probability=0.0)
+        b = random_program(4, 30, seed=1679, sharing=0.375,
+                           lock_probability=0.0)
+        assert _fingerprint(a) == _fingerprint(b)
+
+    def test_params_api_matches_scalar_api(self):
+        params = params_for(3, 25, seed=42, sharing=0.7,
+                            lock_probability=0.2, fence_probability=0.1)
+        assert (_fingerprint(random_program_from_params(params))
+                == _fingerprint(random_program(3, 25, seed=42, sharing=0.7,
+                                               lock_probability=0.2,
+                                               fence_probability=0.1)))
+
+    def test_byte_identical_across_hash_seeds(self):
+        """No salted hash() leaks into generation: fingerprints match
+        across interpreter runs with different PYTHONHASHSEED values."""
+        script = (
+            "import json, sys\n"
+            "from repro.storage import program_to_dict\n"
+            "from repro.workloads import random_program\n"
+            "p = random_program(3, 20, seed=7, sharing=0.6)\n"
+            "sys.stdout.write(json.dumps(program_to_dict(p), sort_keys=True))\n")
+        prints = []
+        for hash_seed in ("0", "1", "12345"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            env.setdefault("PYTHONPATH", "src")
+            out = subprocess.run([sys.executable, "-c", script], env=env,
+                                 capture_output=True, text=True, check=True)
+            prints.append(out.stdout)
+        assert prints[0] == prints[1] == prints[2]
+
+    def test_per_thread_seeds_differ(self):
+        params = params_for(4, 10, seed=0)
+        assert len({t.seed for t in params.threads}) == 4
+
+
+class TestParamsGenome:
+    def test_round_trip(self):
+        params = params_for(3, 15, seed=11, sharing=0.25)
+        assert params_from_dict(params_to_dict(params)) == params
+
+    def test_round_trip_through_json_text(self):
+        params = RandomProgramParams(
+            threads=(ThreadParams(seed=1, ops=5, atomic_probability=0.5),
+                     ThreadParams(seed=2, ops=8, sharing=1.0)),
+            shared_words=4, private_words=8, seed=3, name="genome",
+            metadata={"origin": "test"})
+        wire = json.dumps(params_to_dict(params), sort_keys=True)
+        assert params_from_dict(json.loads(wire)) == params
+
+    def test_total_ops(self):
+        params = params_for(3, 15, seed=0)
+        assert params.total_ops() == 45
+
+    def test_validate_rejects_bad_probability(self):
+        from repro.common.errors import WorkloadError
+        bad = RandomProgramParams(
+            threads=(ThreadParams(seed=1, ops=5, sharing=1.5),))
+        with pytest.raises(WorkloadError):
+            bad.validate()
+
+    def test_validate_rejects_empty_threads(self):
+        from repro.common.errors import WorkloadError
+        with pytest.raises(WorkloadError):
+            RandomProgramParams(threads=()).validate()
+
+    def test_per_thread_knobs_are_independent(self):
+        base = params_for(2, 20, seed=5)
+        tweaked = RandomProgramParams(
+            threads=(base.threads[0],
+                     ThreadParams(seed=base.threads[1].seed, ops=20,
+                                  fence_probability=1.0)),
+            shared_words=base.shared_words,
+            private_words=base.private_words, seed=base.seed,
+            name=base.name, metadata=dict(base.metadata))
+        a = random_program_from_params(base)
+        b = random_program_from_params(tweaked)
+        assert _fingerprint(a) != _fingerprint(b)
+        # thread 0 is untouched by the thread-1 mutation
+        assert (a.threads[0].instructions == b.threads[0].instructions)
