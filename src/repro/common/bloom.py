@@ -19,6 +19,13 @@ from .h3 import make_h3_family
 
 __all__ = ["BloomSignature"]
 
+#: Shared per-address mask cache, keyed by the hash-family identity
+#: ``(banks, bits_per_bank, seed)``.  Recorders on every processor use the
+#: same seed, so all their signatures resolve an address to the same bank
+#: masks — one shared cache amortizes the hash work across the machine
+#: instead of once per signature object.
+_MASK_CACHES: dict[tuple[int, int, int], dict[int, tuple[int, ...]]] = {}
+
 
 class BloomSignature:
     """A banked Bloom filter over (line) addresses.
@@ -36,7 +43,8 @@ class BloomSignature:
         yields a correct filter.
     """
 
-    __slots__ = ("banks", "bits_per_bank", "_hashes", "_bank_bits", "_inserted")
+    __slots__ = ("banks", "bits_per_bank", "_hashes", "_bank_bits", "_inserted",
+                 "_masks")
 
     def __init__(self, banks: int = 4, bits_per_bank: int = 256, *, seed: int = 0):
         if banks <= 0:
@@ -51,17 +59,31 @@ class BloomSignature:
         # Each bank is an int used as a bitset; Python ints keep this compact.
         self._bank_bits = [0] * banks
         self._inserted = 0
+        # The per-bank bit masks of an address are pure in the (memoized)
+        # hashes, and the address population is small and heavily repeated:
+        # cache the derived mask tuple so the hot insert/membership paths
+        # skip the per-bank hash calls entirely.
+        self._masks = _MASK_CACHES.setdefault(
+            (banks, bits_per_bank, seed), {})
+
+    def _masks_for(self, address: int) -> tuple[int, ...]:
+        masks = self._masks.get(address)
+        if masks is None:
+            masks = tuple(1 << h(address) for h in self._hashes)
+            self._masks[address] = masks
+        return masks
 
     def insert(self, address: int) -> None:
         """Insert a line address into the signature."""
-        for index, h in enumerate(self._hashes):
-            self._bank_bits[index] |= 1 << h(address)
+        bank_bits = self._bank_bits
+        for index, mask in enumerate(self._masks_for(address)):
+            bank_bits[index] |= mask
         self._inserted += 1
 
     def may_contain(self, address: int) -> bool:
         """Membership test: ``False`` is definite, ``True`` may be a false positive."""
-        for index, h in enumerate(self._hashes):
-            if not self._bank_bits[index] >> h(address) & 1:
+        for bits, mask in zip(self._bank_bits, self._masks_for(address)):
+            if not bits & mask:
                 return False
         return True
 

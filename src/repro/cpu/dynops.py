@@ -15,7 +15,7 @@ paper's events: *perform* (the access's coherence-order point) and
 from __future__ import annotations
 
 from ..common.errors import SimulationError
-from ..isa.instructions import Instruction
+from ..isa.instructions import Instruction, Opcode
 
 __all__ = ["DynInstr"]
 
@@ -28,7 +28,7 @@ class DynInstr:
         # static predicates, cached off `instr` at construction (hot paths
         # read them once per event; a property indirection per read shows
         # up in profiles)
-        "opcode", "is_memory", "is_load_like", "is_store_like",
+        "opcode", "is_memory", "is_load_like", "is_store_like", "dest",
         # result dataflow
         "pending_sources", "src_values", "operands_ready_cycle",
         "completed", "result", "ready_cycle", "waiters",
@@ -38,6 +38,7 @@ class DynInstr:
         "addr", "addr_ready", "addr_ready_cycle",
         "performed", "perform_cycle", "value_ready_cycle", "mem_value",
         "issued", "forwarded_from", "depends_on", "in_write_buffer",
+        "admit_order",
         # lifecycle
         "retired", "retire_cycle",
     )
@@ -49,10 +50,19 @@ class DynInstr:
         self.instr = instr
         self.pc = pc
         self.dispatch_cycle = dispatch_cycle
-        self.opcode = instr.opcode
-        self.is_memory = instr.is_memory
-        self.is_load_like = instr.is_load_like
-        self.is_store_like = instr.is_store_like
+        # Inline identity tests instead of the Instruction properties:
+        # this constructor runs once per dynamic instruction and the
+        # property descriptors dominate its profile otherwise.
+        op = instr.opcode
+        self.opcode = op
+        load = op is Opcode.LOAD
+        store = op is Opcode.STORE
+        rmw = op is Opcode.RMW
+        self.is_memory = load or store or rmw
+        self.is_load_like = load or rmw
+        self.is_store_like = store or rmw
+        self.dest = (instr.dst if (load or rmw or op is Opcode.ALU
+                                   or op is Opcode.MOVI) else None)
 
         self.pending_sources = 0
         # role -> value; roles: "a", "b", "base", "data", "cond"
@@ -78,6 +88,10 @@ class DynInstr:
         self.forwarded_from: "DynInstr | None" = None
         self.depends_on: "DynInstr | None" = None
         self.in_write_buffer = False
+        # Position in the core's issue-admission order (stamped when the
+        # access enters the pending-issue queue); lets the compiled kernel
+        # split and re-merge that queue without losing the generic order.
+        self.admit_order = 0
 
         self.retired = False
         self.retire_cycle = -1

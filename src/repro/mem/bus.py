@@ -122,11 +122,12 @@ class SnoopyRingBus:
         # Snoop every other cache; note ownership for data sourcing.
         owner: int | None = None
         other_sharer = False
+        is_write = kind.is_write
         for cache in self.caches:
             if cache.core_id == transaction.requester:
                 continue
-            state_before = cache.lookup(line_addr)
-            if cache.snoop(line_addr, kind.is_write):
+            state_before = cache.snoop_state(line_addr, is_write)
+            if state_before is not None:
                 other_sharer = True
                 if state_before in (MesiState.MODIFIED, MesiState.EXCLUSIVE):
                     owner = cache.core_id

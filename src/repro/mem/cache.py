@@ -58,12 +58,14 @@ class L1Cache:
 
     def lookup(self, line_addr: int) -> MesiState:
         """Current MESI state of a line (INVALID if absent)."""
-        line = self._sets[self._set_index(line_addr)].get(line_addr)
+        # Set index inlined (== _set_index): this and touch/snoop are the
+        # hottest methods in the simulator's memory path.
+        line = self._sets[line_addr % self.num_sets].get(line_addr)
         return line.state if line else MesiState.INVALID
 
     def touch(self, line_addr: int) -> None:
         """Mark a line most-recently-used."""
-        line = self._sets[self._set_index(line_addr)].get(line_addr)
+        line = self._sets[line_addr % self.num_sets].get(line_addr)
         if line:
             self._use_clock += 1
             line.last_use = self._use_clock
@@ -130,15 +132,21 @@ class L1Cache:
         Upgrade) invalidates.  The return value tells the bus whether this
         cache could have supplied the data (owner intervention).
         """
-        entries = self._sets[self._set_index(line_addr)]
+        return self.snoop_state(line_addr, is_write) is not None
+
+    def snoop_state(self, line_addr: int, is_write: bool) -> MesiState | None:
+        """:meth:`snoop`, but returns the line's *prior* state (None when not
+        resident) so the bus can detect owner intervention in one lookup."""
+        entries = self._sets[line_addr % self.num_sets]
         line = entries.get(line_addr)
         if line is None:
-            return False
+            return None
+        state = line.state
         if is_write:
             del entries[line_addr]
-        elif line.state in (MesiState.MODIFIED, MesiState.EXCLUSIVE):
+        elif state in (MesiState.MODIFIED, MesiState.EXCLUSIVE):
             line.state = MesiState.SHARED
-        return True
+        return state
 
     def resident_lines(self) -> list[CacheLine]:
         """All resident lines (diagnostics and invariant checks)."""

@@ -2,11 +2,11 @@
 
 ``repro.tools bench`` measures the simulation kernels and — beyond the
 latest-snapshot ``BENCH_kernel.json`` — appends one :class:`PerfRecord`
-per (workload, config) to an append-only JSONL history file
-(``BENCH_history.jsonl``).  Each record carries the config content hash,
-the git revision, wall time, simulated cycles per second and the
-event-vs-lockstep speedup, so the history is comparable across machines
-checkouts and time.
+per (workload, config, optimized kernel) to an append-only JSONL history
+file (``BENCH_history.jsonl``).  Each record carries the config content
+hash, the git revision, wall time, simulated cycles per second and that
+kernel's speedup over the lockstep reference, so the history is
+comparable across machines, checkouts and time.
 
 ``repro.tools perf-report`` reads that history and compares the newest
 record of every (workload, config-hash) series against a *rolling
@@ -134,24 +134,36 @@ def load_history(path: str | Path) -> tuple[list[PerfRecord], int]:
 
 def records_from_bench_report(report: dict, *, timestamp: float,
                               git_rev: str) -> list[PerfRecord]:
-    """History records for one ``repro.tools bench`` report dict."""
+    """History records for one ``repro.tools bench`` report dict.
+
+    One record per (workload, non-lockstep kernel): every optimized
+    kernel gets its own history series, each carrying its speedup over
+    the shared lockstep reference.
+    """
     config_hash = stable_digest(report["config"])[:16]
     records = []
     for workload in sorted(report["workloads"]):
         entry = report["workloads"][workload]
-        event = entry["kernels"]["event"]
-        records.append(PerfRecord(
-            schema=PERFDB_SCHEMA,
-            timestamp=timestamp,
-            git_rev=git_rev,
-            config_hash=config_hash,
-            workload=workload,
-            cycles=entry["cycles"],
-            instructions=entry["instructions"],
-            wall_s=event["wall_s"],
-            sim_cycles_per_s=event["sim_cycles_per_s"],
-            speedup=entry["speedup"],
-        ))
+        lockstep_wall = entry["kernels"]["lockstep"]["wall_s"]
+        for kernel in sorted(entry["kernels"]):
+            if kernel == "lockstep":
+                continue
+            data = entry["kernels"][kernel]
+            speedup = entry.get("speedups", {}).get(
+                kernel, round(lockstep_wall / data["wall_s"], 3))
+            records.append(PerfRecord(
+                schema=PERFDB_SCHEMA,
+                timestamp=timestamp,
+                git_rev=git_rev,
+                config_hash=config_hash,
+                workload=workload,
+                cycles=entry["cycles"],
+                instructions=entry["instructions"],
+                wall_s=data["wall_s"],
+                sim_cycles_per_s=data["sim_cycles_per_s"],
+                speedup=speedup,
+                kernel=kernel,
+            ))
     return records
 
 
@@ -167,6 +179,7 @@ class RegressionCheck:
     ratio: float | None         # latest / baseline
     regressed: bool
     note: str = ""
+    kernel: str = "event"
 
 
 @dataclass
@@ -178,6 +191,9 @@ class PerfReport:
     tolerance: float = DEFAULT_TOLERANCE
     window: int = DEFAULT_WINDOW
     floor_speedup: float | None = None
+    #: Per-kernel absolute speedup floors ({"compiled": 5.0, ...});
+    #: ``floor_speedup`` is shorthand for the event kernel's entry.
+    floor_speedups: dict = field(default_factory=dict)
 
     @property
     def passed(self) -> bool:
@@ -209,8 +225,8 @@ class PerfReport:
                           f"({100.0 * (check.ratio - 1.0):+.1f}%)")
             note = f" [{check.note}]" if check.note else ""
             lines.append(f"  {status:>9}  {check.workload}"
-                         f"@{check.config_hash[:8]} {check.metric}: "
-                         f"{detail}{note}")
+                         f"@{check.config_hash[:8]}/{check.kernel} "
+                         f"{check.metric}: {detail}{note}")
         lines.append(f"overall: {'PASS' if self.passed else 'FAIL'}")
         return "\n".join(lines) + "\n"
 
@@ -227,25 +243,32 @@ def regression_report(records: list[PerfRecord], *,
                       tolerance: float = DEFAULT_TOLERANCE,
                       window: int = DEFAULT_WINDOW,
                       floor_speedup: float | None = None,
+                      floor_speedups: dict | None = None,
                       skipped_lines: int = 0) -> PerfReport:
     """Compare every series' newest record against its rolling baseline.
 
-    A series is one (workload, config-hash) pair; records keep file
-    (append) order.  The baseline of a metric is the median over up to
-    ``window`` records preceding the newest one; a drop below
-    ``baseline * (1 - tolerance)`` regresses.  ``floor_speedup``
-    additionally enforces an absolute speedup floor on the newest record
-    (the old CI hard threshold) even with no baseline.
+    A series is one (workload, config-hash, kernel) triple; records keep
+    file (append) order.  The baseline of a metric is the median over up
+    to ``window`` records preceding the newest one; a drop below
+    ``baseline * (1 - tolerance)`` regresses.  Absolute speedup floors
+    (the old CI hard thresholds) additionally apply to the newest record
+    of the matching kernel's series even with no baseline:
+    ``floor_speedups`` maps kernel name to floor, and ``floor_speedup``
+    is shorthand for the event kernel's floor.
     """
+    floors = dict(floor_speedups or {})
+    if floor_speedup is not None:
+        floors.setdefault("event", floor_speedup)
     report = PerfReport(tolerance=tolerance, window=window,
                         floor_speedup=floor_speedup,
+                        floor_speedups=floors,
                         skipped_lines=skipped_lines)
-    series: dict[tuple[str, str], list[PerfRecord]] = {}
+    series: dict[tuple[str, str, str], list[PerfRecord]] = {}
     for record in records:
-        series.setdefault((record.workload, record.config_hash),
-                          []).append(record)
-    for (workload, config_hash) in sorted(series):
-        history = series[(workload, config_hash)]
+        series.setdefault((record.workload, record.config_hash,
+                           record.kernel), []).append(record)
+    for (workload, config_hash, kernel) in sorted(series):
+        history = series[(workload, config_hash, kernel)]
         latest = history[-1]
         baseline_window = history[-1 - window:-1]
         for metric in ("sim_cycles_per_s", "speedup"):
@@ -264,14 +287,14 @@ def regression_report(records: list[PerfRecord], *,
             report.checks.append(RegressionCheck(
                 workload=workload, config_hash=config_hash, metric=metric,
                 latest=latest_value, baseline=baseline, ratio=ratio,
-                regressed=regressed, note=note))
-        if floor_speedup is not None:
+                regressed=regressed, note=note, kernel=kernel))
+        floor = floors.get(kernel)
+        if floor is not None:
             report.checks.append(RegressionCheck(
                 workload=workload, config_hash=config_hash,
                 metric="speedup_floor", latest=latest.speedup,
-                baseline=floor_speedup,
-                ratio=(latest.speedup / floor_speedup
-                       if floor_speedup else None),
-                regressed=latest.speedup < floor_speedup,
-                note=f"absolute floor {floor_speedup:.2f}x"))
+                baseline=floor,
+                ratio=(latest.speedup / floor if floor else None),
+                regressed=latest.speedup < floor,
+                note=f"absolute floor {floor:.2f}x", kernel=kernel))
     return report

@@ -23,6 +23,11 @@ from ..common.h3 import make_h3_family
 
 __all__ = ["SnoopTable"]
 
+#: Shared per-address slot cache, keyed by the hash-family identity.  All
+#: snoop tables built from the same recorder config and seed hash an
+#: address to the same slots, so one cache serves every processor.
+_SLOT_CACHES: dict[tuple[int, int, int], dict[int, tuple[int, ...]]] = {}
+
 
 class SnoopTable:
     """Counting snoop filter with multi-hash aliasing rejection."""
@@ -35,21 +40,31 @@ class SnoopTable:
         self._hashes = make_h3_family(self.num_arrays, out_bits, seed=seed + 101)
         self._counters = [[0] * self.entries for _ in range(self.num_arrays)]
         self.observed = 0
+        # Per-address slot tuples are pure in the (memoized) hashes; caching
+        # them keeps the per-transaction observe path free of hash calls.
+        self._slots = _SLOT_CACHES.setdefault(
+            (self.num_arrays, self.entries, seed), {})
+
+    def _slots_for(self, line_addr: int) -> tuple[int, ...]:
+        slots = self._slots.get(line_addr)
+        if slots is None:
+            slots = tuple(h(line_addr) for h in self._hashes)
+            self._slots[line_addr] = slots
+        return slots
 
     def observe(self, line_addr: int) -> None:
         """Record an incoming coherence transaction (or a conservative dirty
         eviction, Section 4.3)."""
-        for index, h in enumerate(self._hashes):
-            slot = h(line_addr)
-            counters = self._counters[index]
-            counters[slot] = (counters[slot] + 1) & self.counter_mask
+        mask = self.counter_mask
+        for counters, slot in zip(self._counters, self._slots_for(line_addr)):
+            counters[slot] = (counters[slot] + 1) & mask
         self.observed += 1
 
     def sample(self, line_addr: int) -> tuple[int, ...]:
         """Counter snapshot for an address (stored in the TRAQ Snoop Count
         field at perform time)."""
-        return tuple(self._counters[index][h(line_addr)]
-                     for index, h in enumerate(self._hashes))
+        return tuple(counters[slot] for counters, slot
+                     in zip(self._counters, self._slots_for(line_addr)))
 
     def conflicts_since(self, line_addr: int, snapshot: tuple[int, ...]) -> bool:
         """True if a conflicting transaction may have been observed since

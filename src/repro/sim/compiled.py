@@ -1,0 +1,893 @@
+"""Compiled-style simulation kernel: config-specialized generated Python.
+
+The generic kernels (:mod:`repro.sim.kernel`) pay per-cycle interpreter
+overhead in :meth:`repro.cpu.core.Core.step`: every visited cycle walks a
+chain of method calls (``_retire`` → ``_can_retire`` → ``_issue_memory`` →
+``_issue_pending`` → ``_try_issue_one`` → ``IssuePolicy`` → ``memsys``),
+re-reads hoisted-but-still-attribute config values, and — measured on the
+``repro.tools bench`` miss-heavy configuration — spends ~9 of every 10
+``MemorySystem.issue`` calls discovering that the same access is still
+blocked on the same full MSHRs.
+
+This module borrows the compiled-simulation idea (CXXRTL-style
+specialization: flatten the model for one fixed configuration into
+straight-line code) at the Python level.  :func:`kernel_source` renders a
+*generated module* for a fixed kernel spec — consistency model, core
+geometry (issue width, ROB/LSQ/write-buffer/load-store-unit sizes, ALU
+latency) and TRAQ shape (capacity, NMI width, counting bandwidth) — in
+which:
+
+* every config read is a literal constant;
+* the per-core step (retire → count → issue → dispatch) is one flat
+  function: retirement/counting/dispatch rules are inlined per opcode
+  *group* read from a per-program decode table (:func:`decode_attach`),
+  and the consistency model's issue predicates are inlined as
+  model-specific expressions (the SC/TSO/RC branches of
+  :class:`repro.cpu.consistency.IssuePolicy` are resolved at generation
+  time);
+* the memory-issue phase is *memoized*: a scan that issued nothing is
+  not repeated until ``Core.issue_version`` changes (a perform, an
+  address resolution or a store entering the write buffer — the only
+  events that can unblock an issue) or the earliest operand time-gate
+  among the scanned accesses arrives.  This is the batched fast path:
+  cores executing the common blocked/hit case skip the generic rescan
+  machinery entirely and fall back to the full path exactly when a rare
+  event (miss completion, fence clear, disambiguation, snoop-driven
+  perform) invalidates the memo.
+
+Cold events — address resolution, dataflow wake-ups, forwarding, the
+memory callback protocol — still call straight into the generic
+:class:`~repro.cpu.core.Core` methods, so the generated code only
+duplicates the per-cycle hot path.
+
+The backend must be **observationally invisible**: byte-identical
+serialized :class:`~repro.sim.machine.RunResult` objects against both
+generic kernels for every configuration (``tests/sim/equivalence.py``
+asserts the matrix; ``repro.fuzz`` checks every fuzzed genome).  It is
+*generated and risky by design* — the differential harness, not review,
+is the correctness argument.
+
+Generated modules are cached in memory and on disk
+(``.repro_cache/kernels/<key>.py`` by default, override with
+``REPRO_KERNEL_CACHE_DIR``), keyed by a stable digest of the kernel spec
+plus a *code-version salt* (:data:`CODE_VERSION`, a digest of this
+file's own source — regenerating from an unchanged generator is
+byte-for-byte deterministic, so the salt is exactly the generator
+version).  A salt change therefore forces regeneration; stale modules
+from an older generator can never be loaded.  Set ``REPRO_KERNEL_SALT``
+to fold an extra salt component in (used by the regeneration tests).
+
+Fallbacks: a run with an attached profiler or tracer is delegated to the
+generic event kernel (both are pure observers, so results are unchanged;
+the generated fast path simply does not carry the observation hooks).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import types
+from collections import deque as _deque
+from pathlib import Path
+from string import Template
+
+from ..common.config import ConsistencyModel, MachineConfig
+from ..common.errors import SimulationError
+from ..common.hashing import stable_digest
+from ..isa.instructions import Opcode
+from .kernel import run_event
+
+__all__ = ["CODE_VERSION", "GROUPS", "INJECTED_CODEGEN_BUGS", "INJECT_BUG",
+           "kernel_spec", "spec_from_parts", "module_key", "kernel_source",
+           "load_kernel", "decode_attach", "cache_dir", "module_path",
+           "dispatch_compiled"]
+
+# --------------------------------------------------------------- versioning
+
+#: Digest of this generator's own source text.  Generation is a pure
+#: function of (spec, generator source), so this is the complete code
+#: version of any module it emits; folded into every cache key.
+CODE_VERSION = stable_digest(Path(__file__).read_text(), length=16)
+
+
+def _salt() -> str:
+    """Effective code-version salt (env component folded in)."""
+    extra = os.environ.get("REPRO_KERNEL_SALT", "")
+    return CODE_VERSION if not extra else f"{CODE_VERSION}:{extra}"
+
+
+# ----------------------------------------------------------- opcode groups
+
+#: Dense opcode-group codes the generated step dispatches on, precomputed
+#: per static instruction by :func:`decode_attach`.  Memory groups are the
+#: contiguous tail (``>= GROUP_LOAD``) so one comparison classifies them.
+GROUPS = {
+    Opcode.ALU: 0, Opcode.MOVI: 1, Opcode.BEQZ: 2, Opcode.BNEZ: 3,
+    Opcode.JUMP: 4, Opcode.HALT: 5, Opcode.FENCE: 6, Opcode.NOP: 7,
+    Opcode.LOAD: 8, Opcode.STORE: 9, Opcode.RMW: 10,
+}
+
+#: Deliberately wrong code the generator can be asked to emit, so the
+#: differential harness and the fuzzer's ``compiled-vs-event`` oracle can
+#: prove they catch codegen bugs.  Never written to the disk cache.
+INJECTED_CODEGEN_BUGS = {
+    # A fence retires without waiting for older accesses to perform: the
+    # classic dropped-stall specialization bug.
+    "drop-fence-stall",
+}
+
+#: Module-level injection hook consulted at generation time (set by the
+#: fuzz oracle stack via the ``__codegen_bug__`` override; keep ``None``
+#: for correct code).
+INJECT_BUG: str | None = None
+
+
+# ------------------------------------------------------------ kernel spec
+
+def spec_from_parts(*, consistency: ConsistencyModel, issue_width: int,
+                    rob_entries: int, lsq_entries: int, wb_entries: int,
+                    ldst_units: int, max_nmi: int, traq_capacity: int,
+                    count_bandwidth: int, line_bytes: int,
+                    mshr_entries: int) -> dict:
+    """The exact knobs the generated code specializes on, as a plain dict
+    (the unit :func:`stable_digest` keys modules by)."""
+    return {
+        "consistency": consistency.value,
+        "issue_width": issue_width,
+        "rob_entries": rob_entries,
+        "lsq_entries": lsq_entries,
+        "wb_entries": wb_entries,
+        "ldst_units": ldst_units,
+        "max_nmi": max_nmi,
+        "traq_capacity": traq_capacity,
+        "count_bandwidth": count_bandwidth,
+        "line_bytes": line_bytes,
+        "mshr_entries": mshr_entries,
+    }
+
+
+def kernel_spec(config: MachineConfig, *, count_bandwidth: int = 2) -> dict:
+    """Kernel spec for a machine config (TRAQ shape from the recorder)."""
+    return spec_from_parts(
+        consistency=config.consistency,
+        issue_width=config.core.issue_width,
+        rob_entries=config.core.rob_entries,
+        lsq_entries=config.core.lsq_entries,
+        wb_entries=config.core.write_buffer_entries,
+        ldst_units=config.core.ldst_units,
+        max_nmi=(1 << config.recorder.nmi_bits) - 1,
+        traq_capacity=config.recorder.traq_entries,
+        count_bandwidth=count_bandwidth,
+        line_bytes=config.l1.line_bytes,
+        mshr_entries=config.l1.mshr_entries,
+    )
+
+
+def _spec_from_cores(cores) -> dict:
+    """Kernel spec read off live cores (authoritative: the hoisted values
+    the generic step would use, and the actual shared TRAQ shape)."""
+    core = cores[0]
+    traq = core.traq
+    return spec_from_parts(
+        consistency=core.policy.model,
+        issue_width=core._issue_width,
+        rob_entries=core._rob_entries,
+        lsq_entries=core._lsq_entries,
+        wb_entries=core._wb_entries,
+        ldst_units=core._ldst_units,
+        max_nmi=traq.max_nmi,
+        traq_capacity=traq.capacity,
+        count_bandwidth=traq.count_bandwidth,
+        line_bytes=core.memsys.line_bytes,
+        mshr_entries=core.memsys.config.l1.mshr_entries,
+    )
+
+
+def module_key(spec: dict, inject_bug: str | None = None) -> str:
+    """Content address of one generated module: spec + code version
+    (+ injected bug, so buggy modules can never shadow correct ones)."""
+    return stable_digest({"spec": spec, "salt": _salt(),
+                          "inject_bug": inject_bug})
+
+
+# ------------------------------------------------------------ decode table
+
+class _ThreadDecode:
+    """Per-thread static decode used by the generated step: one flat list
+    per fact the hot loop needs, indexed by pc."""
+
+    __slots__ = ("instrs", "groups", "dests", "roles", "barriers")
+
+    def __init__(self, thread):
+        instrs = thread.instructions
+        self.instrs = instrs
+        self.groups = [GROUPS[i.opcode] for i in instrs]
+        self.dests = [i.destination_register() for i in instrs]
+        self.roles = [self._roles(i) for i in instrs]
+        self.barriers = [i.opcode is Opcode.RMW or i.acquire for i in instrs]
+
+    @staticmethod
+    def _roles(instr) -> tuple:
+        """Source-capture roles, mirroring ``Core._capture_sources``."""
+        roles = []
+        if instr.opcode is Opcode.ALU:
+            roles.append(("a", instr.src1))
+            if instr.src2 is not None:
+                roles.append(("b", instr.src2))
+        elif instr.opcode in (Opcode.BEQZ, Opcode.BNEZ):
+            roles.append(("cond", instr.src1))
+        elif instr.opcode is Opcode.STORE:
+            roles.append(("data", instr.src1))
+            if instr.addr_base is not None:
+                roles.append(("base", instr.addr_base))
+        elif instr.opcode is Opcode.LOAD:
+            if instr.addr_base is not None:
+                roles.append(("base", instr.addr_base))
+        elif instr.opcode is Opcode.RMW:
+            if instr.src1 is not None:
+                roles.append(("data", instr.src1))
+            if instr.addr_base is not None:
+                roles.append(("base", instr.addr_base))
+        return tuple(roles)
+
+
+#: Memoized decode tables, keyed by thread-program identity.  The strong
+#: reference to the thread object keeps its ``id`` from being recycled;
+#: the identity check guards against a different object landing on a
+#: reused address after the original was dropped from the cache.
+_DECODE_CACHE: dict[int, tuple] = {}
+_DECODE_CACHE_MAX = 256
+
+
+def _decode_for(thread) -> "_ThreadDecode":
+    key = id(thread)
+    hit = _DECODE_CACHE.get(key)
+    if hit is not None and hit[0] is thread:
+        return hit[1]
+    decode = _ThreadDecode(thread)
+    if len(_DECODE_CACHE) >= _DECODE_CACHE_MAX:
+        _DECODE_CACHE.clear()
+    _DECODE_CACHE[key] = (thread, decode)
+    return decode
+
+
+def decode_attach(core) -> None:
+    """Attach the decode tables and the issue-memo slots the generated
+    step reads (``_c*`` = compiled-only; the generic kernels never look)."""
+    decode = _decode_for(core.program)
+    core._ci = decode.instrs
+    core._cg = decode.groups
+    core._cd = decode.dests
+    core._cr = decode.roles
+    core._cb = decode.barriers
+    core._blocked_version = -1
+    core._blocked_until = 0
+    core._c_parked = _deque()
+    core._c_parked_version = -1
+
+
+# ---------------------------------------------------------- code generation
+
+def _policy_expressions(model: ConsistencyModel) -> dict:
+    """The :class:`IssuePolicy` predicates resolved at generation time.
+
+    Expressions are evaluated with ``core`` and ``dyn`` in scope;
+    ``_no_barrier`` inlines the cheap empty-deque test in front of the
+    (lazily pruning) barrier oracle.
+    """
+    no_barrier = ("(not core._barriers"
+                  " or not core.has_barrier_older_than(dyn.seq))")
+    if model is ConsistencyModel.SC:
+        return {
+            "MAY_ISSUE_LOAD": (f"{no_barrier} and "
+                               "core.oldest_unperformed_mem_seq() >= dyn.seq"),
+            "MAY_ISSUE_STORE": "core.oldest_unperformed_mem_seq() >= dyn.seq",
+            "FORWARDING": "False",
+            "STORE_BLOCKED": "break",       # FIFO write-buffer drain
+        }
+    if model is ConsistencyModel.TSO:
+        return {
+            "MAY_ISSUE_LOAD": (f"{no_barrier} and "
+                               "core.oldest_unperformed_load_seq() >= dyn.seq"),
+            "MAY_ISSUE_STORE": ("core.oldest_unperformed_store_seq()"
+                                " >= dyn.seq"),
+            "FORWARDING": "True",
+            "STORE_BLOCKED": "break",       # FIFO write-buffer drain
+        }
+    return {                                # RC
+        "MAY_ISSUE_LOAD": no_barrier,
+        "MAY_ISSUE_STORE": ("(core.oldest_unperformed_store_seq() >= dyn.seq)"
+                            " if dyn.instr.release"
+                            " else (not core.has_older_unperformed_store_to"
+                            "(dyn))"),
+        "FORWARDING": "True",
+        "STORE_BLOCKED": "continue",        # non-FIFO: younger may pass
+    }
+
+
+_TEMPLATE = Template('''\
+"""Generated simulation kernel — do not edit.
+
+Emitted by repro.sim.compiled (code version ${CODE_VERSION}) for the
+fixed kernel spec below; regenerate by changing the generator.
+
+    spec: ${SPEC}
+    key:  ${KEY}
+
+The step function is Core.step flattened for this spec: config constants
+are literals, opcode dispatch reads the per-program decode tables
+attached by repro.sim.compiled.decode_attach, the ${MODEL} issue policy
+is inlined, and a fruitless memory-issue scan is memoized on
+Core.issue_version + the earliest operand time-gate.  The driver is the
+event kernel loop with the profiler hooks stripped (profiled or traced
+runs fall back to the generic kernel before reaching this module).
+"""
+
+from collections import deque
+from operator import attrgetter
+
+from repro.common.errors import SimulationError
+from repro.cpu.dynops import DynInstr
+from repro.isa.instructions import Opcode
+from repro.mem.memsys import MemOp, MemOpKind
+from repro.sim.compiled import decode_attach
+from repro.sim.kernel import DEADLOCK_WINDOW, CoreWakeQueue, deadlock_report
+
+_INF = 1 << 62
+_LOAD = MemOpKind.LOAD
+_STORE = MemOpKind.STORE
+_RMW = MemOpKind.RMW
+_STORE_OP = Opcode.STORE
+_admit_key = attrgetter("admit_order")
+
+
+def step(core, cycle):
+    """One specialized core-cycle; returns True on pipeline activity."""
+    core.now = cycle
+    progress = False
+    rob = core.rob
+    wb = core.write_buffer
+    traq = core.traq
+    entries = traq._entries
+    groups = core._cg
+    dests = core._cd
+
+    # ------------------------------------------------ retire (Core._retire)
+    if rob:
+        retired = 0
+        while True:
+            dyn = rob[0]
+            pc = dyn.pc
+            grp = groups[pc]
+            if grp >= 8:                     # LOAD / STORE / RMW
+                if grp == 9:
+                    while wb and wb[0].performed:
+                        wb.popleft()
+                    if not dyn.addr_ready or len(wb) >= ${WB_ENTRIES}:
+                        break
+                elif not dyn.performed or dyn.value_ready_cycle > cycle:
+                    break
+            elif grp <= 3:                   # ALU / MOVI / BEQZ / BNEZ
+                if grp >= 2:
+                    if not dyn.branch_resolved or dyn.ready_cycle > cycle:
+                        break
+                elif not dyn.completed or dyn.ready_cycle > cycle:
+                    break
+            elif grp == 6:                   # FENCE
+                if not (${FENCE_RETIRE_OK}):
+                    break
+            # JUMP / HALT / NOP retire unconditionally
+            rob.popleft()
+            if grp == 9:
+                dyn.in_write_buffer = True
+                wb.append(dyn)
+                core.issue_version += 1
+            dyn.retired = True
+            dyn.retire_cycle = cycle
+            core.retired_seq = dyn.seq
+            dest = dests[pc]
+            if dest is not None:
+                core.arch_regs[dest] = (dyn.mem_value
+                                        if grp == 8 or grp == 10
+                                        else dyn.result)
+            if grp >= 8:
+                core.lsq_occupancy -= 1
+                core.mem_retired += 1
+            elif grp == 5:
+                core.halt_retired = True
+            core.instructions_retired += 1
+            retired += 1
+            if retired >= ${ISSUE_WIDTH} or not rob:
+                break
+        if retired:
+            progress = True
+
+    # ------------------------- count (Core._count / TrackingQueue.count_ready)
+    if entries:
+        retired_seq = core.retired_seq
+        sinks = core.sinks
+        counted = 0
+        while True:
+            entry = entries[0]
+            dyn = entry.dyn
+            if dyn is None:
+                if retired_seq < entry.last_seq:
+                    break
+            elif not (dyn.retired and dyn.performed):
+                break
+            entries.popleft()
+            traq.entries_counted += 1
+            counted += 1
+            for sink in sinks:
+                sink.on_count(entry, cycle)
+            if counted >= ${COUNT_BANDWIDTH} or not entries:
+                break
+        if counted:
+            progress = True
+
+    # -------------------- issue (Core._issue_memory, memoized on version)
+    version = core.issue_version
+    if version != core._blocked_version or cycle >= core._blocked_until:
+        memsys = core.memsys
+        issued = 0
+        gate = _INF
+        # MSHR occupancy can only drop at a bus commit, which never happens
+        # mid-step, so "the MSHRs are full" established here holds for the
+        # whole scan; issue() is then only called for accesses that cannot
+        # fail (hits and merges), never to discover a rejection.
+        mshr_full = memsys.bus.pending_count(core.core_id) >= ${MSHR_ENTRIES}
+        if wb:                              # Core._drain_write_buffer
+            for dyn in wb:
+                if dyn.performed or dyn.issued:
+                    continue
+                if not (${MAY_ISSUE_STORE}):
+                    ${STORE_BLOCKED}
+                if mshr_full and not memsys.would_accept(
+                        core.core_id, dyn.addr // ${LINE_BYTES}, True):
+                    break                   # issue() would reject: stop drain
+                op = MemOp(core.core_id, _STORE, dyn.addr,
+                           store_value=dyn.source_value("data"),
+                           on_perform=core._mem_callback(dyn))
+                if not memsys.issue(op, cycle):
+                    mshr_full = True
+                    break                   # MSHRs exhausted
+                dyn.issued = True
+                issued += 1
+                if issued >= ${LDST_UNITS}:
+                    break
+        pending = core._pending_issue
+        parked = core._c_parked
+        if parked and core.unpark_version != core._c_parked_version:
+            # A commit-driven perform happened since these accesses were
+            # rejected by the memory system — one of this core's misses
+            # completed, so MSHRs may have freed or permissions arrived.
+            # Rebuild the pending queue in admission order (the order the
+            # generic Core._issue_pending would scan).  A sort, not a
+            # two-pointer merge: ``parked`` interleaves runs from different
+            # scans (an access that *failed* a live issue() stays pending
+            # and may only be parked on a later scan, after younger parked
+            # accesses), so neither deque half is reliably sorted.
+            pending.extend(parked)
+            parked.clear()
+            pending = core._pending_issue = deque(
+                sorted(pending, key=_admit_key))
+        if pending:                         # Core._issue_pending
+            remaining = deque()
+            while pending:
+                dyn = pending.popleft()
+                if issued >= ${LDST_UNITS}:
+                    remaining.append(dyn)
+                    continue
+                ok = False
+                arc = dyn.addr_ready_cycle
+                if arc > cycle:
+                    if arc < gate:
+                        gate = arc
+                elif groups[dyn.pc] == 10:  # RMW
+                    # Once the MSHRs are known full, accesses that would be
+                    # rejected (would_accept is memsys.issue's read-only
+                    # admission twin) are parked: nothing but the completion
+                    # of one of this core's own misses can un-doom them, so
+                    # later scans skip them until unpark_version moves.
+                    if mshr_full and not memsys.would_accept(
+                            core.core_id, dyn.addr // ${LINE_BYTES}, True):
+                        parked.append(dyn)
+                        continue
+                    if ((not core._barriers
+                         or not core.has_barrier_older_than(dyn.seq))
+                            and core.oldest_unperformed_mem_seq()
+                            >= dyn.seq):
+                        instr = dyn.instr
+                        op = MemOp(core.core_id, _RMW, dyn.addr,
+                                   rmw_op=instr.rmw_op,
+                                   rmw_operand=dyn.src_values.get("data"),
+                                   rmw_imm=instr.imm,
+                                   on_perform=core._mem_callback(dyn))
+                        ok = memsys.issue(op, cycle)
+                        if not ok:
+                            mshr_full = True
+                else:                       # LOAD
+                    dependency = dyn.depends_on
+                    while dependency is not None and dependency.performed:
+                        dependency = dyn.depends_on = \\
+                            core._find_same_word_dependency(dyn)
+                    if dependency is not None:
+                        if (${FORWARDING}
+                                and dependency.opcode is _STORE_OP
+                                and dependency.addr_ready):
+                            if ${MAY_ISSUE_LOAD}:
+                                core._forward_load(dyn, dependency, cycle)
+                                ok = True
+                    elif mshr_full and not memsys.would_accept(
+                            core.core_id, dyn.addr // ${LINE_BYTES}, False):
+                        parked.append(dyn)
+                        continue
+                    elif ${MAY_ISSUE_LOAD}:
+                        op = MemOp(core.core_id, _LOAD, dyn.addr,
+                                   on_perform=core._mem_callback(dyn))
+                        ok = memsys.issue(op, cycle)
+                        if not ok:
+                            mshr_full = True
+                if ok:
+                    issued += 1
+                else:
+                    remaining.append(dyn)
+            core._pending_issue = remaining
+            # Commits only happen in the tick phase, never mid-step, so
+            # unpark_version cannot have moved since the merge check above.
+            core._c_parked_version = core.unpark_version
+        if issued:
+            progress = True
+            core._blocked_version = -1
+        else:
+            # Nothing issued and (by the issue_version argument in
+            # repro.sim.compiled) nothing mutated: identical rescans are
+            # skipped until the version moves or the earliest operand
+            # time-gate among the scanned accesses arrives.
+            core._blocked_version = version
+            core._blocked_until = gate
+
+    # ------------------------- dispatch (Core._dispatch / _dispatch_one)
+    instrs = core._ci
+    roles_tbl = core._cr
+    dispatched = 0
+    while dispatched < ${ISSUE_WIDTH}:
+        branch = core.stalled_branch
+        if branch is not None:
+            if not branch.branch_resolved or branch.ready_cycle > cycle:
+                break
+            core.pc = (branch.instr.target if branch.branch_taken
+                       else branch.pc + 1)
+            core.stalled_branch = None
+        if core.halted:
+            break
+        if len(rob) >= ${ROB_ENTRIES}:
+            break
+        if core.pending_nmi >= ${MAX_NMI}:
+            if len(entries) >= ${TRAQ_CAPACITY}:
+                core.dispatch_stall_traq += 1
+                traq.stall_cycles += 1
+                break
+            traq.push_filler(${MAX_NMI}, core.next_seq - 1, cycle=cycle)
+            core.pending_nmi -= ${MAX_NMI}
+        pc = core.pc
+        grp = groups[pc]
+        if grp >= 8:
+            if core.lsq_occupancy >= ${LSQ_ENTRIES}:
+                break
+            if len(entries) >= ${TRAQ_CAPACITY}:
+                core.dispatch_stall_traq += 1
+                traq.stall_cycles += 1
+                break
+        elif grp == 5:
+            if len(entries) >= ${TRAQ_CAPACITY}:
+                core.dispatch_stall_traq += 1
+                traq.stall_cycles += 1
+                break
+        instr = instrs[pc]
+        seq = core.next_seq
+        dyn = DynInstr(core.core_id, seq, instr, pc, cycle)
+        core.next_seq = seq + 1
+        rob.append(dyn)
+        roles = roles_tbl[pc]
+        if roles:                           # Core._capture_sources
+            rename = core.rename
+            for role, register in roles:
+                producer = rename[register]
+                if producer is None:
+                    dyn.src_values[role] = core.spec_regs[register]
+                elif producer.completed:
+                    dyn.src_values[role] = producer.result
+                    if producer.ready_cycle > dyn.operands_ready_cycle:
+                        dyn.operands_ready_cycle = producer.ready_cycle
+                else:
+                    producer.waiters.append((dyn, role))
+                    dyn.pending_sources += 1
+        dest = dests[pc]
+        if dest is not None:
+            core.rename[dest] = dyn
+        if grp == 0:                        # ALU
+            core.pending_nmi += 1
+            core.pc = pc + 1
+            if dyn.pending_sources == 0:
+                core._execute_alu(dyn)
+        elif grp >= 8:                      # LOAD / STORE / RMW
+            core.pc = pc + 1
+            core.lsq_occupancy += 1
+            traq.push_mem(dyn, core.pending_nmi, cycle=cycle)
+            core.pending_nmi = 0
+            core._unperformed_mem.append(dyn)   # Core._register_memory
+            if grp != 9:
+                core._unperformed_loads.append(dyn)
+            if grp != 8:
+                core._unperformed_stores.append(dyn)
+                core._unresolved_stores.append(dyn)
+            if core._cb[pc]:
+                core._barriers.append(dyn)
+            if dyn.pending_sources == 0:
+                core._resolve_address(dyn)
+        elif grp == 1:                      # MOVI
+            core.pending_nmi += 1
+            core.pc = pc + 1
+            core._complete_result(dyn, instr.imm, cycle)
+        elif grp <= 3:                      # BEQZ / BNEZ
+            core.pending_nmi += 1
+            if dyn.pending_sources == 0:    # Core._resolve_branch
+                cond = dyn.src_values["cond"]
+                taken = (cond == 0) if grp == 2 else (cond != 0)
+                dyn.branch_taken = taken
+                dyn.branch_resolved = True
+                dyn.ready_cycle = dyn.operands_ready_cycle + 1
+                core.schedule_wake(dyn.ready_cycle)
+                core.pc = instr.target if taken else pc + 1
+            else:
+                core.stalled_branch = dyn
+        elif grp == 4:                      # JUMP
+            core.pending_nmi += 1
+            dyn.completed = True
+            dyn.ready_cycle = cycle
+            core.pc = instr.target
+        elif grp == 5:                      # HALT
+            core.halted = True
+            core.pending_nmi += 1
+            traq.push_filler(core.pending_nmi, dyn.seq, cycle=cycle)
+            core.pending_nmi = 0
+            core.pc = pc + 1
+        elif grp == 6:                      # FENCE
+            core.pending_nmi += 1
+            core.pc = pc + 1
+            core._barriers.append(dyn)
+            dyn.completed = True
+            dyn.ready_cycle = cycle
+        else:                               # NOP
+            core.pending_nmi += 1
+            core.pc = pc + 1
+            dyn.completed = True
+            dyn.ready_cycle = cycle
+        dispatched += 1
+        if core.halted or core.stalled_branch is not None:
+            break
+    if dispatched:
+        progress = True
+    return progress
+
+
+def run(program, cores, memsys, sampler, max_cycles, profiler=None):
+    """Specialized event-driven driver (see repro.sim.kernel.run_event for
+    the scheduling/parity argument; this loop is that one minus the
+    profiler hooks, stepping cores through the flattened `step`)."""
+    if profiler is not None:                # pragma: no cover - dispatcher
+        raise SimulationError(
+            "generated kernel cannot attach a profiler; "
+            "dispatch_compiled should have fallen back")
+    num_cores = len(cores)
+    wakes = CoreWakeQueue()
+    for core in cores:
+        core.schedule_wake = wakes.wake_fn(core.core_id)
+        decode_attach(core)
+    tick = memsys.tick
+    next_commit = memsys.bus.next_commit_cycle
+    catch_up = sampler.catch_up
+
+    visited = 0
+    last_step_visited = [0] * num_cores
+    stall_delta = [0] * num_cores
+    done = [False] * num_cores
+    done_count = 0
+    run_next = list(range(num_cores))
+
+    cycle = 0
+    last_progress_cycle = 0
+    while True:
+        if cycle > max_cycles:
+            raise SimulationError(
+                f"exceeded max_cycles={max_cycles} running {program.name!r}")
+        visited += 1
+
+        progress = False
+        commit_at = next_commit()
+        if commit_at is not None and commit_at <= cycle:
+            progress = tick(cycle)
+
+        due = wakes.due(cycle)
+        if run_next:
+            woken = sorted({*run_next, *due}) if due else run_next
+            run_next = []
+        else:
+            woken = due
+
+        for core_id in woken:
+            core = cores[core_id]
+            skipped = visited - last_step_visited[core_id] - 1
+            if skipped:
+                delta = stall_delta[core_id]
+                if delta:
+                    core.dispatch_stall_traq += skipped * delta
+                    core.traq.stall_cycles += skipped * delta
+            stalls_before = core.dispatch_stall_traq
+            stepped = step(core, cycle)
+            delta = core.dispatch_stall_traq - stalls_before
+            last_step_visited[core_id] = visited
+            if stepped:
+                progress = True
+                stall_delta[core_id] = 0
+                run_next.append(core_id)
+            else:
+                stall_delta[core_id] = delta
+            if not done[core_id] and core.done:
+                done[core_id] = True
+                done_count += 1
+
+        catch_up(cycle)
+
+        if progress:
+            last_progress_cycle = cycle
+            if done_count == num_cores:
+                return cycle + 1
+            cycle += 1
+            continue
+
+        if done_count == num_cores:         # pragma: no cover - defensive
+            target = next_commit()
+            wake = wakes.next_after(cycle)
+            if wake is not None and (target is None or wake < target):
+                target = wake
+            return (target if target is not None and target > cycle
+                    else cycle + 1)
+
+        target = next_commit()
+        wake = wakes.next_after(cycle)
+        if wake is not None and (target is None or wake < target):
+            target = wake
+        if target is None or target <= cycle:
+            if cycle - last_progress_cycle > DEADLOCK_WINDOW:
+                raise SimulationError(deadlock_report(program, cores, cycle))
+            deadlock_cycle = last_progress_cycle + DEADLOCK_WINDOW + 1
+            if max_cycles + 1 <= deadlock_cycle:
+                raise SimulationError(
+                    f"exceeded max_cycles={max_cycles} running "
+                    f"{program.name!r}")
+            raise SimulationError(
+                deadlock_report(program, cores, deadlock_cycle))
+        cycle = target
+''')
+
+
+def kernel_source(spec: dict, *, inject_bug: str | None = None) -> str:
+    """Render the generated module's source text for ``spec``.
+
+    Pure and deterministic: the same spec (and generator version) renders
+    the same bytes, which is what makes :data:`CODE_VERSION` a complete
+    cache salt.
+    """
+    if inject_bug is not None and inject_bug not in INJECTED_CODEGEN_BUGS:
+        raise SimulationError(f"unknown injected codegen bug {inject_bug!r}")
+    model = ConsistencyModel(spec["consistency"])
+    fence_ok = "core.oldest_unperformed_mem_seq() > dyn.seq"
+    if inject_bug == "drop-fence-stall":
+        # A string operand, not a comment: the expression is substituted
+        # inside parentheses, where a comment would swallow the closer.
+        fence_ok = "True or 'INJECTED BUG: drop-fence-stall'"
+    values = {
+        "CODE_VERSION": _salt(),
+        "SPEC": repr(spec),
+        "KEY": module_key(spec, inject_bug),
+        "MODEL": model.value,
+        "FENCE_RETIRE_OK": fence_ok,
+        "ISSUE_WIDTH": spec["issue_width"],
+        "ROB_ENTRIES": spec["rob_entries"],
+        "LSQ_ENTRIES": spec["lsq_entries"],
+        "WB_ENTRIES": spec["wb_entries"],
+        "LDST_UNITS": spec["ldst_units"],
+        "MAX_NMI": spec["max_nmi"],
+        "TRAQ_CAPACITY": spec["traq_capacity"],
+        "COUNT_BANDWIDTH": spec["count_bandwidth"],
+        "LINE_BYTES": spec["line_bytes"],
+        "MSHR_ENTRIES": spec["mshr_entries"],
+    }
+    values.update(_policy_expressions(model))
+    return _TEMPLATE.substitute(values)
+
+
+# ------------------------------------------------------------ module cache
+
+#: In-process cache: module key -> executed generated module.
+_MODULES: dict[str, types.ModuleType] = {}
+
+
+def cache_dir() -> Path:
+    """Directory generated modules are persisted under."""
+    return Path(os.environ.get("REPRO_KERNEL_CACHE_DIR",
+                               os.path.join(".repro_cache", "kernels")))
+
+
+def module_path(spec: dict, inject_bug: str | None = None) -> Path:
+    """On-disk path of the generated module for ``spec``."""
+    return cache_dir() / f"kernel_{module_key(spec, inject_bug)}.py"
+
+
+def _exec_module(source: str, key: str) -> types.ModuleType:
+    module = types.ModuleType(f"repro.sim._generated.kernel_{key}")
+    code = compile(source, f"<generated kernel {key}>", "exec")
+    exec(code, module.__dict__)
+    return module
+
+
+def load_kernel(spec: dict, *,
+                inject_bug: str | None = None) -> types.ModuleType:
+    """Generated module for ``spec``: memory cache, then disk, then render.
+
+    Disk entries are keyed by ``module_key`` (spec + code-version salt),
+    so a generator/salt change misses and regenerates; an unreadable or
+    broken cached file is regenerated in place rather than trusted.
+    Injected-bug modules are never written to disk.
+    """
+    key = module_key(spec, inject_bug)
+    module = _MODULES.get(key)
+    if module is not None:
+        return module
+    path = module_path(spec, inject_bug)
+    source = None
+    if inject_bug is None:
+        try:
+            source = path.read_text()
+        except OSError:
+            source = None
+    if source is not None:
+        try:
+            module = _exec_module(source, key)
+        except Exception:
+            source = None           # stale/corrupt cache entry: regenerate
+    if source is None:
+        source = kernel_source(spec, inject_bug=inject_bug)
+        module = _exec_module(source, key)
+        if inject_bug is None:
+            try:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                tmp = path.with_suffix(f".tmp.{os.getpid()}")
+                tmp.write_text(source)
+                os.replace(tmp, path)
+            except OSError:         # unwritable cache: memory-only
+                pass
+    _MODULES[key] = module
+    return module
+
+
+# -------------------------------------------------------------- dispatcher
+
+def dispatch_compiled(program, cores, memsys, sampler, max_cycles,
+                      profiler=None):
+    """``KERNELS["compiled"]`` body: route a run to the generated kernel.
+
+    Profiled or traced runs fall back to the generic event kernel (both
+    hooks are pure observers, so the returned result is identical either
+    way); everything else executes the spec-specialized module.
+    """
+    if (profiler is not None
+            or memsys.bus.tracer is not None
+            or any(core.tracer is not None or core.traq.tracer is not None
+                   for core in cores)):
+        return run_event(program, cores, memsys, sampler, max_cycles,
+                         profiler)
+    module = load_kernel(_spec_from_cores(cores), inject_bug=INJECT_BUG)
+    return module.run(program, cores, memsys, sampler, max_cycles)

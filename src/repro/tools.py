@@ -394,6 +394,7 @@ def cmd_bench(args) -> int:
         "workloads": {},
     }
     worst_speedup = None
+    worst_compiled = None
     for name in workloads:
         program = build_workload(name, num_threads=args.cores,
                                  scale=args.scale, seed=args.seed)
@@ -417,17 +418,26 @@ def cmd_bench(args) -> int:
             }
             entry["cycles"] = result.cycles
             entry["instructions"] = result.total_instructions
-        speedup = (entry["kernels"]["lockstep"]["wall_s"]
-                   / entry["kernels"]["event"]["wall_s"])
+        lockstep_wall = entry["kernels"]["lockstep"]["wall_s"]
+        entry["speedups"] = {
+            kernel: round(lockstep_wall / data["wall_s"], 3)
+            for kernel, data in entry["kernels"].items()
+            if kernel != "lockstep"}
+        speedup = entry["speedups"]["event"]
         identical = len(set(fingerprints.values())) == 1
-        entry["speedup"] = round(speedup, 3)
+        entry["speedup"] = speedup
         entry["identical"] = identical
         report["workloads"][name] = entry
         worst_speedup = (speedup if worst_speedup is None
                          else min(worst_speedup, speedup))
-        print(f"{name}: lockstep {entry['kernels']['lockstep']['wall_s']:.2f}s"
-              f" event {entry['kernels']['event']['wall_s']:.2f}s"
-              f" speedup {speedup:.2f}x identical={identical}")
+        worst_compiled = (entry["speedups"]["compiled"]
+                          if worst_compiled is None
+                          else min(worst_compiled,
+                                   entry["speedups"]["compiled"]))
+        ratios = " ".join(f"{kernel} {ratio:.2f}x" for kernel, ratio
+                          in sorted(entry["speedups"].items()))
+        print(f"{name}: lockstep {lockstep_wall:.2f}s"
+              f" speedups: {ratios} identical={identical}")
         if not identical:
             print(f"error: kernels diverged on {name}", file=sys.stderr)
             return 1
@@ -435,6 +445,10 @@ def cmd_bench(args) -> int:
     if args.min_speedup is not None:
         report["min_speedup"] = args.min_speedup
         report["pass"] = worst_speedup >= args.min_speedup
+    if args.min_compiled_speedup is not None:
+        report["min_compiled_speedup"] = args.min_compiled_speedup
+        report["pass"] = (report.get("pass", True)
+                         and worst_compiled >= args.min_compiled_speedup)
     if args.out:
         with open(args.out, "w") as handle:
             json.dump(report, handle, indent=1, sort_keys=True)
@@ -450,6 +464,11 @@ def cmd_bench(args) -> int:
     if args.min_speedup is not None and worst_speedup < args.min_speedup:
         print(f"error: event kernel speedup {worst_speedup:.2f}x below "
               f"required {args.min_speedup:.2f}x", file=sys.stderr)
+        return 1
+    if (args.min_compiled_speedup is not None
+            and worst_compiled < args.min_compiled_speedup):
+        print(f"error: compiled kernel speedup {worst_compiled:.2f}x below "
+              f"required {args.min_compiled_speedup:.2f}x", file=sys.stderr)
         return 1
     return 0
 
@@ -504,17 +523,31 @@ def cmd_perf_report(args) -> int:
     tolerance = (DEFAULT_TOLERANCE if args.tolerance is None
                  else args.tolerance)
     window = DEFAULT_WINDOW if args.window is None else args.window
+    floors = {}
+    if args.floor_compiled_speedup is not None:
+        floors["compiled"] = args.floor_compiled_speedup
     report = regression_report(records, tolerance=tolerance, window=window,
                                floor_speedup=args.floor_speedup,
+                               floor_speedups=floors,
                                skipped_lines=skipped)
     print(report.render(), end="")
     return 0 if report.passed else 1
 
 
-#: Known-bad recorder configurations the fuzz harness can deliberately
-#: re-introduce (``--inject-bug``) to prove it still catches them.
+#: Known-bad configurations the fuzz harness can deliberately
+#: re-introduce (``--inject-bug``) to prove it still catches them:
+#: recorder-field overrides, or a ``__codegen_bug__`` key naming one of
+#: :data:`repro.sim.compiled.INJECTED_CODEGEN_BUGS` for the compiled
+#: kernel only.
 INJECTED_BUGS = {
     "timestamp-floor-off": {"interval_timestamp_floor": False},
+    "drop-fence-stall": {"__codegen_bug__": "drop-fence-stall"},
+}
+
+#: Which oracle must catch each injected bug for the self-test to pass.
+INJECTED_BUG_ORACLES = {
+    "timestamp-floor-off": "replay:",
+    "drop-fence-stall": "compiled-vs-event",
 }
 
 
@@ -578,8 +611,11 @@ def cmd_fuzz(args) -> int:
 
     ok = True
     if args.inject_bug:
-        # Harness self-test mode: the injected bug MUST be caught.
-        caught = [f for f in report.failures if f.oracle.startswith("replay:")]
+        # Harness self-test mode: the injected bug MUST be caught, by
+        # the oracle that owns that failure mode.
+        expected = INJECTED_BUG_ORACLES[args.inject_bug]
+        caught = [f for f in report.failures
+                  if f.oracle.startswith(expected)]
         if not caught:
             print(f"fuzz: injected bug {args.inject_bug!r} was NOT caught",
                   file=sys.stderr)
@@ -690,7 +726,8 @@ def main(argv: list[str] | None = None) -> int:
     sweep.set_defaults(func=cmd_sweep)
 
     bench = sub.add_parser(
-        "bench", help="time the event kernel against the lockstep kernel")
+        "bench", help="time every kernel against the lockstep reference "
+                      "and check they agree byte-for-byte")
     bench.add_argument("--workloads", default="fft",
                        help="comma-separated workloads (default: fft)")
     bench.add_argument("--cores", type=int, default=16)
@@ -711,6 +748,9 @@ def main(argv: list[str] | None = None) -> int:
                        help="write the JSON report (e.g. BENCH_kernel.json)")
     bench.add_argument("--min-speedup", type=float, default=None,
                        help="exit non-zero if the event kernel speedup "
+                            "falls below this factor")
+    bench.add_argument("--min-compiled-speedup", type=float, default=None,
+                       help="exit non-zero if the compiled kernel speedup "
                             "falls below this factor")
     bench.add_argument("--history", default="BENCH_history.jsonl",
                        help="append-only JSONL perf history "
@@ -747,6 +787,10 @@ def main(argv: list[str] | None = None) -> int:
                                   "(default 5)")
     perf_report.add_argument("--floor-speedup", type=float, default=None,
                              help="absolute event-kernel speedup floor "
+                                  "enforced even without history")
+    perf_report.add_argument("--floor-compiled-speedup", type=float,
+                             default=None,
+                             help="absolute compiled-kernel speedup floor "
                                   "enforced even without history")
     perf_report.set_defaults(func=cmd_perf_report)
 

@@ -55,6 +55,22 @@ class TestInjectBug:
         assert list(emit.glob("fuzz_replay-*.json"))
         assert list(emit.glob("*.forensics.json"))
 
+    def test_injected_codegen_bug_caught_and_minimized(self, tmp_path,
+                                                       capsys):
+        """The compiled-vs-event oracle's self-test: a deliberately
+        broken generated kernel (fence retirement check dropped) must be
+        caught, minimized and emitted like any recorder bug."""
+        emit = tmp_path / "regressions"
+        code = main(["fuzz", "--budget", "6", "--seed", "0",
+                     "--inject-bug", "drop-fence-stall",
+                     "--max-failures", "1",
+                     "--emit-regressions", str(emit)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "caught and minimized" in captured.out
+        assert "FAILURE compiled-vs-event" in captured.out
+        assert list(emit.glob("fuzz_compiled-vs-event_*.json"))
+
     def test_unknown_bug_name_is_usage_error(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
             main(["fuzz", "--inject-bug", "nonsense"])

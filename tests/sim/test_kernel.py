@@ -119,8 +119,8 @@ class TestKernelSelection:
         with pytest.raises(ConfigError, match="unknown simulation kernel"):
             machine.run(spin_program(), kernel="quantum")
 
-    def test_registry_exposes_both_kernels(self):
-        assert set(KERNELS) == {"event", "lockstep"}
+    def test_registry_exposes_every_kernel(self):
+        assert set(KERNELS) == {"event", "lockstep", "compiled"}
 
     @pytest.mark.parametrize("kernel", sorted(KERNELS))
     def test_max_cycles_guard(self, kernel):

@@ -1,15 +1,19 @@
-"""Differential test: event-driven kernel vs lockstep reference kernel.
+"""Differential test: every optimized kernel vs the lockstep reference.
 
-The event kernel is a pure scheduling optimisation — it must be
-*observationally invisible*.  For every cell of a (litmus test x
-consistency model x coherence protocol) matrix, plus mid-size workloads,
-both kernels must produce byte-identical serialized :class:`RunResult`s:
-same cycle counts, same recording logs, same memory images, same TRAQ
-occupancy statistics.  Replays of either recording must be
-divergence-free.
+The event kernel is a scheduling optimisation and the compiled kernel is
+a code-generation optimisation — both must be *observationally
+invisible*.  For every cell of a (litmus test x consistency model x
+coherence protocol) matrix, recorded under Base and Opt recorders at
+once, plus mid-size workloads, all three kernels must produce
+byte-identical serialized :class:`RunResult`s: same cycle counts, same
+recording logs, same memory images, same TRAQ occupancy statistics.
+Replays of the recordings must be divergence-free.
+
+The comparison helpers live in :mod:`tests.sim.equivalence` so the
+codegen property tests and the fuzz oracles share the same definition of
+"the kernels agree".
 """
 
-import json
 from dataclasses import replace
 
 import pytest
@@ -20,29 +24,10 @@ from repro.common.config import (
     MachineConfig,
 )
 from repro.replay import replay_recording
-from repro.sim import Machine
-from repro.sim.serialize import run_result_to_dict
 from repro.workloads import build_workload
 from repro.workloads.litmus import LITMUS_TESTS, litmus_program
 
-
-def run_both_kernels(config, program, **run_kwargs):
-    """Run a program under both kernels and return the two results."""
-    results = {}
-    for kernel in ("lockstep", "event"):
-        results[kernel] = Machine(config).run(program, kernel=kernel,
-                                              **run_kwargs)
-    return results
-
-
-def fingerprint(result):
-    return json.dumps(run_result_to_dict(result), sort_keys=True)
-
-
-def assert_identical(results):
-    lockstep = fingerprint(results["lockstep"])
-    event = fingerprint(results["event"])
-    assert lockstep == event
+from .equivalence import BASE_AND_OPT, KERNEL_NAMES, assert_equivalent
 
 
 class TestLitmusMatrix:
@@ -55,33 +40,51 @@ class TestLitmusMatrix:
         config = replace(
             MachineConfig(num_cores=len(test.threads), seed=3),
             consistency=model, protocol=protocol)
-        results = run_both_kernels(config, program)
-        assert_identical(results)
+        assert_equivalent(config, program, recorder_configs=BASE_AND_OPT)
 
 
 class TestWorkloads:
     def test_fft_snoopy_bit_identical_and_replayable(self):
         program = build_workload("fft", num_threads=4, scale=0.25, seed=5)
         config = MachineConfig(num_cores=4, seed=5)
-        results = run_both_kernels(config, program,
-                                   capture_load_trace=True)
-        assert_identical(results)
+        results = assert_equivalent(config, program,
+                                    recorder_configs=BASE_AND_OPT,
+                                    capture_load_trace=True)
         for result in results.values():
-            replay = replay_recording(result, "default")
-            assert replay.verified
+            for variant in ("base", "opt"):
+                replay = replay_recording(result, variant)
+                assert replay.verified
 
     def test_radix_directory_bit_identical(self):
         program = build_workload("radix", num_threads=4, scale=0.25, seed=5)
         config = replace(MachineConfig(num_cores=4, seed=5),
                          protocol=CoherenceProtocol.DIRECTORY)
-        results = run_both_kernels(config, program)
-        assert_identical(results)
-        replay = replay_recording(results["event"], "default")
+        results = assert_equivalent(config, program)
+        replay = replay_recording(results["compiled"], "default")
         assert replay.verified
 
     def test_spin_locks_bit_identical(self):
         """Lock hand-offs exercise the deadlock probe and retry paths."""
         program = build_workload("ocean", num_threads=3, scale=0.2, seed=2)
         config = MachineConfig(num_cores=3, seed=2)
-        results = run_both_kernels(config, program)
-        assert_identical(results)
+        assert_equivalent(config, program)
+
+    def test_miss_heavy_parking_paths(self):
+        """Tiny cache + two MSHRs: the compiled kernel's MSHR-doomed
+        parking and admission-order re-merge are on the hot path here."""
+        base = MachineConfig(num_cores=4, seed=7)
+        config = replace(
+            base,
+            consistency=ConsistencyModel.RC,
+            l1=replace(base.l1, size_kb=4, assoc=2, mshr_entries=2),
+            memory=replace(base.memory, roundtrip_cycles=400))
+        program = build_workload("fft", num_threads=4, scale=0.2, seed=7)
+        assert_equivalent(config, program, recorder_configs=BASE_AND_OPT)
+
+
+def test_matrix_covers_every_registered_kernel():
+    """A kernel added to the registry must be added to the matrix (or
+    excluded here on purpose)."""
+    from repro.sim.kernel import KERNELS
+
+    assert set(KERNEL_NAMES) == set(KERNELS)
