@@ -5,7 +5,8 @@ Usage::
     python -m repro.harness [--scale S] [--seed N] [--cores N]
                             [--experiments fig1,fig9,...] [--out FILE]
                             [--jobs N] [--cache-dir DIR] [--no-cache]
-                            [--resume]
+                            [--cache-backend SPEC | --cache-url URL]
+                            [--scheduler static|stealing] [--resume]
     python -m repro.harness run --workload fft --cores 4 \\
         --trace --trace-out trace.json --metrics-out metrics.json
     python -m repro.harness run --workload fft,radix,lu --jobs 4 \\
@@ -18,7 +19,13 @@ recordings the experiments need are prefetched as a sharded sweep:
 lands in a persistent result cache (``--cache-dir``, default
 ``.repro_cache/``) as it completes, so a warm rerun — or a rerun after an
 interruption (``--resume``) — skips everything already recorded.
-``--no-cache`` disables the cache entirely.  Operational output (sweep
+``--cache-backend`` swaps the cache storage (``dir:PATH``,
+``sqlite:PATH``, or ``http://HOST:PORT`` for a shared cache daemon;
+``--cache-url`` is shorthand for the latter), and ``--scheduler
+stealing`` replaces the static shard split with the work-stealing
+engine whose in-flight leases dedupe cells across cooperating sweep
+processes.  ``--no-cache`` disables the cache entirely.  Operational
+output (sweep
 progress, shard completions, experiment timings) goes through the
 structured ``repro`` logger — tune it with ``--log-level``.
 
@@ -96,6 +103,20 @@ def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-dir", default=None,
                         help="persistent result cache directory "
                              "(default .repro_cache)")
+    parser.add_argument("--cache-backend", default=None, metavar="SPEC",
+                        help="pluggable cache backend: dir:PATH, "
+                             "sqlite:PATH, or http://HOST:PORT (a running "
+                             "'repro.tools cache-serve' daemon); overrides "
+                             "--cache-dir")
+    parser.add_argument("--cache-url", default=None, metavar="URL",
+                        help="shorthand for --cache-backend http://... "
+                             "(remote cache daemon URL)")
+    parser.add_argument("--scheduler", default="static",
+                        choices=("static", "stealing"),
+                        help="shard scheduler: 'static' (classic pool) or "
+                             "'stealing' (work-stealing deque + in-flight "
+                             "leases deduping cells across cooperating "
+                             "sweep processes)")
     parser.add_argument("--no-cache", action="store_true",
                         help="do not read or write the result cache")
     parser.add_argument("--resume", action="store_true",
@@ -109,6 +130,16 @@ def _check_sweep_flags(parser: argparse.ArgumentParser, args) -> None:
     if args.resume and args.no_cache:
         parser.error("--resume needs the result cache; "
                      "drop --no-cache")
+    if args.cache_backend and args.cache_url:
+        parser.error("--cache-backend and --cache-url are two spellings of "
+                     "the same thing; give one")
+    if args.no_cache and (args.cache_backend or args.cache_url):
+        parser.error("--no-cache contradicts --cache-backend/--cache-url")
+
+
+def _sweep_cache_spec(args) -> str | None:
+    """The effective backend spec from --cache-backend/--cache-url."""
+    return args.cache_backend or args.cache_url
 
 
 def _run_command(argv: list[str]) -> int:
@@ -181,15 +212,23 @@ def _run_command(argv: list[str]) -> int:
             parser.error("--trace/--trace-out/--metrics-out/--verify-replay/"
                          "--forensics-out/--result-out need a single "
                          "--workload")
+        from .cachestore import CacheBackendError
         from .parallel_runner import DEFAULT_CACHE_DIR, ParallelRunner, \
             ResultCache
         from .runner import RunKey
         cache = None
-        if not args.no_cache and (args.cache_dir or args.resume):
-            cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+        spec = _sweep_cache_spec(args)
+        if not args.no_cache and (spec or args.cache_dir or args.resume):
+            try:
+                cache = (ResultCache.from_spec(spec) if spec
+                         else ResultCache(args.cache_dir
+                                          or DEFAULT_CACHE_DIR))
+            except CacheBackendError as exc:
+                parser.error(str(exc))    # usage error: exit code 2
         runner = ParallelRunner(
             jobs=args.jobs, cache=cache,
-            variants={"default": config.recorder})
+            variants={"default": config.recorder},
+            scheduler=args.scheduler)
         keys = [RunKey(name, args.cores, args.scale, args.seed, consistency,
                        False) for name in workloads]
         results = runner.run(keys)
@@ -308,9 +347,15 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         parser.error(f"unknown experiments: {', '.join(unknown)}")
 
-    runner = ExperimentRunner(
-        seed=args.seed, scale=args.scale, jobs=args.jobs,
-        cache_dir=args.cache_dir, use_cache=not args.no_cache)
+    from .cachestore import CacheBackendError
+    try:
+        runner = ExperimentRunner(
+            seed=args.seed, scale=args.scale, jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            cache_backend=_sweep_cache_spec(args),
+            use_cache=not args.no_cache, scheduler=args.scheduler)
+    except CacheBackendError as exc:
+        parser.error(str(exc))    # usage error: exit code 2
     keys = figures.required_runs(names, runner, cores=args.cores)
     if keys:
         started = time.time()

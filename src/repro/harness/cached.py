@@ -1,0 +1,267 @@
+"""``cached`` — the shared result-cache daemon (stdlib HTTP server).
+
+Serves one :class:`~repro.harness.cachestore.CacheStore` to many sweep
+processes/machines, turning the process-local ``.repro_cache/`` into a
+network artifact: warm cells answer in milliseconds, in-flight leases
+dedupe the same cell across cooperating workers, and eviction can drop
+whole stale code generations.
+
+Run it with either of::
+
+    python -m repro.harness.cached --port 8123 --store sweep.sqlite
+    python -m repro.tools cache-serve --port 8123 --store sweep.sqlite
+
+and point sweeps at it::
+
+    python -m repro.tools sweep --cache-backend http://HOST:8123 ...
+
+Protocol (JSON over HTTP/1.1, persistent connections, gzip bodies when
+the peer advertises ``Accept-Encoding: gzip``):
+
+=======  =======================  ==========================================
+method   path                     semantics
+=======  =======================  ==========================================
+GET      ``/v1/blob/<key>``       raw blob bytes, 404 on miss
+PUT      ``/v1/blob/<key>``       store (first writer wins): 201 created,
+                                  200 already-present (``X-Generation``
+                                  header records the generation tag)
+DELETE   ``/v1/blob/<key>``       drop one entry
+POST     ``/v1/batch``            ``{"keys": [...]}`` → ``{"entries":
+                                  {key: base64}}`` (one round trip)
+POST     ``/v1/lease``            ``{"key", "owner", "ttl_s"}`` →
+                                  :class:`LeaseInfo` dict
+POST     ``/v1/lease/release``    ``{"key", "owner"}``
+POST     ``/v1/gc``               ``{"keep": generation}`` →
+                                  ``{"removed": n}``
+GET      ``/v1/keys``             ``{"keys": [...]}``
+GET      ``/v1/stats``            live counters (hits/misses/puts/...)
+=======  =======================  ==========================================
+
+The daemon is a cache, not a database: losing it costs recomputation,
+never correctness — every client falls back to executing shards itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import base64
+import gzip
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..obs.logging import add_log_level_argument, get_logger, setup_logging
+from .cachestore import (GZIP_THRESHOLD, CacheStore, MemoryStore,
+                         SQLiteStore)
+
+__all__ = ["CacheDaemon", "serve", "main"]
+
+_LOG = get_logger("harness.cached")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request; the daemon's store handles thread-safety."""
+
+    protocol_version = "HTTP/1.1"    # persistent connections
+    server_version = "repro-cached/1"
+    # Small request/reply pairs: Nagle + delayed ACK would add ~40ms to
+    # every warm lookup, defeating the point of a shared cache.
+    disable_nagle_algorithm = True
+
+    # The ThreadingHTTPServer subclass stows the daemon here.
+    @property
+    def daemon(self) -> "CacheDaemon":
+        return self.server.cache_daemon
+
+    def log_message(self, fmt, *args):  # route through structured logging
+        _LOG.debug("%s %s", self.address_string(), fmt % args)
+
+    # ------------------------------------------------------------ plumbing
+
+    def _body(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        data = self.rfile.read(length) if length else b""
+        if self.headers.get("Content-Encoding") == "gzip":
+            data = gzip.decompress(data)
+        return data
+
+    def _reply(self, status: int, payload: bytes,
+               content_type: str = "application/json") -> None:
+        headers = [("Content-Type", content_type)]
+        accepts = self.headers.get("Accept-Encoding", "")
+        if "gzip" in accepts and len(payload) >= GZIP_THRESHOLD:
+            payload = gzip.compress(payload)
+            headers.append(("Content-Encoding", "gzip"))
+        self.send_response(status)
+        for name, value in headers:
+            self.send_header(name, value)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _json(self, status: int, obj) -> None:
+        self._reply(status, json.dumps(obj, sort_keys=True).encode())
+
+    # ------------------------------------------------------------- routes
+
+    def do_GET(self) -> None:
+        daemon = self.daemon
+        if self.path.startswith("/v1/blob/"):
+            key = self.path[len("/v1/blob/"):]
+            data = daemon.store.get(key)
+            if data is None:
+                daemon.count("misses")
+                self._json(404, {"error": "miss", "key": key})
+            else:
+                daemon.count("hits")
+                self._reply(200, data)
+        elif self.path == "/v1/keys":
+            self._json(200, {"keys": daemon.store.keys()})
+        elif self.path == "/v1/stats":
+            self._json(200, daemon.stats())
+        else:
+            self._json(404, {"error": f"no route {self.path}"})
+
+    def do_PUT(self) -> None:
+        daemon = self.daemon
+        if not self.path.startswith("/v1/blob/"):
+            self._json(404, {"error": f"no route {self.path}"})
+            return
+        key = self.path[len("/v1/blob/"):]
+        generation = self.headers.get("X-Generation", "")
+        created = daemon.store.put(key, self._body(), generation=generation)
+        daemon.count("puts" if created else "put_races")
+        self._json(201 if created else 200, {"stored": created, "key": key})
+
+    def do_DELETE(self) -> None:
+        if not self.path.startswith("/v1/blob/"):
+            self._json(404, {"error": f"no route {self.path}"})
+            return
+        key = self.path[len("/v1/blob/"):]
+        removed = self.daemon.store.delete(key)
+        self._json(200 if removed else 404, {"removed": removed})
+
+    def do_POST(self) -> None:
+        daemon = self.daemon
+        try:
+            body = json.loads(self._body() or b"{}")
+        except ValueError:
+            self._json(400, {"error": "request body is not JSON"})
+            return
+        if self.path == "/v1/batch":
+            keys = body.get("keys") or []
+            found = daemon.store.get_many(list(keys))
+            daemon.count("batch_lookups")
+            daemon.count("hits", len(found))
+            daemon.count("misses", len(keys) - len(found))
+            self._json(200, {"entries": {
+                key: base64.b64encode(data).decode("ascii")
+                for key, data in found.items()}})
+        elif self.path == "/v1/lease":
+            info = daemon.store.acquire_lease(
+                str(body["key"]), str(body["owner"]),
+                float(body.get("ttl_s", 30.0)))
+            daemon.count("lease_grants" if info.acquired else "lease_busy")
+            if info.stolen:
+                daemon.count("lease_steals")
+            self._json(200, info.to_dict())
+        elif self.path == "/v1/lease/release":
+            daemon.store.release_lease(str(body["key"]), str(body["owner"]))
+            daemon.count("lease_releases")
+            self._json(200, {"released": True})
+        elif self.path == "/v1/gc":
+            removed = daemon.store.gc(str(body.get("keep", "")))
+            daemon.count("gc_removed", removed)
+            self._json(200, {"removed": removed})
+        else:
+            self._json(404, {"error": f"no route {self.path}"})
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    cache_daemon: "CacheDaemon"
+
+
+class CacheDaemon:
+    """The daemon object: a store, a server socket and live counters."""
+
+    def __init__(self, store: CacheStore | None = None, *,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.store = store if store is not None else MemoryStore()
+        self._counters: dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._server = _Server((host, port), _Handler)
+        self._server.cache_daemon = self
+        self._thread: threading.Thread | None = None
+
+    @property
+    def url(self) -> str:
+        host, port = self._server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def count(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def stats(self) -> dict:
+        with self._lock:
+            out = dict(self._counters)
+        out["entries"] = len(self.store)
+        out["store"] = self.store.name
+        return out
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> "CacheDaemon":
+        """Serve on a background thread (tests and embedded use)."""
+        self._thread = threading.Thread(target=self._server.serve_forever,
+                                        name="repro-cached", daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._server.serve_forever()
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self.store.close()
+
+
+def serve(store: CacheStore, *, host: str = "127.0.0.1",
+          port: int = 8123) -> None:
+    """Blocking entry point used by the CLIs."""
+    daemon = CacheDaemon(store, host=host, port=port)
+    _LOG.info("cache daemon serving %s store at %s", store.name, daemon.url)
+    print(f"repro-cached: serving {store.name} store at {daemon.url}")
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        daemon.stop()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.harness.cached`` argument parsing + serve loop."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness.cached",
+        description="Shared sweep result-cache daemon.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8123)
+    parser.add_argument("--store", default=None,
+                        help="backing store: a SQLite path (durable) or "
+                             "omitted for in-memory")
+    add_log_level_argument(parser)
+    args = parser.parse_args(argv)
+    setup_logging(args.log_level)
+    store = SQLiteStore(args.store) if args.store else MemoryStore()
+    serve(store, host=args.host, port=args.port)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

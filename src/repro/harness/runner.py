@@ -179,21 +179,28 @@ class ExperimentRunner:
     def __init__(self, *, seed: int = 1, scale: float | None = None,
                  workloads: tuple[str, ...] | None = None,
                  jobs: int = 1, cache_dir: str | None = None,
+                 cache_backend: str | None = None,
                  use_cache: bool | None = None,
                  variants: dict[str, RecorderConfig] | None = None,
-                 progress=None):
+                 progress=None, scheduler: str = "static"):
         self.seed = seed
         self.scale = default_scale() if scale is None else scale
         self._workloads = tuple(workloads) if workloads else WORKLOAD_NAMES
         self.jobs = max(1, jobs)
         self.variants = VARIANTS if variants is None else dict(variants)
         self.progress = progress
+        self.scheduler = scheduler
         if use_cache is None:
-            use_cache = cache_dir is not None
+            use_cache = cache_dir is not None or cache_backend is not None
         self.cache = None
         if use_cache:
             from .parallel_runner import DEFAULT_CACHE_DIR, ResultCache
-            self.cache = ResultCache(cache_dir or DEFAULT_CACHE_DIR)
+            if cache_backend:
+                # Pluggable backend spec (dir:/sqlite:/http://); malformed
+                # specs raise CacheBackendError -> CLI usage exit code 2.
+                self.cache = ResultCache.from_spec(cache_backend)
+            else:
+                self.cache = ResultCache(cache_dir or DEFAULT_CACHE_DIR)
         self._memo: dict[RunKey, RunResult] = {}
         self._sweep_registry = None
 
@@ -252,7 +259,8 @@ class ExperimentRunner:
         from .parallel_runner import ParallelRunner
         runner = ParallelRunner(jobs=self.jobs, cache=self.cache,
                                 variants=self.variants,
-                                progress=self.progress)
+                                progress=self.progress,
+                                scheduler=self.scheduler)
         self._memo.update(runner.run(missing))
         self._sweep_registry = runner.registry
         return runner.executed

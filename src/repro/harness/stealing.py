@@ -1,0 +1,273 @@
+"""Work-stealing shard scheduler (the engine under the sweep pools).
+
+The PR 2 executor pre-split a sweep into shards and pushed them all at a
+``ProcessPoolExecutor``; a straggler cell left the rest of the pool idle
+behind it, and two cooperating sweep processes happily recomputed each
+other's cells.  This module replaces that with a deque-based
+work-stealing scheduler plus a lease protocol over the shared result
+cache (:mod:`.cachestore`):
+
+* Cells wait in a shared deque.  Worker slots take the next cell from
+  the **head** the moment they free up, so a straggler never strands the
+  rest of its static partition.
+* With :class:`FabricHooks` attached, a cell is only dispatched after
+  acquiring a time-limited **lease** in the shared cache.  A cell leased
+  by a cooperating process is *deferred* to the **tail** of the deque;
+  deferred cells are periodically re-probed (the peer may publish the
+  result early) and, once the lease expires, **stolen** and re-run
+  locally.  Results publish first-writer-wins, so a steal race is
+  harmless duplicated work, never corruption.
+* Replies fold in **submission order** regardless of completion order —
+  the same determinism contract as the static pool, which is what keeps
+  serial, static-parallel and work-stealing sweeps byte-identical.
+
+:class:`WorkStealingPool` is also the engine behind the classic
+:class:`~repro.harness.parallel_runner.ShardPool` (which runs it without
+hooks — plain greedy head dispatch), so the fuzzer and every other pool
+consumer share one scheduling core.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable
+
+from ..common.errors import ReproError
+from ..obs.telemetry import FabricTelemetry
+
+__all__ = ["SweepError", "FabricHooks", "WorkStealingPool",
+           "static_partitions"]
+
+
+class SweepError(ReproError):
+    """A sweep shard failed (after exhausting its retry budget)."""
+
+
+@dataclass
+class FabricHooks:
+    """Cache/lease callbacks binding a pool to the shared sweep fabric.
+
+    All hooks take the *item* being scheduled.  ``probe`` returns a
+    ready-made reply when the shared cache already holds the cell's
+    result (the peer that leased it published early); ``acquire`` returns
+    a :class:`~repro.harness.cachestore.LeaseInfo`; ``release`` drops our
+    lease after the result is safely published.  Every hook is optional —
+    an unset hook degrades gracefully to "always run locally".
+    """
+
+    probe: Callable | None = None           # item -> reply | None
+    acquire: Callable | None = None         # item -> LeaseInfo
+    release: Callable | None = None         # item -> None
+
+
+def static_partitions(count: int, jobs: int) -> list[list[int]]:
+    """The classic static shard split: ``count`` cells pre-partitioned
+    into ``jobs`` contiguous slices (the baseline ``sweep-bench``
+    measures the stealing scheduler against)."""
+    jobs = max(1, jobs)
+    size, extra = divmod(count, jobs)
+    out, start = [], 0
+    for rank in range(jobs):
+        width = size + (1 if rank < extra else 0)
+        out.append(list(range(start, start + width)))
+        start += width
+    return [part for part in out if part]
+
+
+class WorkStealingPool:
+    """Deque-scheduled map over a process pool, with optional leases.
+
+    Mirrors :class:`~repro.harness.parallel_runner.ShardPool.map`'s
+    callback protocol (``on_complete``/``on_retry``/``on_timeout``/
+    ``observe_seconds``/``heartbeat``) and determinism contract (replies
+    in submission order).  ``hooks`` attaches the lease fabric; ``stats``
+    (a :class:`~repro.obs.telemetry.FabricTelemetry`) receives
+    steal/lease/dedup accounting.
+    """
+
+    def __init__(self, *, jobs: int = 1, worker,
+                 timeout_s: float | None = None, retries: int = 1,
+                 hooks: FabricHooks | None = None,
+                 stats: FabricTelemetry | None = None,
+                 poll_s: float = 0.2):
+        self.jobs = max(1, jobs)
+        self.worker = worker
+        self.timeout_s = timeout_s
+        self.retries = max(0, retries)
+        self.hooks = hooks if hooks is not None else FabricHooks()
+        self.stats = stats if stats is not None else FabricTelemetry()
+        self.poll_s = poll_s
+
+    # ------------------------------------------------------------- driving
+
+    def map(self, items, *, payload, describe=str, on_complete=None,
+            on_retry=None, on_timeout=None, observe_seconds=None,
+            heartbeat=None, heartbeat_s: float | None = None,
+            executor: ProcessPoolExecutor | None = None) -> list:
+        """Run ``worker(payload(item, attempt))`` for every item.
+
+        ``executor`` optionally reuses a warmed pool (benchmarks); when
+        absent one is created for the call.  Returns replies indexed by
+        submission order; shards that exhaust their retry budget raise
+        :class:`SweepError` naming every failed shard.
+        """
+        items = list(items)
+        if not items:
+            return []
+        replies: list = [None] * len(items)
+        failures: list[str] = []
+        ready: deque[int] = deque(range(len(items)))
+        deferred: list[tuple[float, int]] = []   # (retry_at wall-clock, idx)
+        was_deferred: set[int] = set()
+        in_flight: dict = {}   # future -> (index, attempt, started, deadline)
+        outstanding = len(items)
+
+        own_executor = executor is None
+        if own_executor:
+            executor = ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(items)))
+
+        def complete(index: int, reply) -> None:
+            nonlocal outstanding
+            replies[index] = reply
+            outstanding -= 1
+            if on_complete is not None:
+                on_complete(index, items[index], reply)
+
+        def submit(index: int, attempt: int) -> None:
+            future = executor.submit(self.worker,
+                                     payload(items[index], attempt))
+            deadline = (None if self.timeout_s is None
+                        else time.monotonic() + self.timeout_s)
+            in_flight[future] = (index, attempt, time.monotonic(), deadline)
+            self.stats.count("dispatched")
+
+        def settle(index: int) -> None:
+            """A cell is locally finished or abandoned: drop our lease."""
+            if self.hooks.release is not None:
+                self.hooks.release(items[index])
+                self.stats.count("lease_released")
+
+        def handle_failure(index: int, attempt: int, reason: str) -> None:
+            nonlocal outstanding
+            if attempt < self.retries:
+                if on_retry is not None:
+                    on_retry(items[index], attempt + 1, reason)
+                submit(index, attempt + 1)
+            else:
+                failures.append(f"{describe(items[index])}: {reason}")
+                settle(index)
+                outstanding -= 1
+
+        def dispatch_one() -> bool:
+            """Take the next ready cell; returns False when none is."""
+            now = time.time()
+            if ready:
+                index = ready.popleft()
+            elif deferred and deferred[0][0] <= now:
+                _, index = heapq.heappop(deferred)
+            else:
+                return False
+            item = items[index]
+            if index in was_deferred and self.hooks.probe is not None:
+                # The peer holding the lease may have published already.
+                reply = self.hooks.probe(item)
+                if reply is not None:
+                    self.stats.count("dedup_hits")
+                    complete(index, reply)
+                    return True
+            if self.hooks.acquire is not None:
+                info = self.hooks.acquire(item)
+                if not info.acquired:
+                    if index not in was_deferred:
+                        self.stats.count("lease_deferred")
+                    was_deferred.add(index)
+                    retry_at = min(info.deadline, time.time() + self.poll_s)
+                    heapq.heappush(deferred, (retry_at, index))
+                    return True
+                self.stats.count("lease_acquired")
+                if info.stolen:
+                    self.stats.count("lease_stolen")
+                elif self.hooks.probe is not None:
+                    # Race closure: peers publish BEFORE releasing, so a
+                    # lease that was *released* (not expired) implies the
+                    # result is already visible — probing under a freshly
+                    # acquired lease can never miss a completed peer,
+                    # whether or not we ever saw its lease.  Only a
+                    # genuine expiry steal may still recompute.
+                    reply = self.hooks.probe(item)
+                    if reply is not None:
+                        self.stats.count("dedup_hits")
+                        complete(index, reply)
+                        settle(index)
+                        return True
+            submit(index, 0)
+            return True
+
+        try:
+            while outstanding > 0:
+                while len(in_flight) < self.jobs and dispatch_one():
+                    pass
+                if outstanding <= 0:
+                    break
+                if not in_flight:
+                    if not deferred:
+                        break    # only failures remain
+                    # Everything left is leased by peers: sleep until the
+                    # earliest re-probe/steal time.
+                    delay = max(0.0, min(at for at, _ in deferred)
+                                - time.time())
+                    time.sleep(min(delay, self.poll_s))
+                    continue
+                timeout = heartbeat_s or None
+                if self.timeout_s is not None:
+                    deadlines = [d for (_, _, _, d) in in_flight.values()
+                                 if d is not None]
+                    if deadlines:
+                        budget = max(0.0,
+                                     min(deadlines) - time.monotonic())
+                        timeout = (budget if timeout is None
+                                   else min(timeout, budget))
+                if deferred:
+                    wakeup = max(0.0, deferred[0][0] - time.time())
+                    timeout = (wakeup if timeout is None
+                               else min(timeout, wakeup))
+                done, _ = wait(set(in_flight), timeout=timeout,
+                               return_when=FIRST_COMPLETED)
+                now = time.monotonic()
+                if not done and heartbeat is not None:
+                    heartbeat(len(in_flight))
+                for future in done:
+                    index, attempt, started, _ = in_flight.pop(future)
+                    if observe_seconds is not None:
+                        observe_seconds(now - started)
+                    exc = future.exception()
+                    if exc is None:
+                        complete(index, future.result())
+                        settle(index)
+                    else:
+                        handle_failure(index, attempt,
+                                       f"{type(exc).__name__}: {exc}")
+                for future in [f for f in list(in_flight)
+                               if in_flight[f][3] is not None
+                               and in_flight[f][3] <= now]:
+                    index, attempt, started, _ = in_flight.pop(future)
+                    future.cancel()
+                    if on_timeout is not None:
+                        on_timeout(items[index], attempt)
+                    if observe_seconds is not None:
+                        observe_seconds(now - started)
+                    handle_failure(
+                        index, attempt,
+                        f"timed out after {self.timeout_s:.1f}s")
+        finally:
+            if own_executor:
+                executor.shutdown(wait=False, cancel_futures=True)
+        if failures:
+            raise SweepError("sweep shards failed:\n  " +
+                             "\n  ".join(failures))
+        return replies

@@ -6,7 +6,10 @@ Usage::
     python -m repro.tools replay rec/ --variant opt_4k
     python -m repro.tools inspect rec/
     python -m repro.tools sweep --workloads fft,radix --cores 4,8 \\
-        --consistency RC,TSO --jobs 4
+        --consistency RC,TSO --jobs 4 --scheduler stealing \\
+        --cache-url http://cachehost:8123
+    python -m repro.tools cache-serve --port 8123 --store sweep.sqlite
+    python -m repro.tools sweep-bench --cells 64 --jobs 8 --min-speedup 3
     python -m repro.tools bench --workloads fft --cores 16 \\
         --out BENCH_kernel.json --min-speedup 1.5
     python -m repro.tools profile --workload fft --cores 16
@@ -20,7 +23,13 @@ deterministically replays a stored variant, verifying against the stored
 execution; ``inspect`` summarizes the logs without replaying.  ``sweep``
 records a (workload x cores x consistency) grid through the parallel
 sharded runner with the persistent result cache — interrupt it and rerun
-(``--resume``) and it picks up where it left off.  ``bench`` times the
+(``--resume``) and it picks up where it left off.  The cache is
+pluggable (``--cache-backend dir:/sqlite:/http://``), ``cache-serve``
+runs the shared HTTP cache daemon, ``--scheduler stealing`` swaps the
+static shard split for the work-stealing engine whose in-flight leases
+dedupe cells across cooperating sweep processes, and ``sweep-bench``
+measures all of it (straggler-skew speedup, lease dedupe, warm remote
+hits) into the perf-observatory history.  ``bench`` times the
 event-driven and lockstep simulation kernels on the same workloads,
 checks their results are bit-identical, writes the comparison to a JSON
 report and appends one record per workload to the append-only
@@ -297,6 +306,15 @@ def cmd_sweep(args) -> int:
         print("error: --resume needs the result cache; drop --no-cache",
               file=sys.stderr)
         return 2
+    if args.cache_backend and args.cache_url:
+        print("error: --cache-backend and --cache-url are two spellings of "
+              "the same thing; give one", file=sys.stderr)
+        return 2
+    backend_spec = args.cache_backend or args.cache_url
+    if args.no_cache and backend_spec:
+        print("error: --no-cache contradicts --cache-backend/--cache-url",
+              file=sys.stderr)
+        return 2
     from .harness.parallel_runner import (DEFAULT_CACHE_DIR, ParallelRunner,
                                           ResultCache)
     from .harness.report import format_table, render_sweep_summary
@@ -318,8 +336,14 @@ def cmd_sweep(args) -> int:
             for workload in workloads
             for cores in core_counts
             for model in models]
-    cache = (None if args.no_cache
-             else ResultCache(args.cache_dir or DEFAULT_CACHE_DIR))
+    if args.no_cache:
+        cache = None
+    elif backend_spec:
+        # Malformed specs raise CacheBackendError (a ConfigError), which
+        # main() maps to the usage exit code 2.
+        cache = ResultCache.from_spec(backend_spec)
+    else:
+        cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
     from .obs.telemetry import TelemetryConfig
     telemetry = TelemetryConfig(
         capture_trace=args.capture_trace or bool(args.trace_out),
@@ -328,7 +352,8 @@ def cmd_sweep(args) -> int:
     # (configured by --log-level in main), not ad-hoc stderr prints.
     runner = ParallelRunner(
         jobs=args.jobs, cache=cache, timeout_s=args.timeout,
-        telemetry=telemetry)
+        telemetry=telemetry, scheduler=args.scheduler,
+        lease_ttl_s=args.lease_ttl)
     results = runner.run(keys)
 
     rows = []
@@ -347,6 +372,19 @@ def cmd_sweep(args) -> int:
         for label, reason in runner.aggregator.quarantined:
             print(f"warning: telemetry quarantined for {label}: {reason}",
                   file=sys.stderr)
+    if args.results_out:
+        import json
+
+        from .sim.serialize import run_result_to_dict
+        # Fully deterministic artifact: serialized results keyed by shard
+        # label, no wall times or counters — byte-identical no matter the
+        # scheduler, backend, job width or cache temperature.
+        payload = {key.label(): run_result_to_dict(results[key])
+                   for key in sorted(keys, key=RunKey.label)}
+        with open(args.results_out, "w") as handle:
+            json.dump(payload, handle, sort_keys=True,
+                      separators=(",", ":"))
+        print(f"  sweep results -> {args.results_out}")
     if args.metrics_out:
         import json
         with open(args.metrics_out, "w") as handle:
@@ -360,6 +398,217 @@ def cmd_sweep(args) -> int:
             for event in events:
                 handle.write(json.dumps(event, sort_keys=True) + "\n")
         print(f"  merged trace ({len(events)} events) -> {args.trace_out}")
+    return 0
+
+
+def _bench_cell_worker(payload: dict) -> dict:
+    """``sweep-bench`` worker: one synthetic sweep cell (pure sleep).
+
+    The fabric bench measures *scheduling*, not simulation — a sleep of
+    the cell's nominal cost makes the straggler skew exact and the run
+    fast enough for CI.
+    """
+    import time
+    time.sleep(payload["sleep_s"])
+    return {"index": payload["index"], "attempt": payload["attempt"]}
+
+
+def _bench_partition_worker(payload: dict) -> dict:
+    """``sweep-bench`` worker: one static partition, run serially.
+
+    This is the honest pre-split baseline: each worker receives its
+    contiguous slice of the grid up front and must finish all of it,
+    exactly like the pre-PR static shard split — a straggler-heavy slice
+    idles every other worker.
+    """
+    import time
+    for sleep_s in payload["sleeps"]:
+        time.sleep(sleep_s)
+    return {"cells": len(payload["sleeps"])}
+
+
+def cmd_sweep_bench(args) -> int:
+    import threading
+    import time
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures import wait as futures_wait
+
+    from .common.hashing import stable_digest
+    from .harness.cached import CacheDaemon
+    from .harness.cachestore import MemoryStore, RemoteStore
+    from .harness.stealing import (FabricHooks, WorkStealingPool,
+                                   static_partitions)
+
+    jobs = max(2, args.jobs)
+    cells = max(jobs, args.cells)
+    heavy = min(max(1, args.heavy), cells)
+    # Heavy cells clustered at the front — the worst case for a
+    # contiguous pre-partition and the common shape of a grid sorted by
+    # workload size.
+    sleeps = ([args.heavy_ms / 1000.0] * heavy
+              + [args.light_ms / 1000.0] * (cells - heavy))
+
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    # Warm every worker process up front so spawn cost hits neither arm.
+    futures_wait([pool.submit(_bench_cell_worker,
+                              {"index": -1, "attempt": 0, "sleep_s": 0.0})
+                  for _ in range(jobs)])
+
+    # ---- arm 1: static contiguous pre-partition (one task per worker).
+    parts = static_partitions(cells, jobs)
+    started = time.perf_counter()
+    futures_wait([pool.submit(_bench_partition_worker,
+                              {"sleeps": [sleeps[i] for i in part]})
+                  for part in parts])
+    static_s = time.perf_counter() - started
+
+    # ---- arm 2: work stealing over the same cells and the same pool.
+    engine = WorkStealingPool(jobs=jobs, worker=_bench_cell_worker)
+    started = time.perf_counter()
+    engine.map(list(range(cells)),
+               payload=lambda i, attempt: {"index": i, "attempt": attempt,
+                                           "sleep_s": sleeps[i]},
+               executor=pool)
+    stealing_s = time.perf_counter() - started
+    speedup = static_s / stealing_s if stealing_s > 0 else float("inf")
+
+    # ---- arm 3: two cooperating schedulers, one lease domain.  Both
+    # sweep the same cells concurrently; leases must make each cell
+    # execute exactly once in total, the other rank deduping from the
+    # shared store.
+    store = MemoryStore()
+    lock = threading.Lock()
+    executed = [0, 0]
+    deduped = [0, 0]
+
+    def run_rank(rank: int) -> None:
+        owner = f"rank{rank}"
+
+        def probe(i):
+            if store.get(f"cell-{i}") is None:
+                return None
+            return {"dedup": True, "index": i}
+
+        def on_complete(index, item, reply):
+            with lock:
+                if reply.get("dedup"):
+                    deduped[rank] += 1
+                else:
+                    # Publish BEFORE the engine releases our lease (it
+                    # calls release after on_complete returns) — the
+                    # ordering the dedupe guarantee rests on.
+                    store.put(f"cell-{item}", b"done")
+                    executed[rank] += 1
+
+        hooks = FabricHooks(
+            probe=probe,
+            acquire=lambda i: store.acquire_lease(f"cell-{i}", owner, 30.0),
+            release=lambda i: store.release_lease(f"cell-{i}", owner))
+        rank_engine = WorkStealingPool(jobs=max(1, jobs // 2),
+                                       worker=_bench_cell_worker,
+                                       hooks=hooks, poll_s=0.005)
+        rank_engine.map(
+            list(range(cells)),
+            payload=lambda i, attempt: {"index": i, "attempt": attempt,
+                                        "sleep_s": args.light_ms / 1000.0},
+            on_complete=on_complete,
+            executor=pool)
+
+    threads = [threading.Thread(target=run_rank, args=(rank,))
+               for rank in (0, 1)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    pool.shutdown()
+    total_executed = sum(executed)
+    exactly_once = total_executed == cells
+
+    # ---- arm 4: warm remote-cache hits through the HTTP daemon.
+    daemon = CacheDaemon(MemoryStore()).start()
+    remote = RemoteStore(daemon.url)
+    blob = json.dumps({"pad": "x" * 2000}).encode()
+    for i in range(cells):
+        remote.put(f"warm-{i}", blob)
+    lookups_ms = []
+    for _ in range(args.warm_lookups):
+        started = time.perf_counter()
+        remote.get("warm-0")
+        lookups_ms.append((time.perf_counter() - started) * 1000.0)
+    started = time.perf_counter()
+    found = remote.get_many([f"warm-{i}" for i in range(cells)])
+    batch_s = time.perf_counter() - started
+    remote.close()
+    daemon.stop()
+    lookups_ms.sort()
+    warm_ms = lookups_ms[len(lookups_ms) // 2]
+
+    config = {"cells": cells, "heavy": heavy, "heavy_ms": args.heavy_ms,
+              "light_ms": args.light_ms, "jobs": jobs}
+    report = {
+        "config": config,
+        "skew": {"static_s": round(static_s, 4),
+                 "stealing_s": round(stealing_s, 4),
+                 "speedup": round(speedup, 3)},
+        "fabric": {"executed": executed, "deduped": deduped,
+                   "total_executed": total_executed, "cells": cells,
+                   "exactly_once": exactly_once},
+        "remote": {"warm_hit_ms_p50": round(warm_ms, 3),
+                   "warm_hit_ms_max": round(lookups_ms[-1], 3),
+                   "batch_s": round(batch_s, 4),
+                   "batch_cells_per_s": round(len(found) / batch_s, 1)
+                   if batch_s > 0 else float("inf")},
+    }
+
+    print(f"sweep-bench: skewed {cells}-cell grid, {heavy} heavy cells, "
+          f"{jobs} workers")
+    print(f"  static split   {static_s:8.3f}s")
+    print(f"  work stealing  {stealing_s:8.3f}s   ({speedup:.2f}x)")
+    print(f"  lease dedupe   {total_executed}/{cells} cells executed "
+          f"across 2 cooperating schedulers "
+          f"(rank0 {executed[0]}+{deduped[0]} dedup, "
+          f"rank1 {executed[1]}+{deduped[1]} dedup)")
+    print(f"  warm remote    {warm_ms:.2f}ms/hit (p50), "
+          f"{cells}-key batch in {batch_s * 1000:.1f}ms")
+
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=1, sort_keys=True)
+        print(f"  report -> {args.out}")
+    if not args.no_history:
+        from .obs.perfdb import (PERFDB_SCHEMA, PerfRecord, append_records,
+                                 git_revision)
+        record = PerfRecord(
+            schema=PERFDB_SCHEMA, timestamp=time.time(),
+            git_rev=git_revision(), config_hash=stable_digest(config)[:16],
+            workload="sweep_fabric_skew", cycles=cells, instructions=cells,
+            wall_s=round(stealing_s, 4),
+            sim_cycles_per_s=round(cells / stealing_s, 2)
+            if stealing_s > 0 else 0.0,
+            speedup=round(speedup, 3), kernel="stealing")
+        append_records(args.history, [record])
+        print(f"  history +1 record -> {args.history}")
+
+    code = 0
+    if not exactly_once:
+        print(f"FAIL: {total_executed} executions for {cells} cells — "
+              f"lease dedupe must make each cell execute exactly once",
+              file=sys.stderr)
+        code = 1
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        print(f"FAIL: stealing speedup {speedup:.2f}x below the "
+              f"--min-speedup {args.min_speedup:.2f}x gate",
+              file=sys.stderr)
+        code = 1
+    return code
+
+
+def cmd_cache_serve(args) -> int:
+    from .harness.cached import serve
+    from .harness.cachestore import MemoryStore, SQLiteStore
+
+    store = SQLiteStore(args.store) if args.store else MemoryStore()
+    serve(store, host=args.host, port=args.port)
     return 0
 
 
@@ -705,6 +954,26 @@ def main(argv: list[str] | None = None) -> int:
                        help="worker processes (default: CPU count)")
     sweep.add_argument("--cache-dir", default=None,
                        help="result cache directory (default .repro_cache)")
+    sweep.add_argument("--cache-backend", default=None, metavar="SPEC",
+                       help="pluggable cache backend: dir:PATH, sqlite:PATH "
+                            "or http://HOST:PORT (a running cache-serve "
+                            "daemon); overrides --cache-dir")
+    sweep.add_argument("--cache-url", default=None, metavar="URL",
+                       help="shorthand for --cache-backend http://... "
+                            "(remote cache daemon URL)")
+    sweep.add_argument("--scheduler", default="static",
+                       choices=("static", "stealing"),
+                       help="shard scheduler: static pool or work-stealing "
+                            "deque with in-flight leases deduping cells "
+                            "across cooperating sweep processes")
+    sweep.add_argument("--lease-ttl", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="in-flight lease TTL before peers may steal a "
+                            "cell (stealing scheduler; default 30)")
+    sweep.add_argument("--results-out", default=None,
+                       help="write the serialized results keyed by shard "
+                            "label (deterministic: byte-identical across "
+                            "schedulers, backends and cache temperature)")
     sweep.add_argument("--no-cache", action="store_true",
                        help="do not read or write the result cache")
     sweep.add_argument("--resume", action="store_true",
@@ -724,6 +993,48 @@ def main(argv: list[str] | None = None) -> int:
                        help="write the merged worker traces as JSONL "
                             "(implies --capture-trace)")
     sweep.set_defaults(func=cmd_sweep)
+
+    sweep_bench = sub.add_parser(
+        "sweep-bench",
+        help="benchmark the sweep fabric: static vs work-stealing on a "
+             "straggler-skewed grid, two-scheduler lease dedupe, and warm "
+             "remote-cache hit latency")
+    sweep_bench.add_argument("--cells", type=int, default=64,
+                             help="synthetic grid size (default 64)")
+    sweep_bench.add_argument("--heavy", type=int, default=8,
+                             help="straggler cells clustered at the grid "
+                                  "front (default 8)")
+    sweep_bench.add_argument("--heavy-ms", type=float, default=200.0,
+                             help="straggler cell cost in ms (default 200)")
+    sweep_bench.add_argument("--light-ms", type=float, default=10.0,
+                             help="light cell cost in ms (default 10)")
+    sweep_bench.add_argument("--jobs", type=int, default=8,
+                             help="worker processes (default 8)")
+    sweep_bench.add_argument("--warm-lookups", type=int, default=50,
+                             help="single-key warm-hit samples against the "
+                                  "cache daemon (default 50)")
+    sweep_bench.add_argument("--out", default=None,
+                             help="write the JSON report")
+    sweep_bench.add_argument("--history", default="BENCH_history.jsonl",
+                             help="append-only JSONL perf history "
+                                  "(default: BENCH_history.jsonl)")
+    sweep_bench.add_argument("--no-history", action="store_true",
+                             help="do not append this run to the history")
+    sweep_bench.add_argument("--min-speedup", type=float, default=None,
+                             help="exit non-zero if stealing beats the "
+                                  "static split by less than this factor")
+    sweep_bench.set_defaults(func=cmd_sweep_bench)
+
+    cache_serve = sub.add_parser(
+        "cache-serve",
+        help="serve a shared sweep result cache over HTTP (point sweeps "
+             "at it with --cache-url)")
+    cache_serve.add_argument("--host", default="127.0.0.1")
+    cache_serve.add_argument("--port", type=int, default=8123)
+    cache_serve.add_argument("--store", default=None,
+                             help="backing store: a SQLite path (durable) "
+                                  "or omitted for in-memory")
+    cache_serve.set_defaults(func=cmd_cache_serve)
 
     bench = sub.add_parser(
         "bench", help="time every kernel against the lockstep reference "

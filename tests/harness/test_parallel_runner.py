@@ -165,6 +165,10 @@ class TestResultCache:
         with pytest.warns(UserWarning, match="corrupt result-cache entry"):
             assert cache.get(key, TINY_VARIANTS) is None
         assert cache.corrupt == 1
+        # Satellite fix: the quarantine is attributed to its reason, so
+        # telemetry can tell a truncated file from a digest collision.
+        assert cache.counters()["corrupt.decode"] == 1
+        assert cache.counters()["corrupt"] == 1
         assert path.with_suffix(".corrupt").exists()
         assert not path.exists()
         # The sweep recomputes and repopulates transparently.
@@ -183,6 +187,30 @@ class TestResultCache:
         path.write_text(json.dumps(envelope))
         with pytest.warns(UserWarning, match="does not match"):
             assert cache.get(key, TINY_VARIANTS) is None
+        assert cache.counters()["corrupt.key_mismatch"] == 1
+        assert "corrupt.decode" not in cache.counters()
+
+    def test_from_spec_counts_write_races(self, tmp_path):
+        cache = ResultCache.from_spec(f"sqlite:{tmp_path}/c.sqlite")
+        key = tiny_key()
+        result = execute_run(key, TINY_VARIANTS)
+        cache.put(key, result, TINY_VARIANTS)
+        cache.put(key, result, TINY_VARIANTS)   # loses first-writer race
+        counters = cache.counters()
+        assert counters["writes"] == 1
+        assert counters["write_races"] == 1
+        assert cache.get(key, TINY_VARIANTS).to_dict() == result.to_dict()
+        cache.close()
+
+    def test_gc_drops_only_foreign_generations(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = tiny_key()
+        cache.put(key, execute_run(key, TINY_VARIANTS), TINY_VARIANTS)
+        cache.store.put("deadbeef", b"{}", generation="older-code")
+        assert len(cache) == 2
+        assert cache.gc() == 1
+        assert len(cache) == 1
+        assert cache.get(key, TINY_VARIANTS) is not None
 
     def test_stale_cache_format_is_not_readable(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")

@@ -1,0 +1,218 @@
+"""Tests for the work-stealing shard scheduler and the lease fabric hooks.
+
+Exercises :class:`WorkStealingPool` directly: the submission-order reply
+contract under adversarial completion orders, the retry/timeout paths and
+their interplay with ``on_complete`` ordering (also through the public
+:class:`ShardPool` face), and the lease hook state machine —
+defer → re-probe → dedupe, steal on expiry, and the post-acquire probe
+that closes the publish/release race.
+"""
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.harness.parallel_runner import ShardPool
+from repro.harness.stealing import (
+    FabricHooks,
+    SweepError,
+    WorkStealingPool,
+    static_partitions,
+)
+from repro.obs.telemetry import FabricTelemetry
+
+
+# Module-level workers so the real ProcessPoolExecutor can pickle them.
+
+def _sleepy_worker(payload):
+    time.sleep(payload["sleep_s"])
+    if payload["fail_first"] and payload["attempt"] == 0:
+        raise RuntimeError("injected fault")
+    return {"item": payload["item"], "attempt": payload["attempt"]}
+
+
+def _payload_for(slow=(), fail_first=(), slow_s=0.4):
+    def build(item, attempt):
+        sleep_s = slow_s if (item in slow and attempt == 0) else 0.0
+        return {"item": item, "attempt": attempt, "sleep_s": sleep_s,
+                "fail_first": item in fail_first}
+    return build
+
+
+@pytest.fixture
+def threads():
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        yield pool
+
+
+# ------------------------------------------------------------- partitions
+
+class TestStaticPartitions:
+    def test_contiguous_cover(self):
+        parts = static_partitions(10, 3)
+        assert parts == [[0, 1, 2, 3], [4, 5, 6], [7, 8, 9]]
+
+    def test_fewer_items_than_jobs(self):
+        assert static_partitions(2, 8) == [[0], [1]]
+
+    def test_degenerate_widths(self):
+        assert static_partitions(5, 1) == [[0, 1, 2, 3, 4]]
+        assert static_partitions(0, 4) == []
+
+
+# ------------------------------------------------------------ determinism
+
+class TestSubmissionOrderContract:
+    def test_replies_fold_in_submission_order(self, threads):
+        """Later items complete first; the reply list must not care."""
+        pool = WorkStealingPool(jobs=4, worker=_sleepy_worker)
+        completions = []
+        replies = pool.map(
+            [0, 1, 2, 3],
+            payload=_payload_for(slow=(0, 1), slow_s=0.2),
+            on_complete=lambda i, item, reply: completions.append(item),
+            executor=threads)
+        assert [reply["item"] for reply in replies] == [0, 1, 2, 3]
+        # ...even though the fast items finished before the slow ones.
+        assert completions.index(2) < completions.index(0)
+
+    def test_retry_preserves_submission_order_folding(self, threads):
+        """A retried shard re-enters mid-sweep; replies stay in
+        submission order and its reply reflects the succeeding attempt."""
+        pool = WorkStealingPool(jobs=2, worker=_sleepy_worker, retries=1)
+        retried, completions = [], []
+        replies = pool.map(
+            [0, 1, 2],
+            payload=_payload_for(fail_first=(0,), slow=(0,), slow_s=0.2),
+            on_retry=lambda item, attempt, reason: retried.append(item),
+            on_complete=lambda i, item, reply: completions.append(i),
+            executor=threads)
+        assert [reply["item"] for reply in replies] == [0, 1, 2]
+        assert replies[0]["attempt"] == 1     # the retry's reply won
+        assert replies[1]["attempt"] == 0
+        assert retried == [0]
+        assert sorted(completions) == [0, 1, 2]
+        assert completions[-1] == 0           # retried shard landed last
+
+    def test_exhausted_retries_raise_sweep_error(self, threads):
+        pool = WorkStealingPool(jobs=2, worker=_sleepy_worker, retries=0)
+        with pytest.raises(SweepError, match="shard-0.*injected fault"):
+            pool.map([0, 1],
+                     payload=_payload_for(fail_first=(0,)),
+                     describe=lambda item: f"shard-{item}",
+                     executor=threads)
+
+    def test_timeout_then_retry_interplay(self, threads):
+        """Satellite: a timed-out shard is retried and its late reply is
+        discarded; on_complete still sees every item exactly once."""
+        pool = WorkStealingPool(jobs=2, worker=_sleepy_worker,
+                                timeout_s=0.25, retries=1)
+        timeouts, completions = [], []
+        replies = pool.map(
+            [0, 1],
+            payload=_payload_for(slow=(0,), slow_s=1.0),
+            on_timeout=lambda item, attempt: timeouts.append(item),
+            on_complete=lambda i, item, reply: completions.append(item),
+            executor=threads)
+        assert timeouts == [0]
+        assert sorted(completions) == [0, 1]
+        assert [reply["item"] for reply in replies] == [0, 1]
+        assert replies[0]["attempt"] == 1
+
+
+class TestShardPoolFace:
+    def test_process_pool_path_keeps_the_contract(self):
+        """The public ShardPool drives the same engine over a real
+        process pool: retry + on_complete ordering must match."""
+        pool = ShardPool(jobs=2, worker=_sleepy_worker, retries=1)
+        completions = []
+        replies = pool.map(
+            [0, 1, 2],
+            payload=_payload_for(fail_first=(0,), slow=(0,), slow_s=0.3),
+            on_complete=lambda i, item, reply: completions.append(item))
+        assert [reply["item"] for reply in replies] == [0, 1, 2]
+        assert replies[0]["attempt"] == 1
+        assert completions[-1] == 0
+
+
+# ------------------------------------------------------------ lease hooks
+
+class TestLeaseHooks:
+    def _run(self, hooks, items=(0,), jobs=1, executor=None, poll_s=0.01,
+             worker=None):
+        stats = FabricTelemetry()
+        pool = WorkStealingPool(jobs=jobs, worker=worker or _sleepy_worker,
+                                hooks=hooks, stats=stats, poll_s=poll_s)
+        replies = pool.map(list(items), payload=_payload_for(),
+                          executor=executor)
+        return replies, stats
+
+    def test_deferred_cell_dedupes_from_peer_publish(self, threads):
+        """A cell leased by a peer is deferred, then folded straight from
+        the peer's published result — never executed locally."""
+        probes = iter([None, {"item": 0, "from": "peer"}])
+
+        class Info:
+            acquired, owner, deadline, stolen = (False, "peer",
+                                                 time.time() + 30.0, False)
+        hooks = FabricHooks(
+            probe=lambda item: next(probes),
+            acquire=lambda item: Info(),
+            release=lambda item: None)
+        replies, stats = self._run(hooks, executor=threads)
+        assert replies == [{"item": 0, "from": "peer"}]
+        assert stats.counters["lease_deferred"] == 1
+        assert stats.counters["dedup_hits"] == 1
+        assert "dispatched" not in stats.counters
+
+    def test_expired_lease_is_stolen_and_run_locally(self, threads):
+        class Busy:
+            acquired, owner, stolen = False, "peer", False
+            deadline = time.time() + 0.05
+
+        class Stolen:
+            acquired, owner, stolen = True, "me", True
+            deadline = time.time() + 30.0
+        attempts = iter([Busy(), Stolen()])
+        hooks = FabricHooks(probe=lambda item: None,
+                            acquire=lambda item: next(attempts),
+                            release=lambda item: None)
+        replies, stats = self._run(hooks, executor=threads)
+        assert replies[0]["item"] == 0
+        assert stats.counters["lease_stolen"] == 1
+        assert stats.counters["dispatched"] == 1
+
+    def test_post_acquire_probe_closes_publish_release_race(self, threads):
+        """Regression: a peer that published *and released* before our
+        first visit leaves no lease to defer on — the probe under our
+        fresh lease must still find its result (publish happens before
+        release, so acquire-after-release implies the blob is visible)."""
+        class Fresh:
+            acquired, owner, stolen = True, "me", False
+            deadline = time.time() + 30.0
+        released = []
+        hooks = FabricHooks(
+            probe=lambda item: {"item": 0, "from": "peer"},
+            acquire=lambda item: Fresh(),
+            release=lambda item: released.append(item))
+        replies, stats = self._run(hooks, executor=threads)
+        assert replies == [{"item": 0, "from": "peer"}]
+        assert stats.counters["dedup_hits"] == 1
+        assert "dispatched" not in stats.counters
+        assert released == [0]     # the dedup path still drops our lease
+
+    def test_lease_released_after_local_run(self, threads):
+        class Fresh:
+            acquired, owner, stolen = True, "me", False
+            deadline = time.time() + 30.0
+        released = []
+        hooks = FabricHooks(probe=lambda item: None,
+                            acquire=lambda item: Fresh(),
+                            release=lambda item: released.append(item))
+        replies, stats = self._run(hooks, items=(0, 1), jobs=2,
+                                   executor=threads)
+        assert [reply["item"] for reply in replies] == [0, 1]
+        assert sorted(released) == [0, 1]
+        assert stats.counters["lease_released"] == 2
+        assert stats.counters["lease_acquired"] == 2
